@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Ablation (beyond the paper's figures): sensitivity of the slice-
+ * streaming decision to the MRAM<->WRAM DMA rate.  Eq. 6 predicts the
+ * break-even M grows as the DRAM-to-buffer bandwidth gap widens; this
+ * sweep shows the planner flipping from streaming to buffer-resident as
+ * DMA slows.
+ */
+
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "nn/inference.h"
+
+using namespace localut;
+
+int
+main()
+{
+    bench::header("Ablation", "DMA-rate sensitivity of slice streaming");
+    const QuantConfig cfg = QuantConfig::preset("W2A2");
+
+    Table table({"DMA B/cycle", "break-even M (Eq. 6)",
+                 "plan @ M=768", "plan @ M=3072", "t(768)", "t(3072)"});
+    for (double rate : {1.0, 2.0, 4.0, 6.0, 12.0}) {
+        PimSystemConfig sys = PimSystemConfig::upmemServer();
+        sys.dpu.dmaBytesPerCycle = rate;
+        const GemmEngine engine(sys);
+        const PerfModel model(sys.dpu, cfg);
+        const double breakEven =
+            model.pDramMax() > model.pLocalMax()
+                ? model.breakEvenM(model.pDramMax(), model.pLocalMax())
+                : 0.0;
+        std::vector<std::string> row = {Table::fmt(rate, 3),
+                                        Table::fmt(breakEven, 4)};
+        std::vector<std::string> times;
+        for (std::size_t m : {768u, 3072u}) {
+            const GemmProblem problem =
+                makeShapeOnlyProblem(m, 768, 128, cfg);
+            const GemmPlan plan = engine.plan(problem, DesignPoint::LoCaLut);
+            const double t = engine.run(problem, plan, false).timing.total;
+            row.push_back(std::string(plan.streaming ? "stream" : "buffer") +
+                          " p=" + std::to_string(plan.p));
+            times.push_back(bench::fmtSeconds(t));
+        }
+        row.insert(row.end(), times.begin(), times.end());
+        table.addRow(std::move(row));
+    }
+    table.print();
+    bench::note("Slower DMA raises the slice-load term of Eq. 2, pushing "
+                "the Eq. 6 break-even M up until streaming stops paying "
+                "off at these shapes.");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ablation (beyond the paper's figures): the DPU partition-grid
+ * optimizer.  Compares the cost-model-driven grid choice against naive
+ * square and fully-N-parallel grids across GEMM shapes.
+ */
+
+#include <cmath>
+
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "nn/inference.h"
+
+using namespace localut;
+
+int
+main()
+{
+    bench::header("Ablation", "partition-grid optimizer");
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+    const GemmEngine engine(sys);
+    const QuantConfig cfg = QuantConfig::preset("W1A3");
+
+    struct Shape {
+        std::size_t m, k, n;
+    };
+    const Shape shapes[] = {{768, 768, 128},
+                            {3072, 768, 128},
+                            {768, 768, 4096},
+                            {128, 768, 32}};
+
+    Table table({"(M,K,N)", "optimizer grid", "optimized", "square grid",
+                 "N-parallel grid", "gain vs worst"});
+    for (const Shape& s : shapes) {
+        const GemmProblem problem = makeShapeOnlyProblem(s.m, s.k, s.n, cfg);
+        const GemmPlan best = engine.plan(problem, DesignPoint::LoCaLut);
+        const double tBest = engine.run(problem, best, false).timing.total;
+
+        auto timeWithGrid = [&](unsigned gM, unsigned gN) {
+            PlanOverrides ov;
+            ov.gM = static_cast<unsigned>(
+                std::min<std::size_t>(gM, s.m));
+            ov.gN = static_cast<unsigned>(
+                std::min<std::size_t>(gN, s.n));
+            return engine
+                .run(problem, DesignPoint::LoCaLut, false, ov)
+                .timing.total;
+        };
+        const unsigned side = static_cast<unsigned>(
+            std::sqrt(static_cast<double>(sys.totalDpus())));
+        const double tSquare = timeWithGrid(side, side);
+        const double tNPar = timeWithGrid(1, sys.totalDpus());
+        const double worst = std::max(tSquare, tNPar);
+        table.addRow({"(" + std::to_string(s.m) + "," + std::to_string(s.k) +
+                          "," + std::to_string(s.n) + ")",
+                      std::to_string(best.gM) + "x" +
+                          std::to_string(best.gN),
+                      bench::fmtSeconds(tBest), bench::fmtSeconds(tSquare),
+                      bench::fmtSeconds(tNPar),
+                      Table::fmt(worst / tBest, 3) + "x"});
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,41 @@
+#ifndef LOCALUT_BENCH_BENCH_UTIL_H_
+#define LOCALUT_BENCH_BENCH_UTIL_H_
+
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses.  Every bench
+ * prints: a header naming the paper figure, the parameters in use, the
+ * measured series (same rows the figure plots), and the paper's reference
+ * values for comparison (EXPERIMENTS.md records both).
+ */
+
+#include <string>
+#include <vector>
+
+#include "localut.h"
+
+namespace localut {
+namespace bench {
+
+/** Prints the figure banner. */
+void header(const std::string& figure, const std::string& description);
+
+/** Prints a labelled note (e.g. the paper's reference values). */
+void note(const std::string& text);
+
+/** Prints a section separator. */
+void section(const std::string& title);
+
+/** Formats seconds in engineering units. */
+std::string fmtSeconds(double seconds);
+
+/** Formats bytes in engineering units. */
+std::string fmtBytes(double bytes);
+
+/** Geomean convenience over a vector. */
+double geomeanOf(const std::vector<double>& values);
+
+} // namespace bench
+} // namespace localut
+
+#endif // LOCALUT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Reproduces paper Fig. 6: LUT capacity requirements across packing
+ * degrees p = 2..8 at W1A3 for the operation-packed LUT, the canonical
+ * LUT, the reordering LUT, and the canonical+reordering pair, plus the
+ * total reduction-rate line (paper: 1.68x to 358x).
+ */
+
+#include "bench_util.h"
+
+#include "common/table.h"
+
+using namespace localut;
+
+int
+main()
+{
+    bench::header("Fig. 6", "LUT capacity vs packing degree (W1A3)");
+    const QuantConfig cfg = QuantConfig::preset("W1A3");
+    bench::note("Paper reference: total reduction rate 1.68x (p=2) to "
+                "358x (p=8); canonical columns shrink 12.4x at p=4 and "
+                "611.1x at p=7.");
+
+    Table table({"p", "op-packed", "canonical", "reordering",
+                 "canonical+reordering", "reduction"});
+    std::vector<double> reductions;
+    for (unsigned p = 2; p <= 8; ++p) {
+        const LutShape shape(cfg, p);
+        const double reduction = totalReductionRate(shape);
+        reductions.push_back(reduction);
+        table.addRow({
+            std::to_string(p),
+            bench::fmtBytes(static_cast<double>(opPackedLutBytes(shape))),
+            bench::fmtBytes(static_cast<double>(canonicalLutBytes(shape))),
+            bench::fmtBytes(static_cast<double>(reorderingLutBytes(shape))),
+            bench::fmtBytes(static_cast<double>(localutBytes(shape))),
+            Table::fmt(reduction, 4) + "x",
+        });
+    }
+    table.print();
+
+    bench::section("canonical column reduction (paper Section IV-A)");
+    Table cols({"p", "op columns", "canonical columns", "ratio"});
+    for (unsigned p : {4u, 7u}) {
+        const LutShape shape(cfg, p);
+        cols.addRow({std::to_string(p),
+                     std::to_string(shape.opColumns()),
+                     std::to_string(shape.canonicalColumns()),
+                     Table::fmt(static_cast<double>(shape.opColumns()) /
+                                    static_cast<double>(
+                                        shape.canonicalColumns()),
+                                4) + "x"});
+    }
+    cols.print();
+    bench::note("measured reduction range: " +
+                Table::fmt(reductions.front(), 3) + "x .. " +
+                Table::fmt(reductions.back(), 4) + "x  (paper: 1.68x .. 358x)");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Reproduces paper Fig. 9: GEMM speedup over Naive PIM for every design
+ * point at (M,K,N) = (768,768,128) and (3072,768,128) across W1A3 /
+ * W1A4 / W2A2 / W4A4.  Paper reference: LoCaLUT geomean 2.87x over Naive
+ * and 1.77x over LTC, up to 4.73x / 1.93x; OP+LC regresses below OP from
+ * the runtime reordering overhead; LTC and OP drop below Naive at W4A4.
+ */
+
+#include <algorithm>
+
+#include "bench_util.h"
+
+#include "common/table.h"
+
+using namespace localut;
+
+int
+main()
+{
+    bench::header("Fig. 9", "GEMM speedup over Naive PIM per design point");
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+
+    const DesignPoint designs[] = {DesignPoint::NaivePim, DesignPoint::Ltc,
+                                   DesignPoint::OpLut, DesignPoint::OpLc,
+                                   DesignPoint::OpLcRc,
+                                   DesignPoint::LoCaLut};
+    struct Shape {
+        std::size_t m, k, n;
+    };
+    const Shape shapes[] = {{768, 768, 128}, {3072, 768, 128}};
+
+    std::vector<double> vsNaive, vsLtc;
+    for (const Shape& s : shapes) {
+        bench::section("(M,K,N) = (" + std::to_string(s.m) + ", " +
+                       std::to_string(s.k) + ", " + std::to_string(s.n) +
+                       ")");
+        Table table({"config", "NaivePIM", "LTC", "OP", "OP+LC", "OP+LC+RC",
+                     "LoCaLUT", "p*", "stream"});
+        for (const char* preset : {"W1A3", "W1A4", "W2A2", "W4A4"}) {
+            const QuantConfig cfg = QuantConfig::preset(preset);
+            const GemmProblem problem =
+                makeShapeOnlyProblem(s.m, s.k, s.n, cfg);
+            double tNaive = 0, tLtc = 0;
+            std::vector<std::string> row = {preset};
+            GemmPlan lastPlan(DesignPoint::LoCaLut, cfg);
+            for (DesignPoint dp : designs) {
+                const GemmPlan plan = engine.plan(problem, dp);
+                const double t =
+                    engine.run(problem, plan, false).timing.total;
+                if (dp == DesignPoint::NaivePim) {
+                    tNaive = t;
+                }
+                if (dp == DesignPoint::Ltc) {
+                    tLtc = t;
+                }
+                if (dp == DesignPoint::LoCaLut) {
+                    vsNaive.push_back(tNaive / t);
+                    vsLtc.push_back(tLtc / t);
+                    lastPlan = plan;
+                }
+                row.push_back(Table::fmt(tNaive / t, 3) + "x");
+            }
+            row.push_back(std::to_string(lastPlan.p));
+            row.push_back(lastPlan.streaming ? "yes" : "no");
+            table.addRow(std::move(row));
+        }
+        table.print();
+    }
+
+    bench::section("aggregates (paper Section VI-B)");
+    bench::note("geomean LoCaLUT vs Naive: " +
+                Table::fmt(bench::geomeanOf(vsNaive), 3) +
+                "x   (paper: 2.87x)");
+    bench::note("geomean LoCaLUT vs LTC:   " +
+                Table::fmt(bench::geomeanOf(vsLtc), 3) +
+                "x   (paper: 1.77x)");
+    bench::note("max LoCaLUT vs Naive:     " +
+                Table::fmt(*std::max_element(vsNaive.begin(),
+                                             vsNaive.end()),
+                           3) +
+                "x   (paper: up to 4.73x)");
+    bench::note("max LoCaLUT vs LTC:       " +
+                Table::fmt(*std::max_element(vsLtc.begin(), vsLtc.end()),
+                           3) +
+                "x   (paper: up to 1.93x)");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces paper Fig. 10: end-to-end speedup on BERT (W1A3/W1A4/W2A2/
+ * W4A4), ViT (W2A2/W4A4), and OPT (W4A4) for Naive PIM, LTC, OP, and
+ * LoCaLUT.  Paper reference: LoCaLUT 1.77x over Naive and 1.82x over LTC
+ * geomean; the Section IV optimizations add ~22% over OP.
+ */
+
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "nn/inference.h"
+
+using namespace localut;
+
+namespace {
+
+double
+endToEndSeconds(const TransformerConfig& model, const char* preset,
+                DesignPoint dp)
+{
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+    const TransformerRunner runner(sys, QuantConfig::preset(preset), dp);
+    if (model.name == "OPT-125M") {
+        // Decoder model: prefill plus 8 decode steps (batch 32).
+        const InferenceReport pre = runner.prefill(model, 32, 128);
+        const InferenceReport dec = runner.decode(model, 32, 128, 8);
+        return pre.timing.total + dec.timing.total;
+    }
+    return runner.prefill(model, 32, model.defaultSeqLen).timing.total;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Fig. 10", "end-to-end DNN model speedup over Naive PIM");
+    struct Case {
+        TransformerConfig model;
+        const char* preset;
+    };
+    const Case cases[] = {
+        {TransformerConfig::bertBase(), "W1A3"},
+        {TransformerConfig::bertBase(), "W1A4"},
+        {TransformerConfig::bertBase(), "W2A2"},
+        {TransformerConfig::bertBase(), "W4A4"},
+        {TransformerConfig::vitBase(), "W2A2"},
+        {TransformerConfig::vitBase(), "W4A4"},
+        {TransformerConfig::opt125m(), "W4A4"},
+    };
+
+    Table table({"model", "config", "NaivePIM", "LTC", "OP", "LoCaLUT"});
+    std::vector<double> vsNaive, vsLtc, vsOp;
+    for (const Case& c : cases) {
+        const double tNaive =
+            endToEndSeconds(c.model, c.preset, DesignPoint::NaivePim);
+        const double tLtc =
+            endToEndSeconds(c.model, c.preset, DesignPoint::Ltc);
+        const double tOp =
+            endToEndSeconds(c.model, c.preset, DesignPoint::OpLut);
+        const double tLocalut =
+            endToEndSeconds(c.model, c.preset, DesignPoint::LoCaLut);
+        vsNaive.push_back(tNaive / tLocalut);
+        vsLtc.push_back(tLtc / tLocalut);
+        vsOp.push_back(tOp / tLocalut);
+        table.addRow({c.model.name, c.preset, "1.000x",
+                      Table::fmt(tNaive / tLtc, 3) + "x",
+                      Table::fmt(tNaive / tOp, 3) + "x",
+                      Table::fmt(tNaive / tLocalut, 3) + "x"});
+    }
+    table.print();
+
+    bench::section("aggregates (paper Section VI-C)");
+    bench::note("geomean LoCaLUT vs Naive: " +
+                Table::fmt(bench::geomeanOf(vsNaive), 3) +
+                "x   (paper: 1.77x)");
+    bench::note("geomean LoCaLUT vs LTC:   " +
+                Table::fmt(bench::geomeanOf(vsLtc), 3) +
+                "x   (paper: 1.82x)");
+    bench::note("geomean LoCaLUT vs OP:    " +
+                Table::fmt(bench::geomeanOf(vsOp), 3) +
+                "x   (paper: ~1.22x — the Section IV optimizations)");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces paper Fig. 12: packing-degree sensitivity at W2A2 with
+ * K = 768, N = 128 and M in {192, 768, 3072}: speedup over Naive PIM and
+ * LUT capacity across p = 1..6.  Paper reference: performance improves
+ * with p while capacity grows; at p = 6 (slice streaming) performance
+ * improves as M grows because the loaded slices are reused more.
+ */
+
+#include "bench_util.h"
+
+#include "common/table.h"
+
+using namespace localut;
+
+int
+main()
+{
+    bench::header("Fig. 12", "packing degree sensitivity (W2A2, K=768, N=128)");
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+    const GemmEngine engine(sys);
+    const QuantConfig cfg = QuantConfig::preset("W2A2");
+    const PerfModel model(sys.dpu, cfg);
+    bench::note("p_local = " + std::to_string(model.pLocalMax()) +
+                ", p_DRAM = " + std::to_string(model.pDramMax()) +
+                " (streaming engages for p > p_local)");
+
+    for (std::size_t m : {192u, 768u, 3072u}) {
+        bench::section("M = " + std::to_string(m));
+        Table table({"p", "speedup vs Naive", "LUT capacity", "placement"});
+        const GemmProblem problem = makeShapeOnlyProblem(m, 768, 128, cfg);
+        const double tNaive =
+            engine.run(problem, DesignPoint::NaivePim, false).timing.total;
+        for (unsigned p = 1; p <= 6; ++p) {
+            PlanOverrides ov;
+            ov.p = p;
+            const GemmPlan plan =
+                engine.plan(problem, DesignPoint::LoCaLut, ov);
+            const double t = engine.run(problem, plan, false).timing.total;
+            const LutShape shape(cfg, p);
+            table.addRow({std::to_string(p),
+                          Table::fmt(tNaive / t, 3) + "x",
+                          bench::fmtBytes(static_cast<double>(
+                              localutBytes(shape))),
+                          plan.streaming ? "DRAM (stream)" : "buffer"});
+        }
+        table.print();
+    }
+    bench::note("Paper reference: at p = 6 the speedup rises with M "
+                "(slice reuse grows with the weight rows).");
+    return 0;
+}

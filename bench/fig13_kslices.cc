@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Reproduces paper Fig. 13: sensitivity to the slice window k in
+ * {1, 2, 4, 8} across the model/bitwidth cases.  For each forced k the
+ * planner picks the highest feasible p (paper methodology).  Paper
+ * reference: larger k helps W1Ax (better reuse/amortization at unchanged
+ * p); for W2A2 and W4A4, k = 4 forces a lower p and degrades performance.
+ */
+
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "nn/inference.h"
+
+using namespace localut;
+
+int
+main()
+{
+    bench::header("Fig. 13", "k-slice sensitivity (speedup normalized to k=1)");
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+
+    struct Case {
+        TransformerConfig model;
+        const char* preset;
+    };
+    const Case cases[] = {
+        {TransformerConfig::bertBase(), "W1A3"},
+        {TransformerConfig::bertBase(), "W1A4"},
+        {TransformerConfig::bertBase(), "W2A2"},
+        {TransformerConfig::bertBase(), "W4A4"},
+        {TransformerConfig::vitBase(), "W2A2"},
+        {TransformerConfig::vitBase(), "W4A4"},
+        {TransformerConfig::opt125m(), "W4A4"},
+    };
+
+    Table table({"model", "config", "k=1", "k=2", "k=4", "k=8",
+                 "p(k=1)", "p(k=4)", "p(k=8)"});
+    for (const Case& c : cases) {
+        double base = 0;
+        std::vector<std::string> row = {c.model.name, c.preset};
+        unsigned p1 = 0, p4 = 0, p8 = 0;
+        for (unsigned k : {1u, 2u, 4u, 8u}) {
+            PlanOverrides ov;
+            ov.kSlices = k;
+            const TransformerRunner runner(sys, QuantConfig::preset(c.preset),
+                                           DesignPoint::LoCaLut, ov);
+            const double t =
+                runner.prefill(c.model, 32, c.model.defaultSeqLen)
+                    .timing.total;
+            if (k == 1) {
+                base = t;
+            }
+            row.push_back(Table::fmt(base / t, 3) + "x");
+            // Record the planner's p for the annotation columns.
+            const LutPlanner planner(sys.dpu, QuantConfig::preset(c.preset));
+            const unsigned p =
+                planner.chooseWithForcedK(768, 768, 1, k).p;
+            if (k == 1) p1 = p;
+            if (k == 4) p4 = p;
+            if (k == 8) p8 = p;
+        }
+        row.push_back(std::to_string(p1));
+        row.push_back(std::to_string(p4));
+        row.push_back(std::to_string(p8));
+        table.addRow(std::move(row));
+    }
+    table.print();
+    bench::note("Paper reference: W1Ax keeps improving with k; W2A2/W4A4 "
+                "lose at k = 4 because the slices no longer fit WRAM at "
+                "the larger p (p drops).");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces paper Fig. 14: end-to-end energy for Naive PIM, LTC, OP-LUT
+ * and LoCaLUT across BERT/ViT/OPT bitwidth configurations.  Paper
+ * reference: at W1Ax LoCaLUT uses 3.37x less energy than Naive and 1.88x
+ * less than LTC; at W2A2 it is on par with OP (sorting overheads offset
+ * the fewer lookups); at W4A4 it still beats Naive by 1.16x while LTC and
+ * OP fall behind Naive.
+ */
+
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "nn/inference.h"
+
+using namespace localut;
+
+namespace {
+
+double
+endToEndJoules(const TransformerConfig& model, const char* preset,
+               DesignPoint dp)
+{
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+    const TransformerRunner runner(sys, QuantConfig::preset(preset), dp);
+    if (model.name == "OPT-125M") {
+        return runner.prefill(model, 32, 128).energy.total +
+               runner.decode(model, 32, 128, 8).energy.total;
+    }
+    return runner.prefill(model, 32, model.defaultSeqLen).energy.total;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::header("Fig. 14", "end-to-end energy comparison");
+    struct Case {
+        TransformerConfig model;
+        const char* preset;
+    };
+    const Case cases[] = {
+        {TransformerConfig::bertBase(), "W1A3"},
+        {TransformerConfig::bertBase(), "W1A4"},
+        {TransformerConfig::bertBase(), "W2A2"},
+        {TransformerConfig::bertBase(), "W4A4"},
+        {TransformerConfig::vitBase(), "W2A2"},
+        {TransformerConfig::vitBase(), "W4A4"},
+        {TransformerConfig::opt125m(), "W4A4"},
+    };
+
+    Table table({"model", "config", "Naive (J)", "LTC (J)", "OP (J)",
+                 "LoCaLUT (J)", "Naive/LoCaLUT", "LTC/LoCaLUT"});
+    std::vector<double> w1VsNaive, w1VsLtc;
+    for (const Case& c : cases) {
+        const double eNaive =
+            endToEndJoules(c.model, c.preset, DesignPoint::NaivePim);
+        const double eLtc =
+            endToEndJoules(c.model, c.preset, DesignPoint::Ltc);
+        const double eOp =
+            endToEndJoules(c.model, c.preset, DesignPoint::OpLut);
+        const double eLocalut =
+            endToEndJoules(c.model, c.preset, DesignPoint::LoCaLut);
+        if (std::string(c.preset).rfind("W1", 0) == 0) {
+            w1VsNaive.push_back(eNaive / eLocalut);
+            w1VsLtc.push_back(eLtc / eLocalut);
+        }
+        table.addRow({c.model.name, c.preset, Table::fmt(eNaive, 4),
+                      Table::fmt(eLtc, 4), Table::fmt(eOp, 4),
+                      Table::fmt(eLocalut, 4),
+                      Table::fmt(eNaive / eLocalut, 3) + "x",
+                      Table::fmt(eLtc / eLocalut, 3) + "x"});
+    }
+    table.print();
+
+    bench::section("aggregates (paper Section VI-E)");
+    bench::note("W1Ax geomean energy reduction vs Naive: " +
+                Table::fmt(bench::geomeanOf(w1VsNaive), 3) +
+                "x   (paper: 3.37x)");
+    bench::note("W1Ax geomean energy reduction vs LTC:   " +
+                Table::fmt(bench::geomeanOf(w1VsLtc), 3) +
+                "x   (paper: 1.88x)");
+    return 0;
+}

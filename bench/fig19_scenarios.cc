@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces paper Fig. 19: (a) prefill-only (BERT, W1A3) and
+ * prefill+decode (OPT, W4A4, output lengths 4/8/16) execution compared
+ * between OP and LoCaLUT — paper: prefill 1.34x, decode 1.27x; (b) batch
+ * size sweep 32..512 (BERT-W1A3, ViT-W2A2, OPT-W4A4), speedup over OP —
+ * paper: consistent gains, strongest at high batch via bank parallelism.
+ */
+
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "nn/inference.h"
+
+using namespace localut;
+
+int
+main()
+{
+    bench::header("Fig. 19", "real-world inference scenarios");
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+
+    bench::section("(a) prefill / decode phases (OP vs LoCaLUT)");
+    {
+        Table table({"model", "phase", "OP", "LoCaLUT", "speedup"});
+        std::vector<double> prefillSp, decodeSp;
+        // BERT (W1A3): prefill-only.
+        {
+            const TransformerRunner op(sys, QuantConfig::preset("W1A3"),
+                                       DesignPoint::OpLut);
+            const TransformerRunner lc(sys, QuantConfig::preset("W1A3"),
+                                       DesignPoint::LoCaLut);
+            const auto model = TransformerConfig::bertBase();
+            const double tOp = op.prefill(model, 32, 128).timing.total;
+            const double tLc = lc.prefill(model, 32, 128).timing.total;
+            prefillSp.push_back(tOp / tLc);
+            table.addRow({"BERT (W1A3)", "prefill", bench::fmtSeconds(tOp),
+                          bench::fmtSeconds(tLc),
+                          Table::fmt(tOp / tLc, 3) + "x"});
+        }
+        // OPT (W4A4): prefill + decode with out lengths 4/8/16.
+        const TransformerRunner op(sys, QuantConfig::preset("W4A4"),
+                                   DesignPoint::OpLut);
+        const TransformerRunner lc(sys, QuantConfig::preset("W4A4"),
+                                   DesignPoint::LoCaLut);
+        const auto model = TransformerConfig::opt125m();
+        const double preOp = op.prefill(model, 32, 128).timing.total;
+        const double preLc = lc.prefill(model, 32, 128).timing.total;
+        prefillSp.push_back(preOp / preLc);
+        table.addRow({"OPT (W4A4)", "prefill", bench::fmtSeconds(preOp),
+                      bench::fmtSeconds(preLc),
+                      Table::fmt(preOp / preLc, 3) + "x"});
+        for (unsigned out : {4u, 8u, 16u}) {
+            const double dOp =
+                op.decode(model, 32, 128, out).timing.total;
+            const double dLc =
+                lc.decode(model, 32, 128, out).timing.total;
+            decodeSp.push_back(dOp / dLc);
+            table.addRow({"OPT (W4A4)", "decode out=" + std::to_string(out),
+                          bench::fmtSeconds(dOp), bench::fmtSeconds(dLc),
+                          Table::fmt(dOp / dLc, 3) + "x"});
+        }
+        table.print();
+        bench::note("geomean prefill speedup: " +
+                    Table::fmt(bench::geomeanOf(prefillSp), 3) +
+                    "x   (paper: 1.34x)");
+        bench::note("geomean decode speedup:  " +
+                    Table::fmt(bench::geomeanOf(decodeSp), 3) +
+                    "x   (paper: 1.27x)");
+    }
+
+    bench::section("(b) batch-size sweep (speedup over OP)");
+    {
+        struct Case {
+            TransformerConfig model;
+            const char* preset;
+        };
+        const Case cases[] = {
+            {TransformerConfig::bertBase(), "W1A3"},
+            {TransformerConfig::vitBase(), "W2A2"},
+            {TransformerConfig::opt125m(), "W4A4"},
+        };
+        Table table({"model", "config", "b=32", "b=64", "b=128", "b=256",
+                     "b=512"});
+        for (const Case& c : cases) {
+            const TransformerRunner op(sys, QuantConfig::preset(c.preset),
+                                       DesignPoint::OpLut);
+            const TransformerRunner lc(sys, QuantConfig::preset(c.preset),
+                                       DesignPoint::LoCaLut);
+            std::vector<std::string> row = {c.model.name, c.preset};
+            for (unsigned b : {32u, 64u, 128u, 256u, 512u}) {
+                double tOp, tLc;
+                if (c.model.name == "OPT-125M") {
+                    tOp = op.decode(c.model, b, 128, 8).timing.total;
+                    tLc = lc.decode(c.model, b, 128, 8).timing.total;
+                } else {
+                    tOp = op.prefill(c.model, b, c.model.defaultSeqLen)
+                              .timing.total;
+                    tLc = lc.prefill(c.model, b, c.model.defaultSeqLen)
+                              .timing.total;
+                }
+                row.push_back(Table::fmt(tOp / tLc, 3) + "x");
+            }
+            table.addRow(std::move(row));
+        }
+        table.print();
+        bench::note("Paper reference: consistent speedup, growing with "
+                    "batch size through bank-level parallelism.");
+    }
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the host-side LUT machinery:
+ * canonical/reordering LUT construction (the init-time cost of Section
+ * V-A), canonicalization throughput (the host "packing & sorting" phase),
+ * and multiset ranking.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "lut/canonical_lut.h"
+#include "lut/canonicalizer.h"
+#include "lut/packed_lut.h"
+#include "lut/reordering_lut.h"
+
+namespace localut {
+namespace {
+
+void
+BM_CanonicalLutBuild(benchmark::State& state)
+{
+    const unsigned p = static_cast<unsigned>(state.range(0));
+    const LutShape shape(QuantConfig::preset("W1A3"), p);
+    for (auto _ : state) {
+        CanonicalLut lut(shape);
+        benchmark::DoNotOptimize(lut.rows());
+    }
+    state.counters["bytes"] =
+        static_cast<double>(shape.weightRows() * shape.canonicalColumns() *
+                            shape.outBytes);
+}
+BENCHMARK(BM_CanonicalLutBuild)->Arg(3)->Arg(5)->Arg(7);
+
+void
+BM_ReorderingLutBuild(benchmark::State& state)
+{
+    const unsigned p = static_cast<unsigned>(state.range(0));
+    const LutShape shape(QuantConfig::preset("W1A3"), p);
+    for (auto _ : state) {
+        ReorderingLut lut(shape);
+        benchmark::DoNotOptimize(lut.cols());
+    }
+}
+BENCHMARK(BM_ReorderingLutBuild)->Arg(3)->Arg(5)->Arg(7);
+
+void
+BM_OperationPackedLutBuild(benchmark::State& state)
+{
+    const unsigned p = static_cast<unsigned>(state.range(0));
+    const LutShape shape(QuantConfig::preset("W1A3"), p);
+    for (auto _ : state) {
+        OperationPackedLut lut(shape);
+        benchmark::DoNotOptimize(lut.rows());
+    }
+}
+BENCHMARK(BM_OperationPackedLutBuild)->Arg(2)->Arg(3)->Arg(4);
+
+void
+BM_Canonicalize(benchmark::State& state)
+{
+    const unsigned p = static_cast<unsigned>(state.range(0));
+    const LutShape shape(QuantConfig::preset("W1A3"), p);
+    const ActivationCanonicalizer canon(shape);
+    Rng rng(1);
+    std::vector<std::uint16_t> codes(p);
+    for (auto& c : codes) {
+        c = static_cast<std::uint16_t>(rng.nextBounded(8));
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(canon.canonicalize(codes).multisetRank);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Canonicalize)->Arg(4)->Arg(8);
+
+void
+BM_MultisetRank(benchmark::State& state)
+{
+    const unsigned p = static_cast<unsigned>(state.range(0));
+    std::vector<std::uint16_t> sorted(p);
+    for (unsigned i = 0; i < p; ++i) {
+        sorted[i] = static_cast<std::uint16_t>(i % 8);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(multisetRank(sorted, 8));
+    }
+}
+BENCHMARK(BM_MultisetRank)->Arg(4)->Arg(8);
+
+} // namespace
+} // namespace localut
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Design-space explorer: walks the capacity model (paper Eq. 1 / Fig. 6)
+ * and the performance model (Eq. 2-6) interactively over the command-line
+ * arguments, showing how p*, placement, and k are chosen.
+ *
+ * Usage: example_design_explorer [preset [M K N]]
+ *        e.g. example_design_explorer W2A2 3072 768 128
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "localut.h"
+
+int
+main(int argc, char** argv)
+{
+    using namespace localut;
+
+    const std::string preset = argc > 1 ? argv[1] : "W1A3";
+    const std::size_t m = argc > 4 ? std::strtoul(argv[2], nullptr, 10) : 3072;
+    const std::size_t k = argc > 4 ? std::strtoul(argv[3], nullptr, 10) : 768;
+    const std::size_t n = argc > 4 ? std::strtoul(argv[4], nullptr, 10) : 128;
+
+    const QuantConfig config = QuantConfig::preset(preset);
+    const PimSystemConfig system = PimSystemConfig::upmemServer();
+
+    std::printf("config %s on (M,K,N) = (%zu, %zu, %zu)\n\n",
+                config.name().c_str(), m, k, n);
+
+    std::printf("capacity model (paper Eq. 1 / Fig. 6):\n");
+    std::printf("%-3s %-14s %-14s %-14s %-10s\n", "p", "op-packed",
+                "canonical", "reordering", "reduction");
+    for (unsigned p = 1; p <= 8; ++p) {
+        const LutShape shape(config, p);
+        std::printf("%-3u %-14.4g %-14.4g %-14.4g %-10.3f\n", p,
+                    static_cast<double>(opPackedLutBytes(shape)),
+                    static_cast<double>(canonicalLutBytes(shape)),
+                    static_cast<double>(reorderingLutBytes(shape)),
+                    totalReductionRate(shape));
+    }
+
+    const PerfModel model(system.dpu, config);
+    std::printf("\nperformance model (paper Eq. 2-6): p_local = %u, "
+                "p_DRAM = %u\n", model.pLocalMax(), model.pDramMax());
+    if (model.pDramMax() > model.pLocalMax()) {
+        std::printf("Eq. 6 break-even per-DPU M for streaming at p = %u: "
+                    "%.1f rows\n", model.pDramMax(),
+                    model.breakEvenM(model.pDramMax(), model.pLocalMax()));
+    }
+
+    const GemmEngine engine(system);
+    const GemmProblem problem = makeShapeOnlyProblem(m, k, n, config);
+    const GemmPlan plan = engine.plan(problem, DesignPoint::LoCaLut);
+    const GemmResult result = engine.run(problem, plan, false);
+    std::printf("\nplanner decision: p* = %u, k = %u, %s, grid %ux%u\n",
+                plan.p, plan.kSlices,
+                plan.streaming ? "slice streaming" : "buffer-resident LUT",
+                plan.gM, plan.gN);
+    std::printf("predicted (Eq. 2/4, LUT terms only): %.3f ms\n",
+                plan.predictedSeconds * 1e3);
+    std::printf("simulated end-to-end:                %.3f ms\n",
+                result.timing.total * 1e3);
+    std::printf("  of which DPU kernel %.3f ms, host %.3f ms, link %.3f ms\n",
+                result.timing.dpuSeconds * 1e3,
+                result.timing.hostSeconds * 1e3,
+                result.timing.linkSeconds * 1e3);
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * OPT-125M autoregressive generation on the PIM system model: prefill of
+ * a 128-token prompt followed by decode steps (paper Fig. 19a scenario).
+ * Shows how the planner adapts the packing configuration to the skinny
+ * decode GEMMs (N = batch) vs the wide prefill GEMMs (N = batch x seq).
+ */
+
+#include <cstdio>
+
+#include "localut.h"
+
+int
+main()
+{
+    using namespace localut;
+
+    const PimSystemConfig system = PimSystemConfig::upmemServer();
+    const TransformerConfig model = TransformerConfig::opt125m();
+    const QuantConfig config = QuantConfig::preset("W4A4");
+    const unsigned batch = 32;
+    const unsigned prompt = 128;
+
+    std::printf("%s, W4A4, batch %u, prompt %u tokens\n\n",
+                model.name.c_str(), batch, prompt);
+
+    // Show the planner's per-phase choices on the core GEMM shapes.
+    const GemmEngine engine(system);
+    for (const auto& [label, n] :
+         std::initializer_list<std::pair<const char*, std::size_t>>{
+             {"prefill GEMM (N = batch*seq)", std::size_t{batch} * prompt},
+             {"decode GEMM  (N = batch)", std::size_t{batch}}}) {
+        const GemmProblem gemm =
+            makeShapeOnlyProblem(model.hidden, model.hidden, n, config);
+        const GemmPlan plan = engine.plan(gemm, DesignPoint::LoCaLut);
+        std::printf("%-30s -> p=%u, k=%u, %s, grid %ux%u\n", label, plan.p,
+                    plan.kSlices,
+                    plan.streaming ? "streaming" : "buffer-resident",
+                    plan.gM, plan.gN);
+    }
+
+    std::printf("\n%-14s %-12s %-12s %-12s %s\n", "output tokens",
+                "prefill", "decode", "total", "decode speedup vs OP");
+    for (unsigned out : {4u, 8u, 16u, 32u}) {
+        const TransformerRunner op(system, config, DesignPoint::OpLut);
+        const TransformerRunner lc(system, config, DesignPoint::LoCaLut);
+        const double pre = lc.prefill(model, batch, prompt).timing.total;
+        const double dec =
+            lc.decode(model, batch, prompt, out).timing.total;
+        const double decOp =
+            op.decode(model, batch, prompt, out).timing.total;
+        std::printf("%-14u %9.2f ms %9.2f ms %9.2f ms   %.2fx\n", out,
+                    pre * 1e3, dec * 1e3, (pre + dec) * 1e3, decOp / dec);
+    }
+    return 0;
+}

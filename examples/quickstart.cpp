@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: quantize a small GEMM, run it through every design point on
+ * the modeled UPMEM server, verify all LUT designs agree bit-exactly with
+ * the reference, and print the modeled time/energy.
+ *
+ * Build & run:  cmake -B build -G Ninja && cmake --build build
+ *               ./build/examples/example_quickstart
+ */
+
+#include <cstdio>
+
+#include "localut.h"
+
+int
+main()
+{
+    using namespace localut;
+
+    // 1. A PIM system model: the paper's 32-rank UPMEM server (2048 DPUs,
+    //    64 MB MRAM + 64 KB WRAM per DPU, 350 MHz in-order cores).
+    const PimSystemConfig system = PimSystemConfig::upmemServer();
+    const GemmEngine engine(system);
+
+    // 2. A quantized GEMM problem: W1A3 = signed-binary weights, 3-bit
+    //    two's-complement activations (paper Fig. 2).
+    const QuantConfig config = QuantConfig::preset("W1A3");
+    const GemmProblem problem = makeRandomProblem(256, 256, 64, config);
+
+    // 3. Run the full LoCaLUT stack and the baselines.
+    const auto reference = referenceGemmInt(problem.w, problem.a);
+    std::printf("%-10s %-12s %-8s %-6s %-9s %s\n", "design", "time",
+                "energy", "p", "stream", "bit-exact");
+    for (DesignPoint dp :
+         {DesignPoint::NaivePim, DesignPoint::Ltc, DesignPoint::OpLut,
+          DesignPoint::OpLc, DesignPoint::OpLcRc, DesignPoint::LoCaLut}) {
+        const GemmPlan plan = engine.plan(problem, dp);
+        const GemmResult result = engine.run(problem, plan);
+        std::printf("%-10s %9.3f us %6.2f mJ %-6u %-9s %s\n",
+                    designPointName(dp), result.timing.total * 1e6,
+                    result.energy.total * 1e3, plan.p,
+                    plan.streaming ? "yes" : "no",
+                    result.outInt == reference ? "yes" : "NO!");
+    }
+
+    // 4. Inspect the planner's reasoning for LoCaLUT.
+    const GemmPlan plan = engine.plan(problem, DesignPoint::LoCaLut);
+    std::printf("\nLoCaLUT plan: p=%u, k=%u, %s, grid %ux%u "
+                "(%u DPUs), WRAM LUT bytes=%llu\n",
+                plan.p, plan.kSlices,
+                plan.streaming ? "slice streaming" : "buffer-resident",
+                plan.gM, plan.gN, plan.dpusUsed(),
+                static_cast<unsigned long long>(plan.lutWramBytes));
+    return 0;
+}

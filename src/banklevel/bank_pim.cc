@@ -1,0 +1,162 @@
+#include "banklevel/bank_pim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "lut/capacity.h"
+#include "lut/lut_shape.h"
+
+namespace localut {
+
+double
+BankLevelPim::streamingReadCycles(double nReads) const
+{
+    if (nReads <= 0) {
+        return 0;
+    }
+    // Measure one full row's streaming cost on the FSM, then scale.
+    // Successive reads to the open row pipeline at tCCD (issue-time
+    // chaining); the row switch pays PRE + ACT + tRCD.
+    const unsigned readsPerRow =
+        config_.dram.rowBytes / config_.dram.burstBytes;
+    DramBank bank(config_.dram);
+    std::uint64_t t = bank.issue(DramCommand::Act, 0, 0);
+    for (unsigned r = 0; r < readsPerRow; ++r) {
+        t = bank.issue(DramCommand::Rd, 0, t);
+    }
+    const std::uint64_t afterRow0 = t;
+    t = bank.issue(DramCommand::Pre, 0, t);
+    t = bank.issue(DramCommand::Act, 1, t);
+    for (unsigned r = 0; r < readsPerRow; ++r) {
+        t = bank.issue(DramCommand::Rd, 1, t);
+    }
+    const double perRow = static_cast<double>(t - afterRow0);
+    const double rows = nReads / readsPerRow;
+    return static_cast<double>(afterRow0) + std::max(0.0, rows - 1) * perRow;
+}
+
+namespace {
+
+/** Bank-grid partition mirroring the DPU partitioner: maximize usage. */
+void
+partition(std::size_t m, std::size_t n, unsigned banks, double& tileM,
+          double& tileN, unsigned& used)
+{
+    const unsigned gN = static_cast<unsigned>(
+        std::min<std::size_t>(n, banks));
+    const unsigned gM = static_cast<unsigned>(std::min<std::size_t>(
+        m, std::max<unsigned>(1, banks / gN)));
+    tileM = std::ceil(static_cast<double>(m) / gM);
+    tileN = std::ceil(static_cast<double>(n) / gN);
+    used = gM * gN;
+}
+
+} // namespace
+
+BankPimResult
+BankLevelPim::simdGemm(std::size_t m, std::size_t k, std::size_t n) const
+{
+    double tileM, tileN;
+    unsigned used;
+    partition(m, n, config_.totalBanks(), tileM, tileN, used);
+
+    // Weights stream as 256-bit bursts; one PIM MAC command per burst.
+    const double macs = tileM * static_cast<double>(k) * tileN;
+    const double weightCmds = macs / config_.simdLanes;
+    // Input vector loads (fp16) and output writebacks.
+    const double actCmds =
+        static_cast<double>(k) * tileN * 2.0 / config_.dram.burstBytes;
+    const double outCmds = tileM * tileN * 2.0 / config_.dram.burstBytes;
+
+    BankPimResult result;
+    result.commands = weightCmds + actCmds + outCmds;
+    result.cycles = streamingReadCycles(result.commands);
+    result.seconds = result.cycles * config_.dram.tCkNs * 1e-9;
+
+    const double rowActs =
+        result.commands /
+        (config_.dram.rowBytes / config_.dram.burstBytes);
+    const double dynamicPj =
+        rowActs * config_.dramEnergy.pjPerAct +
+        result.commands * config_.dramEnergy.pjPerRdBurst +
+        macs * config_.pjPerMacFp16;
+    result.energyJ =
+        used * dynamicPj * 1e-12 +
+        config_.totalBanks() * config_.dramEnergy.backgroundMwPerBank *
+            1e-3 * result.seconds;
+    return result;
+}
+
+unsigned
+BankLevelPim::choosePackingDegree(const QuantConfig& config,
+                                  unsigned outBytes) const
+{
+    const std::uint64_t bankBudget = static_cast<std::uint64_t>(
+        config_.bankLutFraction * static_cast<double>(config_.bankBytes));
+    unsigned best = 0;
+    for (unsigned p = 1; p <= 12; ++p) {
+        const LutShape shape(config, p, outBytes);
+        // The canonical slice must fit one 512 B LUT unit...
+        if (shape.weightRows() * outBytes > config_.lutUnitBytes) {
+            break;
+        }
+        // ...and the full canonical + reordering LUTs must fit the bank.
+        if (localutBytes(shape) > bankBudget) {
+            continue;
+        }
+        best = p;
+    }
+    return best;
+}
+
+BankPimResult
+BankLevelPim::lutGemm(std::size_t m, std::size_t k, std::size_t n,
+                      const QuantConfig& config, unsigned outBytes) const
+{
+    const unsigned p = choosePackingDegree(config, outBytes);
+    LOCALUT_REQUIRE(p >= 1, "no packing degree fits the LUT units for ",
+                    config.name());
+    const LutShape shape(config, p, outBytes);
+
+    double tileM, tileN;
+    unsigned used;
+    partition(m, n, config_.totalBanks(), tileM, tileN, used);
+
+    const double groups = std::ceil(static_cast<double>(k) / p);
+    const double lookups = tileM * groups * tileN;
+    // Each command feeds all lutUnits with packed weight vectors; the
+    // sustained rate is derated by the utilization factor.
+    const double lookupCmds =
+        lookups / config_.lutUnits / config_.lutUtilization;
+    // Slice streaming: one (canonical + reordering) column pair per
+    // activation group instance, read from the bank as bursts.
+    const double slicePairBytes =
+        static_cast<double>(shape.weightRows()) *
+        (outBytes + static_cast<double>(reorderEntryBytes(shape)));
+    const double sliceCmds =
+        groups * tileN * slicePairBytes / config_.dram.burstBytes;
+    const double outCmds = tileM * tileN * 4.0 / config_.dram.burstBytes;
+
+    BankPimResult result;
+    result.p = p;
+    result.commands = lookupCmds + sliceCmds + outCmds;
+    result.cycles = streamingReadCycles(result.commands);
+    result.seconds = result.cycles * config_.dram.tCkNs * 1e-9;
+
+    const double rowActs =
+        result.commands /
+        (config_.dram.rowBytes / config_.dram.burstBytes);
+    const double dynamicPj =
+        rowActs * config_.dramEnergy.pjPerAct +
+        result.commands * config_.dramEnergy.pjPerRdBurst +
+        lookups * config_.pjPerLookup;
+    result.energyJ =
+        used * dynamicPj * 1e-12 +
+        config_.totalBanks() * config_.dramEnergy.backgroundMwPerBank *
+            1e-3 * result.seconds;
+    return result;
+}
+
+} // namespace localut

@@ -1,0 +1,89 @@
+#ifndef LOCALUT_BANKLEVEL_BANK_PIM_H_
+#define LOCALUT_BANKLEVEL_BANK_PIM_H_
+
+/**
+ * @file
+ * Command-level model of bank-level PIM (paper Section VI-K, Fig. 20/21):
+ *
+ *  - the HBM-PIM-style SIMD baseline: one PIM instruction per CAS command,
+ *    16 fp16 MAC lanes per bank fed by 256-bit bursts;
+ *  - the LoCaLUT redesign: sixteen 512 B canonical-LUT units per bank plus
+ *    reordering-LUT storage, with LUT slice streaming from the bank.
+ *
+ * Both designs are driven by DRAM command streams through the same HBM2
+ * bank timing state machine (src/dram), so their ratio depends only on
+ * command counts — the same abstraction the paper's Ramulator-based study
+ * uses.
+ */
+
+#include "dram/timing.h"
+#include "quant/quantizer.h"
+
+namespace localut {
+
+/** Bank-level PIM system parameters. */
+struct BankPimConfig {
+    DramTimingParams dram = DramTimingParams::hbm2();
+    DramEnergyParams dramEnergy = DramEnergyParams::hbm2();
+    unsigned channels = 32;        ///< pseudo-channels across the stack
+    unsigned banksPerChannel = 16;
+    unsigned simdLanes = 16;       ///< fp16 MACs per command (HBM-PIM)
+    unsigned lutUnits = 16;        ///< canonical LUT units per bank
+    unsigned lutUnitBytes = 512;   ///< SRAM per canonical LUT unit
+    /**
+     * Sustained LUT-unit utilization: slice-switch bubbles, index-stream
+     * alignment, and bank-group command restrictions keep the lookup
+     * pipeline below one full 16-lookup command per tCCD.
+     */
+    double lutUtilization = 0.7;
+    double bankLutFraction = 0.5;  ///< bank capacity devoted to LUTs
+    std::size_t bankBytes = std::size_t{64} << 20;
+    double pjPerMacFp16 = 1.5;     ///< SIMD lane energy per MAC
+    double pjPerLookup = 1.0;      ///< LUT unit energy (both SRAM accesses)
+
+    unsigned totalBanks() const { return channels * banksPerChannel; }
+};
+
+/** Outcome of one bank-level GEMM. */
+struct BankPimResult {
+    double cycles = 0;   ///< DRAM-clock cycles on the critical bank
+    double seconds = 0;
+    double commands = 0; ///< column commands issued on the critical bank
+    double energyJ = 0;  ///< whole-device energy
+    unsigned p = 1;      ///< packing degree (LUT design only)
+};
+
+/** Bank-level PIM GEMM models. */
+class BankLevelPim
+{
+  public:
+    explicit BankLevelPim(const BankPimConfig& config) : config_(config) {}
+
+    const BankPimConfig& config() const { return config_; }
+
+    /** HBM-PIM SIMD baseline (fp16 MAC lanes). */
+    BankPimResult simdGemm(std::size_t m, std::size_t k,
+                           std::size_t n) const;
+
+    /** LoCaLUT redesign with slice streaming. */
+    BankPimResult lutGemm(std::size_t m, std::size_t k, std::size_t n,
+                          const QuantConfig& config,
+                          unsigned outBytes = 2) const;
+
+    /** Largest packing degree for @p config under unit + bank budgets. */
+    unsigned choosePackingDegree(const QuantConfig& config,
+                                 unsigned outBytes = 2) const;
+
+    /**
+     * Cycles to stream @p nReads sequential column bursts through rows,
+     * measured on the DramBank state machine (not a closed form).
+     */
+    double streamingReadCycles(double nReads) const;
+
+  private:
+    BankPimConfig config_;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_BANKLEVEL_BANK_PIM_H_

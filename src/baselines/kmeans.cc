@@ -1,0 +1,131 @@
+#include "baselines/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace localut {
+
+namespace {
+
+double
+distance(const float* a, const float* b, std::size_t dim,
+         DistanceMetric metric)
+{
+    double d = 0.0;
+    if (metric == DistanceMetric::L2) {
+        for (std::size_t i = 0; i < dim; ++i) {
+            const double diff = a[i] - b[i];
+            d += diff * diff;
+        }
+    } else {
+        for (std::size_t i = 0; i < dim; ++i) {
+            d += std::fabs(a[i] - b[i]);
+        }
+    }
+    return d;
+}
+
+} // namespace
+
+std::uint32_t
+nearestCentroid(const float* point, const std::vector<float>& centroids,
+                std::size_t dim, DistanceMetric metric)
+{
+    const std::size_t k = centroids.size() / dim;
+    std::uint32_t best = 0;
+    double bestD = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < k; ++c) {
+        const double d = distance(point, &centroids[c * dim], dim, metric);
+        if (d < bestD) {
+            bestD = d;
+            best = static_cast<std::uint32_t>(c);
+        }
+    }
+    return best;
+}
+
+KMeansResult
+kmeans(const std::vector<float>& points, std::size_t n, std::size_t dim,
+       unsigned k, unsigned iterations, DistanceMetric metric,
+       std::uint64_t seed)
+{
+    LOCALUT_REQUIRE(points.size() == n * dim, "kmeans shape mismatch");
+    LOCALUT_REQUIRE(k >= 1 && n >= k, "need at least k points");
+    Rng rng(seed);
+
+    KMeansResult result;
+    result.centroids.resize(static_cast<std::size_t>(k) * dim);
+    result.assignments.resize(n);
+
+    // k-means++ seeding.
+    std::vector<double> minDist(n, std::numeric_limits<double>::infinity());
+    std::size_t first = static_cast<std::size_t>(rng.nextBounded(n));
+    std::copy(points.begin() + static_cast<std::ptrdiff_t>(first * dim),
+              points.begin() + static_cast<std::ptrdiff_t>((first + 1) * dim),
+              result.centroids.begin());
+    for (unsigned c = 1; c < k; ++c) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const double d = distance(&points[i * dim],
+                                      &result.centroids[(c - 1) * dim], dim,
+                                      metric);
+            minDist[i] = std::min(minDist[i], d);
+            total += minDist[i];
+        }
+        double target = rng.nextDouble() * total;
+        std::size_t chosen = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            target -= minDist[i];
+            if (target <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        std::copy(
+            points.begin() + static_cast<std::ptrdiff_t>(chosen * dim),
+            points.begin() + static_cast<std::ptrdiff_t>((chosen + 1) * dim),
+            result.centroids.begin() + static_cast<std::ptrdiff_t>(
+                                           static_cast<std::size_t>(c) * dim));
+    }
+
+    // Lloyd iterations.
+    std::vector<double> sums(static_cast<std::size_t>(k) * dim);
+    std::vector<std::size_t> counts(k);
+    for (unsigned iter = 0; iter < iterations; ++iter) {
+        std::fill(sums.begin(), sums.end(), 0.0);
+        std::fill(counts.begin(), counts.end(), std::size_t{0});
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t c = nearestCentroid(
+                &points[i * dim], result.centroids, dim, metric);
+            result.assignments[i] = c;
+            ++counts[c];
+            for (std::size_t d = 0; d < dim; ++d) {
+                sums[c * dim + d] += points[i * dim + d];
+            }
+        }
+        for (unsigned c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                continue; // keep the old centroid for empty clusters
+            }
+            for (std::size_t d = 0; d < dim; ++d) {
+                result.centroids[c * dim + d] = static_cast<float>(
+                    sums[c * dim + d] / static_cast<double>(counts[c]));
+            }
+        }
+    }
+
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        result.assignments[i] = nearestCentroid(
+            &points[i * dim], result.centroids, dim, metric);
+        result.inertia += distance(
+            &points[i * dim],
+            &result.centroids[result.assignments[i] * dim], dim, metric);
+    }
+    return result;
+}
+
+} // namespace localut

@@ -1,0 +1,40 @@
+#ifndef LOCALUT_BASELINES_KMEANS_H_
+#define LOCALUT_BASELINES_KMEANS_H_
+
+/**
+ * @file
+ * Deterministic k-means (k-means++ seeding, Lloyd iterations) for the
+ * product-quantization baselines (PIM-DL, LUT-DLA).
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace localut {
+
+/** Distance metric for centroid assignment (LUT-DLA supports L1 and L2). */
+enum class DistanceMetric { L1, L2 };
+
+/** k-means result: centroids (k x dim) and per-point assignments. */
+struct KMeansResult {
+    std::vector<float> centroids; ///< k x dim row-major
+    std::vector<std::uint32_t> assignments;
+    double inertia = 0.0; ///< sum of distances to assigned centroids
+};
+
+/**
+ * Clusters @p points (n x dim row-major) into @p k centroids.
+ * Deterministic for a fixed seed.
+ */
+KMeansResult kmeans(const std::vector<float>& points, std::size_t n,
+                    std::size_t dim, unsigned k, unsigned iterations,
+                    DistanceMetric metric, std::uint64_t seed = 1);
+
+/** Index of the nearest centroid to @p point under @p metric. */
+std::uint32_t nearestCentroid(const float* point,
+                              const std::vector<float>& centroids,
+                              std::size_t dim, DistanceMetric metric);
+
+} // namespace localut
+
+#endif // LOCALUT_BASELINES_KMEANS_H_

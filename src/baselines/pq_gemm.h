@@ -1,0 +1,79 @@
+#ifndef LOCALUT_BASELINES_PQ_GEMM_H_
+#define LOCALUT_BASELINES_PQ_GEMM_H_
+
+/**
+ * @file
+ * Product-quantization GEMM baselines (paper Section VI-F/G):
+ *
+ *  - PIM-DL: activation sub-vectors are approximated by codebook
+ *    centroids; the PIM gathers precomputed LUT entries
+ *    LUT[m][subspace][centroid] = dot(W_m subvector, centroid) and adds
+ *    them.  Centroid *selection* (nearest-centroid search per activation
+ *    sub-vector) runs on the host and dominates there (paper Fig. 16a).
+ *
+ *  - LUT-DLA: the same scheme with hardware-accelerated centroid
+ *    selection and a choice of L1 or L2 similarity.
+ *
+ * Unlike the LoCaLUT design points, PQ execution is approximate: it
+ * returns float outputs whose error comes from codebook reconstruction.
+ */
+
+#include <vector>
+
+#include "baselines/kmeans.h"
+#include "upmem/cost_model.h"
+#include "upmem/params.h"
+
+namespace localut {
+
+/** PQ configuration. */
+struct PqParams {
+    unsigned subvecLen = 8;    ///< d: activation sub-vector length along K
+    unsigned centroids = 16;   ///< c: codebook size per subspace
+    unsigned kmeansIters = 12;
+    DistanceMetric metric = DistanceMetric::L2;
+    /**
+     * Host-op discount for hardware-accelerated centroid selection
+     * (LUT-DLA integrates a similarity engine; PIM-DL runs on CPU cores).
+     */
+    double centroidSelectSpeedup = 1.0;
+    std::uint64_t seed = 3;
+};
+
+/** Named baselines from the paper. */
+PqParams pimDlParams();
+PqParams lutDlaParams(DistanceMetric metric);
+
+/** PQ execution outcome. */
+struct PqGemmResult {
+    std::vector<float> out; ///< M x N approximate product
+    KernelCost cost;
+    TimingReport timing;
+    EnergyReport energy;
+    double codebookInertia = 0.0; ///< training reconstruction error
+};
+
+/**
+ * Runs an approximate GEMM O = W * A with float inputs (row-major).
+ * Codebooks are trained on the activation matrix itself (the calibration
+ * best case for PQ; see DESIGN.md).
+ */
+class PqGemmEngine
+{
+  public:
+    PqGemmEngine(const PimSystemConfig& system, const PqParams& params)
+        : system_(system), params_(params)
+    {}
+
+    PqGemmResult run(const std::vector<float>& w, const std::vector<float>& a,
+                     std::size_t m, std::size_t k, std::size_t n,
+                     bool computeValues = true) const;
+
+  private:
+    PimSystemConfig system_;
+    PqParams params_;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_BASELINES_PQ_GEMM_H_

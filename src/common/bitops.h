@@ -1,0 +1,84 @@
+#ifndef LOCALUT_COMMON_BITOPS_H_
+#define LOCALUT_COMMON_BITOPS_H_
+
+/**
+ * @file
+ * Bit-field packing helpers used for packed weight/activation indices.
+ * A packed vector of p fields of b bits each places element i at bit i*b
+ * (element 0 in the least significant bits).
+ */
+
+#include <cstdint>
+#include <span>
+
+#include "common/logging.h"
+
+namespace localut {
+
+/** Mask with the low @p bits set. @p bits must be <= 63. */
+constexpr std::uint64_t
+lowMask(unsigned bits)
+{
+    return (std::uint64_t{1} << bits) - 1;
+}
+
+/** Extracts field @p i of width @p bits from @p packed. */
+constexpr std::uint32_t
+extractField(std::uint64_t packed, unsigned i, unsigned bits)
+{
+    return static_cast<std::uint32_t>((packed >> (i * bits)) & lowMask(bits));
+}
+
+/** Packs @p codes (each < 2^bits) into a single integer, element 0 low. */
+inline std::uint64_t
+packCodes(std::span<const std::uint16_t> codes, unsigned bits)
+{
+    LOCALUT_ASSERT(codes.size() * bits <= 64, "packed vector exceeds 64 bits");
+    std::uint64_t packed = 0;
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+        LOCALUT_ASSERT(codes[i] <= lowMask(bits), "code out of range");
+        packed |= std::uint64_t{codes[i]} << (i * bits);
+    }
+    return packed;
+}
+
+/** Unpacks @p packed into @p out (size p), inverse of packCodes(). */
+inline void
+unpackCodes(std::uint64_t packed, unsigned bits, std::span<std::uint16_t> out)
+{
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = static_cast<std::uint16_t>(extractField(packed, i, bits));
+    }
+}
+
+/** Number of whole bytes needed to hold @p bits. */
+constexpr std::uint64_t
+bytesForBits(std::uint64_t bits)
+{
+    return (bits + 7) / 8;
+}
+
+/** Bits needed to index a space of @p count values: ceil(log2(count)). */
+constexpr unsigned
+ceilLog2(std::uint64_t count)
+{
+    unsigned bits = 0;
+    std::uint64_t cap = 1;
+    while (cap < count) {
+        cap <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Integer ceil division. */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace localut
+
+#endif // LOCALUT_COMMON_BITOPS_H_

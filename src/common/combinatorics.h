@@ -1,0 +1,69 @@
+#ifndef LOCALUT_COMMON_COMBINATORICS_H_
+#define LOCALUT_COMMON_COMBINATORICS_H_
+
+/**
+ * @file
+ * Combinatorial primitives behind LUT canonicalization:
+ *  - binomial coefficients (exact, 64-bit, overflow-checked),
+ *  - multiset (sorted tuple) ranking/unranking — the canonical-LUT column
+ *    index of paper Eq. (1),
+ *  - permutation (Lehmer code) ranking/unranking — the reordering-LUT column
+ *    index,
+ *  - stable argsort used to derive the sorted permutation of an activation
+ *    group.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace localut {
+
+/** Exact C(n, k); panics on 64-bit overflow. C(n,k)=0 when k > n. */
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+
+/** Exact n! for n <= 20; panics beyond. */
+std::uint64_t factorial(unsigned n);
+
+/**
+ * Number of multisets of size @p p over an alphabet of @p alphabet symbols:
+ * C(alphabet + p - 1, p).  This is the canonical-LUT column count
+ * (paper Eq. 1, written there as 2^ba H p).
+ */
+std::uint64_t multisetCount(std::uint64_t alphabet, unsigned p);
+
+/**
+ * Rank of a sorted (ascending, repeats allowed) tuple over [0, alphabet)
+ * within all such tuples, in [0, multisetCount(alphabet, p)).
+ *
+ * Implementation: map x_i -> z_i = x_i + i (strictly increasing) and take the
+ * colexicographic rank sum C(z_i, i + 1) over the combinations of
+ * alphabet + p - 1 choose p.
+ */
+std::uint64_t multisetRank(std::span<const std::uint16_t> sorted,
+                           std::uint64_t alphabet);
+
+/** Inverse of multisetRank(); fills @p out (size p) with the sorted tuple. */
+void multisetUnrank(std::uint64_t rank, std::uint64_t alphabet,
+                    std::span<std::uint16_t> out);
+
+/**
+ * Lehmer (factorial number system) rank of a permutation of [0, n) in
+ * lexicographic order, in [0, n!).
+ */
+std::uint32_t permutationRank(std::span<const std::uint8_t> perm);
+
+/** Inverse of permutationRank(); fills @p out (size n). */
+void permutationUnrank(std::uint32_t rank, std::span<std::uint8_t> out);
+
+/**
+ * Stable argsort: returns perm such that codes[perm[0]] <= codes[perm[1]]
+ * <= ... with ties broken by original position (so the permutation is a
+ * deterministic function of the input, as required for host/device
+ * agreement on reordering-LUT columns).
+ */
+std::vector<std::uint8_t> stableArgsort(std::span<const std::uint16_t> codes);
+
+} // namespace localut
+
+#endif // LOCALUT_COMMON_COMBINATORICS_H_

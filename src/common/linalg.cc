@@ -1,0 +1,82 @@
+#include "common/linalg.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace localut {
+
+void
+matmulAcc(const float* a, const float* b, float* c, std::size_t m,
+          std::size_t k, std::size_t n)
+{
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float av = a[i * k + kk];
+            if (av == 0.0f) {
+                continue;
+            }
+            for (std::size_t j = 0; j < n; ++j) {
+                c[i * n + j] += av * b[kk * n + j];
+            }
+        }
+    }
+}
+
+std::vector<float>
+matmul(const std::vector<float>& a, const std::vector<float>& b,
+       std::size_t m, std::size_t k, std::size_t n)
+{
+    LOCALUT_ASSERT(a.size() == m * k && b.size() == k * n,
+                   "matmul shape mismatch");
+    std::vector<float> c(m * n, 0.0f);
+    matmulAcc(a.data(), b.data(), c.data(), m, k, n);
+    return c;
+}
+
+std::vector<float>
+solveSpd(std::vector<float> a, std::vector<float> b, std::size_t n,
+         std::size_t r, float lambda)
+{
+    LOCALUT_ASSERT(a.size() == n * n && b.size() == n * r,
+                   "solveSpd shape mismatch");
+    for (std::size_t i = 0; i < n; ++i) {
+        a[i * n + i] += lambda;
+    }
+    // In-place Cholesky: A = L L^T (lower triangle).
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double sum = a[i * n + j];
+            for (std::size_t kk = 0; kk < j; ++kk) {
+                sum -= static_cast<double>(a[i * n + kk]) * a[j * n + kk];
+            }
+            if (i == j) {
+                LOCALUT_REQUIRE(sum > 0.0,
+                                "matrix not positive definite at row ", i);
+                a[i * n + i] = static_cast<float>(std::sqrt(sum));
+            } else {
+                a[i * n + j] = static_cast<float>(sum / a[j * n + j]);
+            }
+        }
+    }
+    // Solve L Y = B, then L^T X = Y, column block at once.
+    for (std::size_t col = 0; col < r; ++col) {
+        for (std::size_t i = 0; i < n; ++i) {
+            double sum = b[i * r + col];
+            for (std::size_t kk = 0; kk < i; ++kk) {
+                sum -= static_cast<double>(a[i * n + kk]) * b[kk * r + col];
+            }
+            b[i * r + col] = static_cast<float>(sum / a[i * n + i]);
+        }
+        for (std::size_t i = n; i-- > 0;) {
+            double sum = b[i * r + col];
+            for (std::size_t kk = i + 1; kk < n; ++kk) {
+                sum -= static_cast<double>(a[kk * n + i]) * b[kk * r + col];
+            }
+            b[i * r + col] = static_cast<float>(sum / a[i * n + i]);
+        }
+    }
+    return b;
+}
+
+} // namespace localut

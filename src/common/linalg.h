@@ -1,0 +1,34 @@
+#ifndef LOCALUT_COMMON_LINALG_H_
+#define LOCALUT_COMMON_LINALG_H_
+
+/**
+ * @file
+ * Tiny dense linear-algebra helpers for the accuracy-proxy harness
+ * (ridge-regression readout): row-major float GEMM and an SPD solver.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace localut {
+
+/** C(MxN) += A(MxK) * B(KxN), row-major. */
+void matmulAcc(const float* a, const float* b, float* c, std::size_t m,
+               std::size_t k, std::size_t n);
+
+/** C = A * B convenience returning a fresh vector. */
+std::vector<float> matmul(const std::vector<float>& a,
+                          const std::vector<float>& b, std::size_t m,
+                          std::size_t k, std::size_t n);
+
+/**
+ * Solves (A + lambda I) X = B for X, where A is n x n symmetric positive
+ * definite and B is n x r, via Cholesky decomposition.  A and B are
+ * row-major; returns X (n x r).
+ */
+std::vector<float> solveSpd(std::vector<float> a, std::vector<float> b,
+                            std::size_t n, std::size_t r, float lambda);
+
+} // namespace localut
+
+#endif // LOCALUT_COMMON_LINALG_H_

@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace localut {
+namespace detail {
+
+namespace {
+
+/**
+ * Throwing (instead of aborting) lets the test suite exercise failure paths;
+ * both exception types derive from std::runtime_error so callers outside the
+ * tests never need to distinguish them.
+ */
+struct FatalError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+struct PanicError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+} // namespace
+
+void
+fatalImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    throw FatalError(msg);
+}
+
+void
+panicImpl(const char* file, int line, const std::string& msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    throw PanicError(msg);
+}
+
+void
+warnImpl(const std::string& msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string& msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace localut

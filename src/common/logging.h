@@ -1,0 +1,80 @@
+#ifndef LOCALUT_COMMON_LOGGING_H_
+#define LOCALUT_COMMON_LOGGING_H_
+
+/**
+ * @file
+ * Status-message and error helpers following the gem5 discipline:
+ * inform()/warn() report conditions without stopping, fatal() terminates on
+ * user error (bad configuration), panic() terminates on internal invariant
+ * violations (a bug in this library).
+ */
+
+#include <sstream>
+#include <string>
+
+namespace localut {
+
+namespace detail {
+
+/** Concatenates all arguments through an ostringstream. */
+template <typename... Args>
+std::string
+strCat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void fatalImpl(const char* file, int line, const std::string& msg);
+[[noreturn]] void panicImpl(const char* file, int line, const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+} // namespace detail
+
+/** Reports a condition the user should know about but not worry over. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::informImpl(detail::strCat(std::forward<Args>(args)...));
+}
+
+/** Reports suspicious-but-survivable conditions. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::warnImpl(detail::strCat(std::forward<Args>(args)...));
+}
+
+} // namespace localut
+
+/** Terminates on user error (bad configuration / invalid arguments). */
+#define LOCALUT_FATAL(...) \
+    ::localut::detail::fatalImpl(__FILE__, __LINE__, \
+                                 ::localut::detail::strCat(__VA_ARGS__))
+
+/** Terminates on an internal bug (should never happen regardless of input). */
+#define LOCALUT_PANIC(...) \
+    ::localut::detail::panicImpl(__FILE__, __LINE__, \
+                                 ::localut::detail::strCat(__VA_ARGS__))
+
+/** Invariant check that panics (library bug) when violated. */
+#define LOCALUT_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            LOCALUT_PANIC("assertion failed: ", #cond, ": ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+/** Precondition check that fatals (user error) when violated. */
+#define LOCALUT_REQUIRE(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            LOCALUT_FATAL("requirement failed: ", #cond, ": ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // LOCALUT_COMMON_LOGGING_H_

@@ -1,0 +1,95 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace localut {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    LOCALUT_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    LOCALUT_ASSERT(cells.size() == headers_.size(),
+                   "row width ", cells.size(), " != header width ",
+                   headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double value, int precision)
+{
+    std::ostringstream os;
+    os.precision(precision);
+    os << value;
+    return os.str();
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream os;
+    auto emitRow = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) {
+                os << std::string(widths[c] - row[c].size() + 2, ' ');
+            }
+        }
+        os << '\n';
+    };
+
+    emitRow(headers_);
+    std::size_t totalWidth = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        totalWidth += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    }
+    os << std::string(totalWidth, '-') << '\n';
+    for (const auto& row : rows_) {
+        emitRow(row);
+    }
+    return os.str();
+}
+
+std::string
+Table::renderCsv() const
+{
+    std::ostringstream os;
+    auto emitRow = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size()) {
+                os << ',';
+            }
+        }
+        os << '\n';
+    };
+    emitRow(headers_);
+    for (const auto& row : rows_) {
+        emitRow(row);
+    }
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+} // namespace localut

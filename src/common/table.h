@@ -1,0 +1,44 @@
+#ifndef LOCALUT_COMMON_TABLE_H_
+#define LOCALUT_COMMON_TABLE_H_
+
+/**
+ * @file
+ * Aligned table printer for the benchmark harnesses.  Every bench binary
+ * prints the same rows/series the corresponding paper figure plots, so the
+ * output needs to be easy to eyeball and to machine-parse (CSV mode).
+ */
+
+#include <string>
+#include <vector>
+
+namespace localut {
+
+/** Column-aligned text table with an optional CSV rendering. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Appends a row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: formats doubles with @p precision significant digits. */
+    static std::string fmt(double value, int precision = 4);
+
+    /** Renders with aligned columns. */
+    std::string render() const;
+
+    /** Renders as CSV. */
+    std::string renderCsv() const;
+
+    /** Prints render() to stdout. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_COMMON_TABLE_H_

@@ -1,0 +1,80 @@
+#include "hostsim/roofline.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+
+namespace localut {
+
+RooflineDevice
+RooflineDevice::xeonGold5215()
+{
+    RooflineDevice d;
+    d.name = "Xeon Gold 5215";
+    // 10 cores x 2.5 GHz x 2 FMA ports x 16 fp32 lanes ~ 0.8 TMAC/s; the
+    // quantized path runs through scalar/AVX2-style unpack + int32 MACs.
+    d.peakOpsPerSec = 0.8e12;
+    d.memBytesPerSec = 115e9; // 6 channels DDR4-2666
+    d.efficiency = 0.35;
+    d.unpackOpsPerMac = 4.0; // extract, sign-extend, widen per operand pair
+    d.pcieBytesPerSec = 0;   // data host-resident
+    d.watts = 85.0;
+    return d;
+}
+
+RooflineDevice
+RooflineDevice::rtx2080Ti()
+{
+    RooflineDevice d;
+    d.name = "RTX 2080 Ti";
+    // Sub-byte GEMM has no tensor-core path; it executes as dp4a/fp16 CUDA
+    // core work after a per-operand extract/convert sequence.
+    d.peakOpsPerSec = 13.45e12;
+    d.memBytesPerSec = 616e9;
+    d.efficiency = 0.35;
+    d.unpackOpsPerMac = 6.0; // load, shift, mask, convert per operand pair
+    d.pcieBytesPerSec = 11e9; // PCIe 3.0 x16 effective
+    d.watts = 250.0;
+    return d;
+}
+
+RooflineResult
+rooflineGemm(const RooflineDevice& device, std::size_t m, std::size_t k,
+             std::size_t n, unsigned bw, unsigned ba)
+{
+    const double macs = static_cast<double>(m) * k * n;
+    const double opsPerMac = 1.0 + (bw < 8 || ba < 8
+                                        ? device.unpackOpsPerMac
+                                        : 0.0);
+    double efficiency = device.efficiency;
+    if (k < device.skinnyKThreshold) {
+        efficiency *= device.skinnyKFactor;
+    }
+    RooflineResult r;
+    r.computeSeconds =
+        macs * opsPerMac / (device.peakOpsPerSec * efficiency);
+
+    // Memory traffic: packed operands read once, fp32 output written once.
+    const double bytes =
+        static_cast<double>(bytesForBits(
+            static_cast<std::uint64_t>(m) * k * bw)) +
+        static_cast<double>(bytesForBits(
+            static_cast<std::uint64_t>(k) * n * ba)) +
+        static_cast<double>(m) * n * 4.0;
+    r.memorySeconds = bytes / device.memBytesPerSec;
+
+    if (device.pcieBytesPerSec > 0) {
+        const double xfer =
+            static_cast<double>(bytesForBits(
+                static_cast<std::uint64_t>(k) * n * ba)) +
+            static_cast<double>(m) * n * 4.0;
+        r.transferSeconds = xfer / device.pcieBytesPerSec;
+    }
+
+    r.seconds = std::max(r.computeSeconds, r.memorySeconds) +
+                r.transferSeconds;
+    r.energyJ = r.seconds * device.watts;
+    return r;
+}
+
+} // namespace localut

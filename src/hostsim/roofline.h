@@ -1,0 +1,60 @@
+#ifndef LOCALUT_HOSTSIM_ROOFLINE_H_
+#define LOCALUT_HOSTSIM_ROOFLINE_H_
+
+/**
+ * @file
+ * Roofline models of the conventional comparison devices in the paper's
+ * Fig. 17 (Intel Xeon Gold 5215 CPU, NVIDIA RTX 2080 Ti GPU).  Neither
+ * device has native sub-8-bit arithmetic, so low-bit GEMMs execute through
+ * an unpack/dequantize path at int8/fp16 rate — which is exactly why their
+ * execution time is flat across W1A3..W4A4 while LoCaLUT's scales with the
+ * packing degree.  The GPU additionally pays PCIe transfers for inputs and
+ * the (large) fp32 output.
+ */
+
+#include <cstddef>
+#include <string>
+
+namespace localut {
+
+/** Roofline device description. */
+struct RooflineDevice {
+    std::string name;
+    double peakOpsPerSec;  ///< sustained-peak MAC/s at its native precision
+    double memBytesPerSec; ///< device memory bandwidth
+    double efficiency;     ///< achievable fraction of peak on GEMM
+    double unpackOpsPerMac;///< extra ALU ops to unpack sub-byte operands
+    double pcieBytesPerSec;///< host link (0 = none, data already resident)
+    double watts;          ///< busy power
+    /**
+     * GEMMs with a short reduction dimension reuse each loaded operand
+     * few times, so both devices fall well below their dense-GEMM
+     * efficiency (the Fig. 17 shape has K = 192).
+     */
+    unsigned skinnyKThreshold = 512;
+    double skinnyKFactor = 0.5;
+
+    /** Xeon Gold 5215 (10C/20T, AVX-512). */
+    static RooflineDevice xeonGold5215();
+
+    /** RTX 2080 Ti (Turing, dp4a/fp16 path for quantized GEMM). */
+    static RooflineDevice rtx2080Ti();
+};
+
+/** Time/energy of one low-bit GEMM on a roofline device. */
+struct RooflineResult {
+    double seconds = 0;
+    double computeSeconds = 0;
+    double memorySeconds = 0;
+    double transferSeconds = 0;
+    double energyJ = 0;
+};
+
+/** Models O(MxN) = W(MxK) * A(KxN) with bw-bit weights, ba-bit acts. */
+RooflineResult rooflineGemm(const RooflineDevice& device, std::size_t m,
+                            std::size_t k, std::size_t n, unsigned bw,
+                            unsigned ba);
+
+} // namespace localut
+
+#endif // LOCALUT_HOSTSIM_ROOFLINE_H_

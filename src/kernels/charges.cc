@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Event-cost charging for every design point: the single source of truth
+ * shared by plan-time estimation and execution (GemmEngine::chargeCosts).
+ * See kernels/cost_tables.h for the per-instruction derivations.
+ */
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "kernels/cost_tables.h"
+#include "kernels/gemm.h"
+#include "lut/capacity.h"
+#include "lut/lut_shape.h"
+
+namespace localut {
+
+namespace {
+
+/** Index payload bytes per activation group sent to the PIM, per design. */
+struct IndexBytes {
+    double perGroup = 0; ///< bytes per (group, column) sent host -> PIM
+};
+
+IndexBytes
+indexBytesFor(const GemmPlan& plan)
+{
+    const LutShape shape(plan.config, plan.p);
+    IndexBytes ib;
+    switch (plan.design) {
+      case DesignPoint::NaivePim:
+      case DesignPoint::Ltc:
+        // Raw packed activation codes.
+        ib.perGroup = static_cast<double>(plan.p) * plan.config.ba() / 8.0;
+        break;
+      case DesignPoint::OpLut:
+      case DesignPoint::OpLutDram:
+        // Packed activation vector index.
+        ib.perGroup = static_cast<double>(
+            bytesForBits(static_cast<std::uint64_t>(plan.config.ba()) *
+                         plan.p));
+        break;
+      case DesignPoint::OpLc:
+        // Multiset rank + the raw sorted permutation vector.
+        ib.perGroup = static_cast<double>(
+            bytesForBits(ceilLog2(shape.canonicalColumns())) +
+            bytesForBits(static_cast<std::uint64_t>(plan.p) *
+                         ceilLog2(plan.p)));
+        break;
+      case DesignPoint::OpLcRc:
+      case DesignPoint::LoCaLut:
+        // Multiset rank + Lehmer permutation rank.
+        ib.perGroup = static_cast<double>(
+            bytesForBits(ceilLog2(shape.canonicalColumns())) +
+            bytesForBits(ceilLog2(shape.reorderColumns())));
+        break;
+    }
+    return ib;
+}
+
+} // namespace
+
+KernelCost
+GemmEngine::chargeCosts(const GemmPlan& plan) const
+{
+    KernelCost cost;
+    const double m = static_cast<double>(plan.m);
+    const double k = static_cast<double>(plan.k);
+    const double n = static_cast<double>(plan.n);
+    const double tileM = plan.tileM;
+    const double tileN = plan.tileN;
+    const double groups = plan.groups;
+    const double dpus = plan.dpusUsed();
+    const unsigned bw = plan.config.bw();
+    const unsigned ba = plan.config.ba();
+    const LutShape shape(plan.config, plan.p);
+    const double wVecBytes = static_cast<double>(
+        bytesForBits(static_cast<std::uint64_t>(bw) * plan.p));
+
+    // ---- Host: activation quantization, output dequantization ----
+    cost.addHostOps(Phase::HostQuantize, cost::kHostQuantOpsPerElem * k * n);
+    cost.addHostOps(Phase::HostDequant, cost::kHostDequantOpsPerElem * m * n);
+
+    // ---- Host: group packing / canonicalization ----
+    switch (plan.design) {
+      case DesignPoint::NaivePim:
+      case DesignPoint::Ltc:
+        break; // raw codes, packing folded into quantization
+      case DesignPoint::OpLut:
+      case DesignPoint::OpLutDram:
+        cost.addHostOps(Phase::HostPackSort,
+                        cost::hostPackOpsPerGroup(plan.p) * groups * n);
+        break;
+      default:
+        cost.addHostOps(Phase::HostPackSort,
+                        cost::hostPackSortOpsPerGroup(plan.p) * groups * n);
+        break;
+    }
+
+    // ---- Link: activation payload in (replicated across gM), output ----
+    const IndexBytes ib = indexBytesFor(plan);
+    double actBytesPerDpu;
+    if (plan.design == DesignPoint::NaivePim ||
+        plan.design == DesignPoint::Ltc) {
+        actBytesPerDpu =
+            static_cast<double>(bytesForBits(static_cast<std::uint64_t>(
+                plan.k) * ba)) * tileN;
+    } else {
+        actBytesPerDpu = ib.perGroup * groups * tileN;
+    }
+    cost.addLinkBytes(Phase::LinkActIn, actBytesPerDpu * dpus);
+    cost.addLinkBytes(Phase::LinkOut, m * n * 4.0);
+
+    // ---- DPU: operand DMA (per representative DPU) ----
+    // Weight tile: one DMA per row; packed layout.
+    double wRowBytes;
+    if (plan.design == DesignPoint::NaivePim ||
+        plan.design == DesignPoint::Ltc) {
+        wRowBytes = static_cast<double>(
+            bytesForBits(static_cast<std::uint64_t>(plan.k) * bw));
+    } else {
+        wRowBytes = groups * wVecBytes;
+    }
+    cost.addDma(Phase::OperandDma, tileM * wRowBytes, tileM);
+    // Activation tile: one DMA per column.
+    cost.addDma(Phase::OperandDma, actBytesPerDpu, tileN);
+    // Output writeback.
+    cost.addDma(Phase::OutputDma, tileM * tileN * 4.0, tileM);
+
+    // ---- DPU: compute ----
+    switch (plan.design) {
+      case DesignPoint::NaivePim: {
+        cost.addInstr(Phase::MacCompute,
+                      tileM * tileN * k * cost::naiveInstrPerMac(bw, ba));
+        break;
+      }
+      case DesignPoint::Ltc: {
+        const double groups4 = std::ceil(k / cost::kLtcGroupSize);
+        cost.addInstr(Phase::TableBuild,
+                      groups4 * tileN * cost::kLtcTableEntries *
+                          cost::kLtcTableBuildPerEntry);
+        cost.addInstr(Phase::CanonicalAccess,
+                      tileM * groups4 * tileN * bw *
+                          cost::kLtcInstrPerLookup);
+        break;
+      }
+      case DesignPoint::OpLut: {
+        const double lookups = tileM * groups * tileN;
+        cost.addInstr(Phase::IndexCalc, lookups * cost::kOpIndexCalcInstr);
+        cost.addInstr(Phase::CanonicalAccess,
+                      lookups * cost::kOpLutLoadInstr);
+        cost.addInstr(Phase::Accumulate,
+                      lookups * cost::kOpAccumulateInstr);
+        break;
+      }
+      case DesignPoint::OpLutDram: {
+        // Fig. 3(a): the LUT lives in the DRAM bank, so every lookup is a
+        // minimum-granule DMA access instead of a WRAM load.
+        const double lookups = tileM * groups * tileN;
+        cost.addInstr(Phase::IndexCalc, lookups * cost::kOpIndexCalcInstr);
+        cost.addDma(Phase::CanonicalAccess, lookups * 8.0, lookups);
+        cost.addInstr(Phase::Accumulate,
+                      lookups * cost::kOpAccumulateInstr);
+        break;
+      }
+      case DesignPoint::OpLc: {
+        const double lookups = tileM * groups * tileN;
+        cost.addInstr(Phase::IndexCalc,
+                      lookups * (cost::lcReorderInstr(plan.p) +
+                                 cost::kLcIndexCalcInstr));
+        cost.addInstr(Phase::CanonicalAccess,
+                      lookups * cost::kLcLutLoadInstr);
+        cost.addInstr(Phase::Accumulate,
+                      lookups * cost::kLcAccumulateInstr);
+        break;
+      }
+      case DesignPoint::OpLcRc:
+      case DesignPoint::LoCaLut: {
+        const double lookups = tileM * groups * tileN;
+        if (plan.p == 1) {
+            // Degenerate packing: sorting and reordering are identities,
+            // so the kernel datapath is exactly the OP one.
+            cost.addInstr(Phase::IndexCalc,
+                          lookups * cost::kOpIndexCalcInstr);
+            cost.addInstr(Phase::CanonicalAccess,
+                          lookups * cost::kOpLutLoadInstr);
+            cost.addInstr(Phase::Accumulate,
+                          lookups * cost::kOpAccumulateInstr);
+            break;
+        }
+        double indexCalc = cost::kRcIndexCalcInstr;
+        if (plan.design == DesignPoint::LoCaLut && plan.streaming) {
+            // Slice batching hoists weight fetch + loop bookkeeping.
+            indexCalc = cost::kRcIndexCalcInstr -
+                        cost::kSsAmortizableInstr +
+                        cost::kSsAmortizableInstr / plan.kSlices;
+            // Slice streaming DMA: one (canonical, reordering) column pair
+            // per distinct activation group instance.
+            const double slices = groups * tileN;
+            const double slicePair = static_cast<double>(
+                shape.weightRows() * shape.outBytes +
+                shape.weightRows() * reorderEntryBytes(shape));
+            cost.addDma(Phase::LutLoadDma, slices * slicePair, 2.0 * slices);
+        }
+        cost.addInstr(Phase::IndexCalc, lookups * indexCalc);
+        cost.addInstr(Phase::ReorderAccess,
+                      lookups * cost::kRcReorderLoadInstr);
+        cost.addInstr(Phase::CanonicalAccess,
+                      lookups * cost::kRcCanonicalLoadInstr);
+        cost.addInstr(Phase::Accumulate,
+                      lookups * cost::kRcAccumulateInstr);
+        break;
+      }
+    }
+    return cost;
+}
+
+} // namespace localut

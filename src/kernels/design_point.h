@@ -1,0 +1,31 @@
+#ifndef LOCALUT_KERNELS_DESIGN_POINT_H_
+#define LOCALUT_KERNELS_DESIGN_POINT_H_
+
+/**
+ * @file
+ * The design points evaluated in the paper's Fig. 9/10: the two baselines
+ * (naive MAC PIM, LUT-Tensor-Core-style bit-serial) and the incremental
+ * LoCaLUT stack (OP -> +LC -> +RC -> +SS).
+ */
+
+namespace localut {
+
+/** GEMM execution strategies on the PIM system. */
+enum class DesignPoint {
+    NaivePim,   ///< int MAC on the in-order cores, no LUTs
+    Ltc,        ///< LUT Tensor Core adaptation: runtime activation tables,
+                ///< bit-serial weights (g = 4 activations per lookup)
+    OpLutDram,  ///< operation-packed LUT resident in the DRAM bank
+                ///< (Fig. 3a candidate: every lookup is a DMA access)
+    OpLut,      ///< operation-packed LUT sized for the local buffer
+    OpLc,       ///< + LUT canonicalization (runtime weight reordering)
+    OpLcRc,     ///< + reordering LUT
+    LoCaLut,    ///< + LUT slice streaming with planner-chosen p*, k, placement
+};
+
+/** Stable short name, e.g. "OP+LC+RC". */
+const char* designPointName(DesignPoint dp);
+
+} // namespace localut
+
+#endif // LOCALUT_KERNELS_DESIGN_POINT_H_

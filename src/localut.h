@@ -1,0 +1,36 @@
+#ifndef LOCALUT_LOCALUT_H_
+#define LOCALUT_LOCALUT_H_
+
+/**
+ * @file
+ * Public facade for the LoCaLUT library.  Most applications only need:
+ *
+ *     #include "localut.h"
+ *
+ *     localut::GemmEngine engine(localut::PimSystemConfig::upmemServer());
+ *     auto problem = localut::makeRandomProblem(
+ *         768, 768, 128, localut::QuantConfig::preset("W1A3"));
+ *     auto result = engine.run(problem, localut::DesignPoint::LoCaLut);
+ *
+ * See DESIGN.md for the module map and README.md for a walkthrough.
+ */
+
+#include "baselines/pq_gemm.h"        // IWYU pragma: export
+#include "banklevel/bank_pim.h"       // IWYU pragma: export
+#include "hostsim/roofline.h"         // IWYU pragma: export
+#include "kernels/functional.h"       // IWYU pragma: export
+#include "kernels/gemm.h"             // IWYU pragma: export
+#include "lut/canonical_lut.h"        // IWYU pragma: export
+#include "lut/canonicalizer.h"        // IWYU pragma: export
+#include "lut/capacity.h"             // IWYU pragma: export
+#include "lut/packed_lut.h"           // IWYU pragma: export
+#include "lut/perf_model.h"           // IWYU pragma: export
+#include "lut/planner.h"              // IWYU pragma: export
+#include "lut/reordering_lut.h"       // IWYU pragma: export
+#include "nn/accuracy_proxy.h"        // IWYU pragma: export
+#include "nn/inference.h"             // IWYU pragma: export
+#include "nn/transformer.h"           // IWYU pragma: export
+#include "quant/quantizer.h"          // IWYU pragma: export
+#include "upmem/params.h"             // IWYU pragma: export
+
+#endif // LOCALUT_LOCALUT_H_

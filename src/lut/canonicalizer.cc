@@ -1,0 +1,30 @@
+#include "lut/canonicalizer.h"
+
+#include "common/logging.h"
+
+namespace localut {
+
+ActivationCanonicalizer::ActivationCanonicalizer(const LutShape& shape)
+    : p_(shape.p), alphabet_(shape.aCodec.cardinality())
+{
+    LOCALUT_REQUIRE(p_ >= 1 && p_ <= 12, "packing degree out of range");
+}
+
+CanonicalGroup
+ActivationCanonicalizer::canonicalize(
+    std::span<const std::uint16_t> codes) const
+{
+    LOCALUT_ASSERT(codes.size() == p_, "group size ", codes.size(),
+                   " != p ", p_);
+    CanonicalGroup group;
+    const std::vector<std::uint8_t> perm = stableArgsort(codes);
+    group.sortedCodes.resize(p_);
+    for (unsigned i = 0; i < p_; ++i) {
+        group.sortedCodes[i] = codes[perm[i]];
+    }
+    group.multisetRank = multisetRank(group.sortedCodes, alphabet_);
+    group.permRank = permutationRank(perm);
+    return group;
+}
+
+} // namespace localut

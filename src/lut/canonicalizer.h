@@ -1,0 +1,50 @@
+#ifndef LOCALUT_LUT_CANONICALIZER_H_
+#define LOCALUT_LUT_CANONICALIZER_H_
+
+/**
+ * @file
+ * Host-side activation canonicalization (paper Fig. 4b step 1): sort a
+ * group of p activation codes, producing the canonical-LUT column index
+ * (multiset rank) and the reordering-LUT column index (permutation rank of
+ * the stable argsort).
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "lut/lut_shape.h"
+
+namespace localut {
+
+/** Result of canonicalizing one activation group of p codes. */
+struct CanonicalGroup {
+    std::uint64_t multisetRank = 0;         ///< canonical-LUT column
+    std::uint32_t permRank = 0;             ///< reordering-LUT column
+    std::vector<std::uint16_t> sortedCodes; ///< ascending activation codes
+};
+
+/** Canonicalizes activation groups for a fixed shape. */
+class ActivationCanonicalizer
+{
+  public:
+    explicit ActivationCanonicalizer(const LutShape& shape);
+
+    /**
+     * Canonicalizes @p codes (size p).  The stable argsort guarantees the
+     * permutation is a deterministic function of the codes, so host and
+     * device agree on the reordering-LUT column.
+     */
+    CanonicalGroup canonicalize(std::span<const std::uint16_t> codes) const;
+
+    /** The alphabet size, 2^ba. */
+    std::uint64_t alphabet() const { return alphabet_; }
+
+  private:
+    unsigned p_;
+    std::uint64_t alphabet_;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_LUT_CANONICALIZER_H_

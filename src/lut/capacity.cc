@@ -1,0 +1,103 @@
+#include "lut/capacity.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/bitops.h"
+
+namespace localut {
+
+namespace {
+
+constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+
+/** a * b saturating at UINT64_MAX. */
+std::uint64_t
+satMul(std::uint64_t a, std::uint64_t b)
+{
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+    return wide > kU64Max ? kU64Max : static_cast<std::uint64_t>(wide);
+}
+
+std::uint64_t
+satAdd(std::uint64_t a, std::uint64_t b)
+{
+    return a > kU64Max - b ? kU64Max : a + b;
+}
+
+/** 2^bits saturating. */
+std::uint64_t
+satPow2(std::uint64_t bits)
+{
+    return bits >= 64 ? kU64Max : (std::uint64_t{1} << bits);
+}
+
+} // namespace
+
+std::uint64_t
+opPackedLutBytes(const LutShape& shape)
+{
+    const std::uint64_t idxBits =
+        static_cast<std::uint64_t>(shape.bw() + shape.ba()) * shape.p;
+    return satMul(shape.outBytes, satPow2(idxBits));
+}
+
+std::uint64_t
+canonicalLutBytes(const LutShape& shape)
+{
+    return satMul(shape.outBytes,
+                  satMul(shape.weightRows(), shape.canonicalColumns()));
+}
+
+std::uint64_t
+reorderEntryBytes(const LutShape& shape)
+{
+    return std::max<std::uint64_t>(
+        2, bytesForBits(static_cast<std::uint64_t>(shape.bw()) * shape.p));
+}
+
+std::uint64_t
+reorderingLutBytes(const LutShape& shape)
+{
+    return satMul(reorderEntryBytes(shape),
+                  satMul(shape.weightRows(), shape.reorderColumns()));
+}
+
+std::uint64_t
+localutBytes(const LutShape& shape)
+{
+    return satAdd(canonicalLutBytes(shape), reorderingLutBytes(shape));
+}
+
+double
+totalReductionRate(const LutShape& shape)
+{
+    return static_cast<double>(opPackedLutBytes(shape)) /
+           static_cast<double>(localutBytes(shape));
+}
+
+unsigned
+maxPackingDegree(std::uint64_t budgetBytes, const QuantConfig& cfg,
+                 bool canonicalized, bool withReorderLut, unsigned outBytes,
+                 unsigned pMax)
+{
+    unsigned best = 0;
+    for (unsigned p = 1; p <= pMax; ++p) {
+        const LutShape shape(cfg, p, outBytes);
+        std::uint64_t bytes;
+        if (!canonicalized) {
+            bytes = opPackedLutBytes(shape);
+        } else if (withReorderLut) {
+            bytes = localutBytes(shape);
+        } else {
+            bytes = canonicalLutBytes(shape);
+        }
+        if (bytes <= budgetBytes) {
+            best = p;
+        }
+    }
+    return best;
+}
+
+} // namespace localut

@@ -1,0 +1,54 @@
+#ifndef LOCALUT_LUT_CAPACITY_H_
+#define LOCALUT_LUT_CAPACITY_H_
+
+/**
+ * @file
+ * Capacity model for every LUT variant (paper Section III-A, IV-A/B and
+ * Fig. 6).  All byte counts saturate at UINT64_MAX on overflow — the
+ * non-canonical operation-packed LUT grows as 2^((bw+ba)*p) and overflows
+ * 64 bits for large configurations; saturation keeps budget comparisons
+ * correct (anything that large never fits).
+ */
+
+#include <cstdint>
+
+#include "lut/lut_shape.h"
+
+namespace localut {
+
+/** Bytes of the plain operation-packed LUT: bo * 2^((bw+ba)*p). */
+std::uint64_t opPackedLutBytes(const LutShape& shape);
+
+/** Bytes of the canonical LUT: bo * 2^(bw*p) * C(2^ba + p - 1, p). */
+std::uint64_t canonicalLutBytes(const LutShape& shape);
+
+/**
+ * Bytes per reordering-LUT entry: a packed weight vector stored in
+ * 2-byte-aligned words, max(2, ceil(bw*p/8)).  (The 2-byte minimum
+ * reproduces the paper's Fig. 6 totals exactly: reduction 1.68x at p=2
+ * and 358x at p=8 for W1A3.)
+ */
+std::uint64_t reorderEntryBytes(const LutShape& shape);
+
+/** Bytes of the reordering LUT: reorderEntryBytes * 2^(bw*p) * p!. */
+std::uint64_t reorderingLutBytes(const LutShape& shape);
+
+/** Canonical + reordering (the LoCaLUT pair). */
+std::uint64_t localutBytes(const LutShape& shape);
+
+/** Fig. 6's red line: opPacked / (canonical + reordering). */
+double totalReductionRate(const LutShape& shape);
+
+/**
+ * Largest p in [1, pMax] whose LUT(s) fit @p budgetBytes.  When
+ * @p canonicalized, counts canonical (+ reordering when @p withReorderLut)
+ * bytes; otherwise the plain operation-packed LUT.  Returns 0 when even
+ * p = 1 does not fit.
+ */
+unsigned maxPackingDegree(std::uint64_t budgetBytes, const QuantConfig& cfg,
+                          bool canonicalized, bool withReorderLut,
+                          unsigned outBytes = 2, unsigned pMax = 12);
+
+} // namespace localut
+
+#endif // LOCALUT_LUT_CAPACITY_H_

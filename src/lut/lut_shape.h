@@ -1,0 +1,75 @@
+#ifndef LOCALUT_LUT_LUT_SHAPE_H_
+#define LOCALUT_LUT_LUT_SHAPE_H_
+
+/**
+ * @file
+ * The shape of an operation-packed LUT family: weight/activation codecs,
+ * packing degree p, and the stored entry width (paper's b_o).
+ */
+
+#include <cstdint>
+
+#include "common/combinatorics.h"
+#include "quant/quantizer.h"
+
+namespace localut {
+
+/** Shape parameters shared by all LUT variants. */
+struct LutShape {
+    ValueCodec wCodec;
+    ValueCodec aCodec;
+    unsigned p = 1;        ///< packing degree: MACs per lookup
+    unsigned outBytes = 2; ///< stored entry bytes (paper's b_o)
+
+    LutShape(ValueCodec w, ValueCodec a, unsigned packing,
+             unsigned entryBytes = 2)
+        : wCodec(w), aCodec(a), p(packing), outBytes(entryBytes)
+    {}
+
+    LutShape(const QuantConfig& config, unsigned packing,
+             unsigned entryBytes = 2)
+        : LutShape(config.weightCodec, config.actCodec, packing, entryBytes)
+    {}
+
+    unsigned bw() const { return wCodec.bits(); }
+    unsigned ba() const { return aCodec.bits(); }
+
+    /** Rows indexed by the packed weight vector: 2^(bw*p). */
+    std::uint64_t
+    weightRows() const
+    {
+        return std::uint64_t{1} << (static_cast<std::uint64_t>(bw()) * p);
+    }
+
+    /** Columns of the non-canonical operation-packed LUT: 2^(ba*p). */
+    std::uint64_t
+    opColumns() const
+    {
+        return std::uint64_t{1} << (static_cast<std::uint64_t>(ba()) * p);
+    }
+
+    /** Columns of the canonical LUT: C(2^ba + p - 1, p)  (paper Eq. 1). */
+    std::uint64_t
+    canonicalColumns() const
+    {
+        return multisetCount(aCodec.cardinality(), p);
+    }
+
+    /** Columns of the reordering LUT: p!. */
+    std::uint64_t
+    reorderColumns() const
+    {
+        return factorial(p);
+    }
+
+    /** True when both codecs are integers (int32 LUT entries, exact). */
+    bool
+    isInteger() const
+    {
+        return wCodec.isInteger() && aCodec.isInteger();
+    }
+};
+
+} // namespace localut
+
+#endif // LOCALUT_LUT_LUT_SHAPE_H_

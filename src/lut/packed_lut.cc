@@ -1,0 +1,65 @@
+#include "lut/packed_lut.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace localut {
+
+OperationPackedLut::OperationPackedLut(const LutShape& shape,
+                                       std::uint64_t materializeLimitBytes)
+    : shape_(shape), rows_(shape.weightRows()), cols_(shape.opColumns())
+{
+    const std::uint64_t entries = rows_ * cols_;
+    LOCALUT_REQUIRE(entries <= materializeLimitBytes / 4,
+                    "operation-packed LUT too large to materialize: ",
+                    entries, " entries");
+
+    const unsigned p = shape_.p;
+    std::vector<std::uint16_t> wCodes(p);
+    std::vector<std::uint16_t> aCodes(p);
+
+    if (shape_.isInteger()) {
+        entriesInt_.resize(entries);
+        // Pre-decode both alphabets once.
+        std::vector<std::int32_t> wDec(shape_.wCodec.cardinality());
+        for (std::uint64_t c = 0; c < wDec.size(); ++c) {
+            wDec[c] = shape_.wCodec.decodeInt(static_cast<std::uint32_t>(c));
+        }
+        std::vector<std::int32_t> aDec(shape_.aCodec.cardinality());
+        for (std::uint64_t c = 0; c < aDec.size(); ++c) {
+            aDec[c] = shape_.aCodec.decodeInt(static_cast<std::uint32_t>(c));
+        }
+        for (std::uint64_t aIdx = 0; aIdx < cols_; ++aIdx) {
+            unpackCodes(aIdx, shape_.ba(), aCodes);
+            for (std::uint64_t wIdx = 0; wIdx < rows_; ++wIdx) {
+                unpackCodes(wIdx, shape_.bw(), wCodes);
+                std::int32_t acc = 0;
+                for (unsigned i = 0; i < p; ++i) {
+                    acc += wDec[wCodes[i]] * aDec[aCodes[i]];
+                }
+                entriesInt_[aIdx * rows_ + wIdx] = acc;
+                LOCALUT_ASSERT(shape_.outBytes >= 4 ||
+                                   (acc >= -32768 && acc <= 32767),
+                               "entry exceeds the modeled b_o width");
+            }
+        }
+    } else {
+        entriesFloat_.resize(entries);
+        for (std::uint64_t aIdx = 0; aIdx < cols_; ++aIdx) {
+            unpackCodes(aIdx, shape_.ba(), aCodes);
+            for (std::uint64_t wIdx = 0; wIdx < rows_; ++wIdx) {
+                unpackCodes(wIdx, shape_.bw(), wCodes);
+                float acc = 0.0f;
+                for (unsigned i = 0; i < p; ++i) {
+                    acc += shape_.wCodec.decode(wCodes[i]) *
+                           shape_.aCodec.decode(aCodes[i]);
+                }
+                // Model the 2-byte entry storage (matches CanonicalLut).
+                entriesFloat_[aIdx * rows_ + wIdx] =
+                    shape_.outBytes <= 2 ? roundToFp16(acc) : acc;
+            }
+        }
+    }
+}
+
+} // namespace localut

@@ -1,0 +1,65 @@
+#ifndef LOCALUT_LUT_PACKED_LUT_H_
+#define LOCALUT_LUT_PACKED_LUT_H_
+
+/**
+ * @file
+ * The plain operation-packed LUT (paper Section III-A, Fig. 2): one lookup
+ * indexed by (packed weight vector, packed activation vector) returns the
+ * p-element inner product.  This is the paper's OP baseline design point.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "lut/lut_shape.h"
+
+namespace localut {
+
+/**
+ * Materialized operation-packed LUT.  Entries are stored column-major
+ * (column = packed activation index) to mirror the slice layout used by
+ * the canonical LUT.  Integer shapes store int32 entries functionally; the
+ * capacity model accounts shape.outBytes per entry (see DESIGN.md).
+ */
+class OperationPackedLut
+{
+  public:
+    /**
+     * Builds the full table.  Fatals when the entry count exceeds
+     * @p materializeLimitBytes (at 4 functional bytes/entry) — callers are
+     * expected to consult the capacity model first.
+     */
+    explicit OperationPackedLut(const LutShape& shape,
+                                std::uint64_t materializeLimitBytes =
+                                    std::uint64_t{1} << 30);
+
+    const LutShape& shape() const { return shape_; }
+
+    /** Integer entry for (packed weights, packed activations). */
+    std::int32_t
+    lookupInt(std::uint64_t wIdx, std::uint64_t aIdx) const
+    {
+        return entriesInt_[aIdx * rows_ + wIdx];
+    }
+
+    /** Float entry (float shapes only). */
+    float
+    lookupFloat(std::uint64_t wIdx, std::uint64_t aIdx) const
+    {
+        return entriesFloat_[aIdx * rows_ + wIdx];
+    }
+
+    std::uint64_t rows() const { return rows_; }
+    std::uint64_t cols() const { return cols_; }
+
+  private:
+    LutShape shape_;
+    std::uint64_t rows_;
+    std::uint64_t cols_;
+    std::vector<std::int32_t> entriesInt_;
+    std::vector<float> entriesFloat_;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_LUT_PACKED_LUT_H_

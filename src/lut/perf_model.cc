@@ -1,0 +1,113 @@
+#include "lut/perf_model.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "lut/capacity.h"
+
+namespace localut {
+
+namespace {
+
+/** The paper's measured per-lookup instruction count (Section VI-I). */
+constexpr double kLookupInstructions = 12.0;
+
+} // namespace
+
+PerfModelConstants
+PerfModelConstants::profile(const DpuParams& dpu, const LutShape& shape)
+{
+    PerfModelConstants c;
+    const double entryPairBytes =
+        static_cast<double>(shape.outBytes) +
+        static_cast<double>(bytesForBits(
+            static_cast<std::uint64_t>(shape.bw()) * shape.p));
+    const double hz = dpu.clockMhz * 1e6;
+    c.lD = entryPairBytes / dpu.dmaBytesPerCycle / hz;
+    c.lLocal = kLookupInstructions / dpu.issueRate() / hz;
+    return c;
+}
+
+PerfModel::PerfModel(const DpuParams& dpu, const QuantConfig& config,
+                     unsigned outBytes)
+    : dpu_(dpu), config_(config), outBytes_(outBytes)
+{
+    pLocal_ = maxPackingDegree(dpu.wramLutBudget(), config,
+                               /*canonicalized=*/true,
+                               /*withReorderLut=*/true, outBytes);
+    pDram_ = maxPackingDegree(dpu.mramLutBudget(), config,
+                              /*canonicalized=*/true,
+                              /*withReorderLut=*/true, outBytes);
+}
+
+PerfModelConstants
+PerfModel::constants(unsigned p) const
+{
+    return PerfModelConstants::profile(dpu_, LutShape(config_, p, outBytes_));
+}
+
+double
+PerfModel::streamingSeconds(double m, double k, double n, unsigned p) const
+{
+    const PerfModelConstants c = constants(p);
+    const double sliceEntries =
+        std::pow(2.0, static_cast<double>(config_.bw()) * p);
+    const double slices = std::ceil(k / p) * n;
+    const double lookups = m * std::ceil(k / p) * n;
+    return sliceEntries * slices * c.lD + lookups * c.lLocal;
+}
+
+double
+PerfModel::bufferSeconds(double m, double k, double n, unsigned p) const
+{
+    const PerfModelConstants c = constants(p);
+    const double lookups = m * std::ceil(k / p) * n;
+    return lookups * c.lLocal;
+}
+
+double
+PerfModel::breakEvenM(unsigned pStar, unsigned pLocal) const
+{
+    LOCALUT_REQUIRE(pStar > pLocal,
+                    "break-even M defined only for pStar > pLocal");
+    const PerfModelConstants c = constants(pStar);
+    const double lutEntries =
+        std::pow(2.0, static_cast<double>(config_.bw()) * pStar);
+    // Eq. 6: M < 2^(bw p*) * (L_D / L_local) * pLocal / (p* - pLocal)
+    return lutEntries * (c.lD / c.lLocal) *
+           static_cast<double>(pLocal) /
+           static_cast<double>(pStar - pLocal);
+}
+
+PerfChoice
+PerfModel::choose(double m, double k, double n) const
+{
+    PerfChoice best;
+    best.pLocal = pLocal_;
+    best.pDram = pDram_;
+    best.seconds = std::numeric_limits<double>::infinity();
+    LOCALUT_REQUIRE(pDram_ >= 1,
+                    "no packing degree fits the DRAM LUT budget for ",
+                    config_.name());
+    for (unsigned p = 1; p <= pDram_; ++p) {
+        if (p <= pLocal_) {
+            const double t = bufferSeconds(m, k, n, p);
+            if (t < best.seconds) {
+                best.seconds = t;
+                best.p = p;
+                best.streaming = false;
+            }
+        }
+        const double t = streamingSeconds(m, k, n, p);
+        if (t < best.seconds) {
+            best.seconds = t;
+            best.p = p;
+            best.streaming = true;
+        }
+    }
+    return best;
+}
+
+} // namespace localut

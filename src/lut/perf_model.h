@@ -1,0 +1,93 @@
+#ifndef LOCALUT_LUT_PERF_MODEL_H_
+#define LOCALUT_LUT_PERF_MODEL_H_
+
+/**
+ * @file
+ * The paper's first-order performance model (Section IV-D, Eq. 2-6).  It
+ * considers only LUT traffic: streaming a slice pair costs L_D per entry,
+ * and each lookup (reordering access + canonical access + accumulate)
+ * costs L_local.  The model selects the packing degree p* and decides
+ * between slice streaming and a fully buffer-resident LUT.
+ *
+ * The constants L_D and L_local are *profiled* from the platform model
+ * (DpuParams), mirroring how the paper profiles them from its UPMEM system
+ * (Section VI-I).  Fig. 18's bench validates this model against the full
+ * event-accounting simulation.
+ */
+
+#include <cstdint>
+
+#include "lut/lut_shape.h"
+#include "upmem/params.h"
+
+namespace localut {
+
+/** The model's two profiled constants (seconds). */
+struct PerfModelConstants {
+    double lD = 0.0;     ///< per (canonical + reordering) entry-pair load
+    double lLocal = 0.0; ///< per lookup: reorder + canonical + accumulate
+
+    /**
+     * Profiles the constants from the platform model for a given shape:
+     * L_D = entry-pair bytes / DMA rate; L_local = 12 instructions at
+     * sustained issue (the instruction count the paper reports).
+     */
+    static PerfModelConstants profile(const DpuParams& dpu,
+                                      const LutShape& shape);
+};
+
+/** Outcome of the model's configuration search. */
+struct PerfChoice {
+    unsigned p = 1;          ///< selected packing degree p*
+    bool streaming = false;  ///< slice streaming vs buffer-resident LUT
+    double seconds = 0.0;    ///< predicted LUT-access time (per-DPU tile)
+    unsigned pLocal = 0;     ///< largest buffer-resident p
+    unsigned pDram = 0;      ///< largest DRAM-resident p
+};
+
+/**
+ * Evaluates Eq. 2/4 and performs the exhaustive p <= pDram search the
+ * paper describes ("we simply test all p <= p_DRAM values").
+ * Dimensions are the per-DPU tile sizes (M rows of W, K, N columns of A).
+ */
+class PerfModel
+{
+  public:
+    PerfModel(const DpuParams& dpu, const QuantConfig& config,
+              unsigned outBytes = 2);
+
+    /** Eq. 2: streaming execution time for packing degree @p p. */
+    double streamingSeconds(double m, double k, double n, unsigned p) const;
+
+    /** Eq. 4: buffer-resident execution time for packing degree @p p. */
+    double bufferSeconds(double m, double k, double n, unsigned p) const;
+
+    /**
+     * Eq. 6's break-even M: slice streaming at p (with pLocal as the
+     * buffer-resident alternative) wins for M above this bound.
+     */
+    double breakEvenM(unsigned pStar, unsigned pLocal) const;
+
+    /** Largest p whose canonical+reordering LUTs fit the WRAM budget. */
+    unsigned pLocalMax() const { return pLocal_; }
+
+    /** Largest p whose canonical+reordering LUTs fit the MRAM budget. */
+    unsigned pDramMax() const { return pDram_; }
+
+    /** Full search over p and placement (Eq. 3 + Eq. 5/6). */
+    PerfChoice choose(double m, double k, double n) const;
+
+    /** Profiled constants in use. */
+    PerfModelConstants constants(unsigned p) const;
+
+  private:
+    DpuParams dpu_;
+    QuantConfig config_;
+    unsigned outBytes_;
+    unsigned pLocal_ = 0;
+    unsigned pDram_ = 0;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_LUT_PERF_MODEL_H_

@@ -1,0 +1,107 @@
+#include "lut/planner.h"
+
+#include <limits>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "lut/capacity.h"
+
+namespace localut {
+
+LutPlanner::LutPlanner(const DpuParams& dpu, const QuantConfig& config,
+                       unsigned outBytes)
+    : dpu_(dpu), config_(config), outBytes_(outBytes),
+      model_(dpu, config, outBytes)
+{}
+
+std::uint64_t
+LutPlanner::slicePairBytes(unsigned p) const
+{
+    const LutShape shape(config_, p, outBytes_);
+    const std::uint64_t canonical = shape.weightRows() * shape.outBytes;
+    const std::uint64_t reorder =
+        shape.weightRows() * reorderEntryBytes(shape);
+    return canonical + reorder;
+}
+
+unsigned
+LutPlanner::maxKFor(unsigned p) const
+{
+    const std::uint64_t budget = dpu_.wramLutBudget();
+    for (unsigned k : {8u, 4u, 2u, 1u}) {
+        if (static_cast<std::uint64_t>(k) * slicePairBytes(p) <= budget) {
+            return k;
+        }
+    }
+    return 0;
+}
+
+LutPlan
+LutPlanner::choose(double tileM, double k, double tileN) const
+{
+    PerfChoice choice = model_.choose(tileM, k, tileN);
+    // A streaming plan also needs at least one slice pair in WRAM.
+    if (choice.streaming && maxKFor(choice.p) == 0) {
+        // Fall back to the best feasible p.
+        double bestSeconds = std::numeric_limits<double>::infinity();
+        PerfChoice feasible = choice;
+        bool found = false;
+        for (unsigned p = 1; p <= model_.pDramMax(); ++p) {
+            if (p <= model_.pLocalMax()) {
+                const double t = model_.bufferSeconds(tileM, k, tileN, p);
+                if (t < bestSeconds) {
+                    bestSeconds = t;
+                    feasible.p = p;
+                    feasible.streaming = false;
+                    feasible.seconds = t;
+                    found = true;
+                }
+            }
+            if (maxKFor(p) > 0) {
+                const double t = model_.streamingSeconds(tileM, k, tileN, p);
+                if (t < bestSeconds) {
+                    bestSeconds = t;
+                    feasible.p = p;
+                    feasible.streaming = true;
+                    feasible.seconds = t;
+                    found = true;
+                }
+            }
+        }
+        LOCALUT_REQUIRE(found, "no feasible LUT plan for ", config_.name());
+        choice = feasible;
+    }
+
+    LutPlan plan;
+    plan.p = choice.p;
+    plan.streaming = choice.streaming;
+    plan.predictedSeconds = choice.seconds;
+    plan.kSlices = choice.streaming ? maxKFor(choice.p) : 1;
+    return plan;
+}
+
+LutPlan
+LutPlanner::chooseWithForcedK(double tileM, double k, double tileN,
+                              unsigned forcedK) const
+{
+    LOCALUT_REQUIRE(forcedK >= 1, "k must be >= 1");
+    const std::uint64_t budget = dpu_.wramLutBudget();
+    unsigned bestP = 0;
+    for (unsigned p = 1; p <= model_.pDramMax(); ++p) {
+        if (static_cast<std::uint64_t>(forcedK) * slicePairBytes(p) <=
+            budget) {
+            bestP = p;
+        }
+    }
+    LOCALUT_REQUIRE(bestP >= 1, "k = ", forcedK,
+                    " leaves no feasible packing degree for ",
+                    config_.name());
+    LutPlan plan;
+    plan.p = bestP;
+    plan.kSlices = forcedK;
+    plan.streaming = true;
+    plan.predictedSeconds = model_.streamingSeconds(tileM, k, tileN, bestP);
+    return plan;
+}
+
+} // namespace localut

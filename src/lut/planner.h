@@ -1,0 +1,64 @@
+#ifndef LOCALUT_LUT_PLANNER_H_
+#define LOCALUT_LUT_PLANNER_H_
+
+/**
+ * @file
+ * Configuration planner (paper Section V): at initialization the host runs
+ * the performance model on the matrix dimensions to pick the packing
+ * degree p*, decide between slice streaming and a buffer-resident LUT, and
+ * size the slice window k.
+ *
+ * k selection: Eq. 2 is k-agnostic, so following the paper's Fig. 13
+ * methodology the planner prefers the largest p first and then the largest
+ * k in {8,4,2,1} whose k slice pairs still fit the WRAM LUT budget (larger
+ * k amortizes per-row loop and DMA-setup overhead in the kernel).
+ */
+
+#include "lut/perf_model.h"
+
+namespace localut {
+
+/** A complete LUT execution configuration. */
+struct LutPlan {
+    unsigned p = 1;
+    unsigned kSlices = 1;  ///< column slices resident at once (streaming)
+    bool streaming = false;
+    double predictedSeconds = 0.0; ///< Eq. 2/4 prediction (per-DPU tile)
+};
+
+/** Plans (p, k, streaming) for a per-DPU GEMM tile. */
+class LutPlanner
+{
+  public:
+    LutPlanner(const DpuParams& dpu, const QuantConfig& config,
+               unsigned outBytes = 2);
+
+    /** WRAM bytes of one (canonical + reordering) slice pair at @p p. */
+    std::uint64_t slicePairBytes(unsigned p) const;
+
+    /** Auto plan: p*, placement via the perf model, then largest k. */
+    LutPlan choose(double tileM, double k, double tileN) const;
+
+    /**
+     * Fig. 13 mode: k is forced; returns the streaming plan with the
+     * highest p whose k slice pairs fit WRAM (paper: "For each chosen k,
+     * we select the highest p possible in the remaining memory space").
+     */
+    LutPlan chooseWithForcedK(double tileM, double k, double tileN,
+                              unsigned forcedK) const;
+
+    /** Largest k in {8,4,2,1} whose slice pairs at @p p fit WRAM (0=none). */
+    unsigned maxKFor(unsigned p) const;
+
+    const PerfModel& perfModel() const { return model_; }
+
+  private:
+    DpuParams dpu_;
+    QuantConfig config_;
+    unsigned outBytes_;
+    PerfModel model_;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_LUT_PLANNER_H_

@@ -1,0 +1,91 @@
+#ifndef LOCALUT_NN_ACCURACY_PROXY_H_
+#define LOCALUT_NN_ACCURACY_PROXY_H_
+
+/**
+ * @file
+ * Synthetic-task accuracy harness substituting the paper's GLUE/ImageNet
+ * accuracy studies (Fig. 15, Fig. 21b) — see DESIGN.md Section 1 for the
+ * substitution argument.  A frozen random two-layer feature extractor runs
+ * over a Gaussian-cluster classification dataset; each method (fp32,
+ * LoCaLUT quantized arithmetic, PQ baselines, fp16-rounded floating-point
+ * LUTs) produces features through its own numerics, trains its own ridge
+ * readout, and is scored on held-out accuracy.  The mechanism under test —
+ * PQ approximation error vs. exact quantized arithmetic, and fp16 LUT
+ * entry rounding with/without reordering — is exactly the paper's.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/pq_gemm.h"
+#include "quant/quantizer.h"
+
+namespace localut {
+
+/** Proxy task configuration. */
+struct ProxyTaskConfig {
+    unsigned dim = 64;       ///< input dimensionality
+    unsigned classes = 4;
+    unsigned trainSamples = 384;
+    unsigned testSamples = 384;
+    unsigned hidden = 64;    ///< feature width of both layers
+    double clusterSpread = 0.9; ///< noise vs. unit-separated class means
+    float ridgeLambda = 1.0f;
+    std::uint64_t seed = 2026;
+};
+
+/** One method's score. */
+struct ProxyScore {
+    double accuracy = 0;   ///< held-out classification accuracy
+    double featureMse = 0; ///< feature deviation vs. the fp32 pipeline
+};
+
+/** The accuracy-proxy experiment. */
+class AccuracyProxy
+{
+  public:
+    explicit AccuracyProxy(const ProxyTaskConfig& config);
+
+    /** Full-precision reference pipeline. */
+    ProxyScore evaluateFp32() const;
+
+    /**
+     * LoCaLUT / quantized-arithmetic pipeline: weights quantized offline,
+     * activations per tensor, exact integer GEMMs (all LUT design points
+     * produce identical values, so this is the accuracy of every one).
+     */
+    ProxyScore evaluateQuantized(const QuantConfig& config) const;
+
+    /** PQ pipeline (PIM-DL / LUT-DLA): codebook-approximated GEMMs. */
+    ProxyScore evaluatePq(const PqParams& params) const;
+
+    /**
+     * Floating-point symbol pipeline (Fig. 21b): canonical-LUT execution
+     * with fp16-rounded entries at packing degree @p p, with or without
+     * the reordering LUT (@p reorder false = OP ordering).
+     */
+    ProxyScore evaluateFpLut(const QuantConfig& config, unsigned p,
+                             bool reorder) const;
+
+  private:
+    std::vector<float> features(
+        const std::vector<float>& x, std::size_t samples,
+        const std::function<std::vector<float>(
+            const std::vector<float>&, const std::vector<float>&,
+            std::size_t, std::size_t, std::size_t)>& gemm) const;
+
+    ProxyScore scoreFeatures(const std::vector<float>& trainF,
+                             const std::vector<float>& testF) const;
+
+    ProxyTaskConfig config_;
+    std::vector<float> trainX_, testX_;
+    std::vector<std::uint32_t> trainY_, testY_;
+    std::vector<float> w1_, w2_; ///< frozen feature-extractor weights
+    std::vector<float> fp32TrainF_, fp32TestF_;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_NN_ACCURACY_PROXY_H_

@@ -1,0 +1,71 @@
+#ifndef LOCALUT_NN_INFERENCE_H_
+#define LOCALUT_NN_INFERENCE_H_
+
+/**
+ * @file
+ * End-to-end transformer inference on the PIM system (paper Section V-B,
+ * Fig. 8): every matrix multiplication (QKV projections, output
+ * projection, FFN) runs on the PIM banks under a chosen design point;
+ * softmax, layer norm, GELU, attention score/value products, and
+ * quantize/dequantize run on the host.  Prefill and decode phases are
+ * modeled separately (Fig. 19a); batching folds into the GEMM N dimension
+ * (Fig. 19b).
+ */
+
+#include "kernels/gemm.h"
+#include "nn/transformer.h"
+
+namespace localut {
+
+/** Aggregated end-to-end execution report. */
+struct InferenceReport {
+    TimingReport timing;
+    EnergyReport energy;
+    double gemmSeconds = 0;  ///< PIM GEMM portion (kernel + its host/link)
+    double hostOpSeconds = 0;///< non-GEMM host work
+};
+
+/** Runs transformer phases under one design point / quantization config. */
+class TransformerRunner
+{
+  public:
+    TransformerRunner(const PimSystemConfig& system,
+                      const QuantConfig& quant, DesignPoint design,
+                      const PlanOverrides& overrides = {});
+
+    /**
+     * Prefill: all tokens at once; GEMM N = batch * seqLen.
+     * Encoder-only models (BERT, ViT) are prefill-only.
+     */
+    InferenceReport prefill(const TransformerConfig& model, unsigned batch,
+                            unsigned seqLen) const;
+
+    /**
+     * Decode: one token per step per sequence; GEMM N = batch.  Attention
+     * context grows from @p promptLen across @p steps.
+     */
+    InferenceReport decode(const TransformerConfig& model, unsigned batch,
+                           unsigned promptLen, unsigned steps) const;
+
+  private:
+    /** Timing/energy of one GEMM shape, repeated @p count times. */
+    void addGemm(InferenceReport& report, std::size_t m, std::size_t k,
+                 std::size_t n, double count) const;
+
+    /** Charges non-GEMM host work (attention, softmax, norms, GELU). */
+    void addHostOps(InferenceReport& report, double ops) const;
+
+    PimSystemConfig system_;
+    QuantConfig quant_;
+    DesignPoint design_;
+    PlanOverrides overrides_;
+    GemmEngine engine_;
+};
+
+/** Shape-only problem (empty codes) for timing runs. */
+GemmProblem makeShapeOnlyProblem(std::size_t m, std::size_t k,
+                                 std::size_t n, const QuantConfig& config);
+
+} // namespace localut
+
+#endif // LOCALUT_NN_INFERENCE_H_

@@ -1,0 +1,44 @@
+#include "nn/transformer.h"
+
+namespace localut {
+
+TransformerConfig
+TransformerConfig::bertBase()
+{
+    TransformerConfig c;
+    c.name = "BERT-base";
+    c.layers = 12;
+    c.hidden = 768;
+    c.heads = 12;
+    c.ffnHidden = 3072;
+    c.defaultSeqLen = 128;
+    return c;
+}
+
+TransformerConfig
+TransformerConfig::opt125m()
+{
+    TransformerConfig c;
+    c.name = "OPT-125M";
+    c.layers = 12;
+    c.hidden = 768;
+    c.heads = 12;
+    c.ffnHidden = 3072;
+    c.defaultSeqLen = 128;
+    return c;
+}
+
+TransformerConfig
+TransformerConfig::vitBase()
+{
+    TransformerConfig c;
+    c.name = "ViT-Base";
+    c.layers = 12;
+    c.hidden = 768;
+    c.heads = 12;
+    c.ffnHidden = 3072;
+    c.defaultSeqLen = 197; // 196 patches + [CLS]
+    return c;
+}
+
+} // namespace localut

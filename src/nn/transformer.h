@@ -1,0 +1,49 @@
+#ifndef LOCALUT_NN_TRANSFORMER_H_
+#define LOCALUT_NN_TRANSFORMER_H_
+
+/**
+ * @file
+ * Transformer model configurations matching the paper's workloads
+ * (Section VI-A): BERT-base (encoder-only), OPT-125M (decoder-only), and
+ * ViT-Base (vision; patches as tokens).
+ */
+
+#include <cstddef>
+#include <string>
+
+namespace localut {
+
+/** Architecture of one transformer stack. */
+struct TransformerConfig {
+    std::string name;
+    unsigned layers = 12;
+    unsigned hidden = 768;
+    unsigned heads = 12;
+    unsigned ffnHidden = 3072;
+    unsigned defaultSeqLen = 128;
+
+    unsigned headDim() const { return hidden / heads; }
+
+    /** Parameter count of the transformer stack (no embeddings). */
+    std::size_t
+    parameterCount() const
+    {
+        // Per layer: QKV (3 H^2) + out proj (H^2) + FFN (2 H F) + biases.
+        const std::size_t h = hidden, f = ffnHidden;
+        return static_cast<std::size_t>(layers) *
+               (4 * h * h + 2 * h * f + 9 * h + f);
+    }
+
+    /** BERT-base: 12 x 768, GLUE max length 128 (paper Section VI-A). */
+    static TransformerConfig bertBase();
+
+    /** OPT-125M: decoder-only, same stack dimensions as BERT-base. */
+    static TransformerConfig opt125m();
+
+    /** ViT-Base: 196 patch tokens + [CLS]. */
+    static TransformerConfig vitBase();
+};
+
+} // namespace localut
+
+#endif // LOCALUT_NN_TRANSFORMER_H_

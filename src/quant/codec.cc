@@ -1,0 +1,265 @@
+#include "quant/codec.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace localut {
+
+namespace {
+
+/** Decodes IEEE binary16 bits to float. */
+float
+decodeFp16Bits(std::uint32_t code)
+{
+    const std::uint32_t sign = (code >> 15) & 1;
+    const std::uint32_t exp = (code >> 10) & 0x1f;
+    const std::uint32_t man = code & 0x3ff;
+    float mag;
+    if (exp == 0) {
+        mag = std::ldexp(static_cast<float>(man), -24); // subnormal
+    } else if (exp == 31) {
+        mag = man == 0 ? std::numeric_limits<float>::infinity()
+                       : std::numeric_limits<float>::quiet_NaN();
+    } else {
+        mag = std::ldexp(1.0f + static_cast<float>(man) / 1024.0f,
+                         static_cast<int>(exp) - 15);
+    }
+    return sign ? -mag : mag;
+}
+
+/** Decodes OCP E4M3 (no infinities; S.1111.111 is NaN). */
+float
+decodeFp8Bits(std::uint32_t code)
+{
+    const std::uint32_t sign = (code >> 7) & 1;
+    const std::uint32_t exp = (code >> 3) & 0xf;
+    const std::uint32_t man = code & 0x7;
+    float mag;
+    if (exp == 0) {
+        mag = std::ldexp(static_cast<float>(man), -9); // subnormal: m/8*2^-6
+    } else if (exp == 15 && man == 7) {
+        mag = std::numeric_limits<float>::quiet_NaN();
+    } else {
+        mag = std::ldexp(1.0f + static_cast<float>(man) / 8.0f,
+                         static_cast<int>(exp) - 7);
+    }
+    return sign ? -mag : mag;
+}
+
+/** Decodes MXFP4 / E2M1: values {0, .5, 1, 1.5, 2, 3, 4, 6} with sign. */
+float
+decodeFp4Bits(std::uint32_t code)
+{
+    static constexpr float kMag[8] = {0.0f, 0.5f, 1.0f, 1.5f,
+                                      2.0f, 3.0f, 4.0f, 6.0f};
+    const float mag = kMag[code & 0x7];
+    return (code & 0x8) ? -mag : mag;
+}
+
+} // namespace
+
+ValueCodec
+ValueCodec::unsignedInt(unsigned bits)
+{
+    LOCALUT_REQUIRE(bits >= 1 && bits <= 16, "unsupported bitwidth ", bits);
+    return {CodecKind::UnsignedInt, bits};
+}
+
+ValueCodec
+ValueCodec::twosComplement(unsigned bits)
+{
+    LOCALUT_REQUIRE(bits >= 2 && bits <= 16,
+                    "two's complement needs >= 2 bits (got ", bits, ")");
+    return {CodecKind::TwosComplement, bits};
+}
+
+ValueCodec
+ValueCodec::signedBinary()
+{
+    return {CodecKind::SignedBinary, 1};
+}
+
+ValueCodec
+ValueCodec::fp4()
+{
+    return {CodecKind::Fp4E2M1, 4};
+}
+
+ValueCodec
+ValueCodec::fp8()
+{
+    return {CodecKind::Fp8E4M3, 8};
+}
+
+ValueCodec
+ValueCodec::fp16()
+{
+    return {CodecKind::Fp16, 16};
+}
+
+bool
+ValueCodec::isInteger() const
+{
+    switch (kind_) {
+      case CodecKind::UnsignedInt:
+      case CodecKind::TwosComplement:
+      case CodecKind::SignedBinary:
+        return true;
+      default:
+        return false;
+    }
+}
+
+float
+ValueCodec::decode(std::uint32_t code) const
+{
+    if (isInteger()) {
+        return static_cast<float>(decodeInt(code));
+    }
+    switch (kind_) {
+      case CodecKind::Fp4E2M1:
+        return decodeFp4Bits(code);
+      case CodecKind::Fp8E4M3:
+        return decodeFp8Bits(code);
+      case CodecKind::Fp16:
+        return decodeFp16Bits(code);
+      default:
+        LOCALUT_PANIC("unreachable codec kind");
+    }
+}
+
+std::int32_t
+ValueCodec::decodeInt(std::uint32_t code) const
+{
+    LOCALUT_ASSERT(code < cardinality(), "code ", code, " out of range");
+    switch (kind_) {
+      case CodecKind::UnsignedInt:
+        return static_cast<std::int32_t>(code);
+      case CodecKind::TwosComplement: {
+        const std::uint32_t signBit = 1u << (bits_ - 1);
+        return (code & signBit)
+                   ? static_cast<std::int32_t>(code) -
+                         static_cast<std::int32_t>(1u << bits_)
+                   : static_cast<std::int32_t>(code);
+      }
+      case CodecKind::SignedBinary:
+        return code ? 1 : -1;
+      default:
+        LOCALUT_PANIC("decodeInt on float codec");
+    }
+}
+
+std::uint32_t
+ValueCodec::encodeNearest(float value) const
+{
+    switch (kind_) {
+      case CodecKind::UnsignedInt: {
+        const float hi = static_cast<float>(cardinality() - 1);
+        const float clamped = std::fmin(std::fmax(value, 0.0f), hi);
+        return static_cast<std::uint32_t>(std::lround(clamped));
+      }
+      case CodecKind::TwosComplement: {
+        const std::int32_t lo = -static_cast<std::int32_t>(cardinality() / 2);
+        const std::int32_t hi = static_cast<std::int32_t>(cardinality() / 2) - 1;
+        std::int32_t q = static_cast<std::int32_t>(std::lround(value));
+        q = std::max(lo, std::min(hi, q));
+        return static_cast<std::uint32_t>(q) &
+               static_cast<std::uint32_t>(cardinality() - 1);
+      }
+      case CodecKind::SignedBinary:
+        return value >= 0.0f ? 1u : 0u;
+      default: {
+        // Small float spaces: exhaustive nearest-value search.  (fp16 has
+        // 64K codes; encode is off the simulated critical path, so the scan
+        // is acceptable and keeps the logic uniform and obviously correct.)
+        std::uint32_t best = 0;
+        float bestDist = std::numeric_limits<float>::infinity();
+        for (std::uint64_t code = 0; code < cardinality(); ++code) {
+            const float v = decode(static_cast<std::uint32_t>(code));
+            if (std::isnan(v) || std::isinf(v)) {
+                continue;
+            }
+            const float d = std::fabs(v - value);
+            if (d < bestDist) {
+                bestDist = d;
+                best = static_cast<std::uint32_t>(code);
+            }
+        }
+        return best;
+      }
+    }
+}
+
+float
+ValueCodec::maxAbsValue() const
+{
+    switch (kind_) {
+      case CodecKind::UnsignedInt:
+        return static_cast<float>(cardinality() - 1);
+      case CodecKind::TwosComplement:
+        // Symmetric quantization range: +/- (2^(b-1) - 1), so that the
+        // positive extreme is representable (the -2^(b-1) code is still
+        // decodable but never produced by the quantizer).
+        return static_cast<float>(cardinality() / 2 - 1);
+      case CodecKind::SignedBinary:
+        return 1.0f;
+      case CodecKind::Fp4E2M1:
+        return 6.0f;
+      case CodecKind::Fp8E4M3:
+        return 448.0f;
+      case CodecKind::Fp16:
+        return 65504.0f;
+    }
+    LOCALUT_PANIC("unreachable codec kind");
+}
+
+float
+roundToFp16(float value)
+{
+    if (std::isnan(value)) {
+        return value;
+    }
+    const float kMax = 65504.0f;
+    if (value > kMax) {
+        return std::numeric_limits<float>::infinity();
+    }
+    if (value < -kMax) {
+        return -std::numeric_limits<float>::infinity();
+    }
+    const float mag = std::fabs(value);
+    const float sign = std::signbit(value) ? -1.0f : 1.0f;
+    if (mag < std::ldexp(1.0f, -14)) {
+        // Subnormal range: quantum 2^-24.
+        const float q = std::ldexp(1.0f, -24);
+        return sign * std::nearbyint(mag / q) * q;
+    }
+    int exp;
+    std::frexp(mag, &exp); // mag = m * 2^exp with m in [0.5, 1)
+    // 11 significand bits total -> quantum 2^(exp - 11).
+    const float q = std::ldexp(1.0f, exp - 11);
+    return sign * std::nearbyint(mag / q) * q;
+}
+
+std::string
+ValueCodec::name() const
+{
+    switch (kind_) {
+      case CodecKind::UnsignedInt:
+        return "uint" + std::to_string(bits_);
+      case CodecKind::TwosComplement:
+        return "int" + std::to_string(bits_);
+      case CodecKind::SignedBinary:
+        return "sbin";
+      case CodecKind::Fp4E2M1:
+        return "fp4";
+      case CodecKind::Fp8E4M3:
+        return "fp8";
+      case CodecKind::Fp16:
+        return "fp16";
+    }
+    LOCALUT_PANIC("unreachable codec kind");
+}
+
+} // namespace localut

@@ -1,0 +1,84 @@
+#ifndef LOCALUT_QUANT_CODEC_H_
+#define LOCALUT_QUANT_CODEC_H_
+
+/**
+ * @file
+ * Value codecs: the mapping between b-bit codes (LUT index symbols) and
+ * numeric values.  LUT-based execution treats numbers purely as symbols
+ * (paper Section VII-A / VIII), which is what lets the same machinery serve
+ * two's-complement integers, signed-binary weights, and FP4/FP8/FP16 floats
+ * without hardware changes.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace localut {
+
+/** The supported symbol-to-value interpretations. */
+enum class CodecKind {
+    UnsignedInt,    ///< code -> code (e.g., Fig. 2's 1-bit {0,1} weights)
+    TwosComplement, ///< b-bit two's complement (Fig. 2's 3-bit activations)
+    SignedBinary,   ///< 1-bit {-1, +1} (BinaryBERT-style weights)
+    Fp4E2M1,        ///< 4-bit float, 1-2-1 split, OCP MXFP4 value set
+    Fp8E4M3,        ///< 8-bit float, OCP E4M3 (no infinities)
+    Fp16,           ///< IEEE binary16
+};
+
+/**
+ * A (kind, bitwidth) pair with decode/encode helpers.  Codecs are small
+ * value types; pass them by value.
+ */
+class ValueCodec
+{
+  public:
+    static ValueCodec unsignedInt(unsigned bits);
+    static ValueCodec twosComplement(unsigned bits);
+    static ValueCodec signedBinary();
+    static ValueCodec fp4();
+    static ValueCodec fp8();
+    static ValueCodec fp16();
+
+    CodecKind kind() const { return kind_; }
+    unsigned bits() const { return bits_; }
+
+    /** Number of distinct codes, 2^bits. */
+    std::uint64_t cardinality() const { return std::uint64_t{1} << bits_; }
+
+    /** True for the integer kinds (decodeInt is then exact). */
+    bool isInteger() const;
+
+    /** Decoded numeric value of @p code. */
+    float decode(std::uint32_t code) const;
+
+    /** Integer decode; panics for float kinds. */
+    std::int32_t decodeInt(std::uint32_t code) const;
+
+    /** Code whose decoded value is nearest to @p value (ties to smaller). */
+    std::uint32_t encodeNearest(float value) const;
+
+    /** Largest magnitude decodable value (for quantizer scale selection). */
+    float maxAbsValue() const;
+
+    /** Short name, e.g. "int4", "sbin", "fp8". */
+    std::string name() const;
+
+    bool operator==(const ValueCodec&) const = default;
+
+  private:
+    ValueCodec(CodecKind kind, unsigned bits) : kind_(kind), bits_(bits) {}
+
+    CodecKind kind_;
+    unsigned bits_;
+};
+
+/**
+ * Rounds @p value to the nearest IEEE binary16 (round-to-nearest-even) and
+ * returns it as float.  Used to model the b_o = 2-byte storage of
+ * floating-point LUT entries (paper Section VI-K, Fig. 21b).
+ */
+float roundToFp16(float value);
+
+} // namespace localut
+
+#endif // LOCALUT_QUANT_CODEC_H_

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * PQ baseline tests: k-means convergence, PQ GEMM approximation quality
+ * and its cost structure (host centroid selection dominates, Fig. 16a),
+ * and the accuracy-proxy harness ordering (fp32 >= LoCaLUT-quantized >=
+ * PQ on feature fidelity).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/kmeans.h"
+#include "baselines/pq_gemm.h"
+#include "common/linalg.h"
+#include "common/rng.h"
+#include "nn/accuracy_proxy.h"
+
+namespace localut {
+namespace {
+
+TEST(KMeans, RecoversWellSeparatedClusters)
+{
+    Rng rng(5);
+    const unsigned k = 3, dim = 4;
+    const std::size_t perCluster = 40;
+    std::vector<float> pts;
+    for (unsigned c = 0; c < k; ++c) {
+        for (std::size_t i = 0; i < perCluster; ++i) {
+            for (unsigned d = 0; d < dim; ++d) {
+                pts.push_back(10.0f * static_cast<float>(c) +
+                              static_cast<float>(0.1 * rng.nextGaussian()));
+            }
+        }
+    }
+    const KMeansResult r =
+        kmeans(pts, k * perCluster, dim, k, 15, DistanceMetric::L2, 7);
+    // All points of one cluster share an assignment.
+    for (unsigned c = 0; c < k; ++c) {
+        const std::uint32_t rep = r.assignments[c * perCluster];
+        for (std::size_t i = 1; i < perCluster; ++i) {
+            EXPECT_EQ(r.assignments[c * perCluster + i], rep);
+        }
+    }
+    EXPECT_LT(r.inertia / (k * perCluster), 0.5);
+}
+
+TEST(KMeans, L1MetricWorks)
+{
+    Rng rng(6);
+    std::vector<float> pts(200 * 8);
+    for (auto& v : pts) {
+        v = static_cast<float>(rng.nextGaussian());
+    }
+    const KMeansResult r =
+        kmeans(pts, 200, 8, 16, 10, DistanceMetric::L1, 8);
+    EXPECT_EQ(r.centroids.size(), 16u * 8);
+    for (auto a : r.assignments) {
+        EXPECT_LT(a, 16u);
+    }
+}
+
+TEST(PqGemm, ApproximatesTrueProduct)
+{
+    Rng rng(9);
+    const std::size_t m = 24, k = 32, n = 64;
+    std::vector<float> w(m * k), a(k * n);
+    for (auto& v : w) {
+        v = static_cast<float>(rng.nextGaussian());
+    }
+    for (auto& v : a) {
+        v = static_cast<float>(rng.nextGaussian());
+    }
+    const PqGemmEngine engine(PimSystemConfig::upmemServer(),
+                              pimDlParams());
+    const PqGemmResult r = engine.run(w, a, m, k, n);
+    const std::vector<float> exact = matmul(w, a, m, k, n);
+
+    double errNum = 0, errDen = 0;
+    for (std::size_t i = 0; i < exact.size(); ++i) {
+        errNum += (r.out[i] - exact[i]) * (r.out[i] - exact[i]);
+        errDen += exact[i] * exact[i];
+    }
+    const double relErr = std::sqrt(errNum / errDen);
+    // PQ is approximate but must correlate strongly with the true product.
+    EXPECT_LT(relErr, 0.9);
+    EXPECT_GT(relErr, 1e-4); // and it is genuinely approximate
+}
+
+TEST(PqGemm, HostCentroidSelectionDominatesHostTime)
+{
+    // Paper Fig. 16a: PIM-DL's host-side centroid search is the largest
+    // host component by far.
+    Rng rng(10);
+    const std::size_t m = 128, k = 256, n = 128;
+    std::vector<float> w(m * k), a(k * n);
+    for (auto& v : w) {
+        v = static_cast<float>(rng.nextGaussian());
+    }
+    for (auto& v : a) {
+        v = static_cast<float>(rng.nextGaussian());
+    }
+    const PqGemmEngine engine(PimSystemConfig::upmemServer(),
+                              pimDlParams());
+    const PqGemmResult r = engine.run(w, a, m, k, n, false);
+    const double centroid =
+        r.timing.seconds.get(phaseName(Phase::HostCentroid));
+    EXPECT_GT(centroid, 0.5 * r.timing.hostSeconds);
+}
+
+TEST(PqGemm, LutDlaCentroidSelectionIsCheaper)
+{
+    Rng rng(11);
+    const std::size_t m = 64, k = 128, n = 64;
+    std::vector<float> w(m * k), a(k * n);
+    for (auto& v : w) {
+        v = static_cast<float>(rng.nextGaussian());
+    }
+    for (auto& v : a) {
+        v = static_cast<float>(rng.nextGaussian());
+    }
+    const PqGemmEngine pimdl(PimSystemConfig::upmemServer(),
+                             pimDlParams());
+    const PqGemmEngine dla(PimSystemConfig::upmemServer(),
+                           lutDlaParams(DistanceMetric::L1));
+    const double tPimdl = pimdl.run(w, a, m, k, n, false).timing.total;
+    const double tDla = dla.run(w, a, m, k, n, false).timing.total;
+    EXPECT_LT(tDla, tPimdl);
+}
+
+TEST(AccuracyProxy, OrderingFp32GeQuantGePq)
+{
+    ProxyTaskConfig cfg;
+    cfg.trainSamples = 256;
+    cfg.testSamples = 256;
+    const AccuracyProxy proxy(cfg);
+    const double fp32 = proxy.evaluateFp32().accuracy;
+    const double w4a4 =
+        proxy.evaluateQuantized(QuantConfig::preset("W4A4")).accuracy;
+    const double w1a3 =
+        proxy.evaluateQuantized(QuantConfig::preset("W1A3")).accuracy;
+    const ProxyScore pq = proxy.evaluatePq(pimDlParams());
+
+    EXPECT_GT(fp32, 80.0);
+    // Quantization costs little on this task; PQ's feature error is the
+    // largest (the paper's Fig. 15 mechanism).
+    EXPECT_GE(fp32 + 1e-9, w4a4);
+    EXPECT_GT(w4a4, 50.0);
+    EXPECT_GT(w1a3, 40.0);
+    const double quantMse =
+        proxy.evaluateQuantized(QuantConfig::preset("W4A4")).featureMse;
+    EXPECT_GT(pq.featureMse, quantMse);
+}
+
+TEST(AccuracyProxy, Fig21bReorderingIsHarmless)
+{
+    // Paper Fig. 21b: floating-point LUT execution with the reordering
+    // LUT shows negligible accuracy impact vs plain OP ordering.
+    ProxyTaskConfig cfg;
+    cfg.trainSamples = 192;
+    cfg.testSamples = 192;
+    const AccuracyProxy proxy(cfg);
+    const QuantConfig fp = QuantConfig::fpPreset(1, 4);
+    for (unsigned p : {1u, 2u, 3u}) {
+        const double op = proxy.evaluateFpLut(fp, p, false).accuracy;
+        const double localut = proxy.evaluateFpLut(fp, p, true).accuracy;
+        EXPECT_NEAR(op, localut, 6.0) << "p=" << p;
+    }
+}
+
+} // namespace
+} // namespace localut

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Property tests on the charging laws (the single source of truth for
+ * every "measured" number): scaling in M/N/K, the p = 1 degeneracy, the
+ * streaming DMA term, link-byte replication across the grid, and
+ * design-point ordering invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/cost_tables.h"
+#include "kernels/gemm.h"
+#include "lut/capacity.h"
+#include "nn/inference.h"
+
+namespace localut {
+namespace {
+
+GemmPlan
+planFor(const GemmEngine& engine, std::size_t m, std::size_t k,
+        std::size_t n, const char* preset, DesignPoint dp,
+        PlanOverrides ov = {})
+{
+    return engine.plan(makeShapeOnlyProblem(m, k, n,
+                                            QuantConfig::preset(preset)),
+                       dp, ov);
+}
+
+TEST(Charges, NaiveMacCountExact)
+{
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    PlanOverrides ov;
+    ov.gM = 4;
+    ov.gN = 8;
+    const GemmPlan plan =
+        planFor(engine, 64, 96, 32, "W1A3", DesignPoint::NaivePim, ov);
+    const KernelCost cost = engine.chargeCosts(plan);
+    const double expected =
+        16.0 * 4.0 * 96.0 * cost::naiveInstrPerMac(1, 3); // tileM*tileN*K
+    EXPECT_DOUBLE_EQ(cost.phase(Phase::MacCompute).instructions, expected);
+}
+
+TEST(Charges, LookupInstructionsScaleLinearlyWithTileM)
+{
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    PlanOverrides ov;
+    ov.gM = 1;
+    ov.gN = 1;
+    ov.p = 4;
+    const GemmPlan p1 =
+        planFor(engine, 64, 96, 8, "W1A3", DesignPoint::OpLcRc, ov);
+    const GemmPlan p2 =
+        planFor(engine, 128, 96, 8, "W1A3", DesignPoint::OpLcRc, ov);
+    const KernelCost c1 = engine.chargeCosts(p1);
+    const KernelCost c2 = engine.chargeCosts(p2);
+    EXPECT_DOUBLE_EQ(c2.phase(Phase::IndexCalc).instructions,
+                     2.0 * c1.phase(Phase::IndexCalc).instructions);
+    EXPECT_DOUBLE_EQ(c2.phase(Phase::ReorderAccess).instructions,
+                     2.0 * c1.phase(Phase::ReorderAccess).instructions);
+}
+
+TEST(Charges, RcLookupIsTwelveInstructionsPerGroup)
+{
+    // The paper's Section VI-I headline: 12 instructions per lookup.
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    PlanOverrides ov;
+    ov.gM = 1;
+    ov.gN = 1;
+    ov.p = 4;
+    const GemmPlan plan =
+        planFor(engine, 32, 64, 4, "W1A3", DesignPoint::OpLcRc, ov);
+    const KernelCost cost = engine.chargeCosts(plan);
+    const double lookups = 32.0 * 16.0 * 4.0; // tileM * groups * tileN
+    const double lookupInstr =
+        cost.phase(Phase::IndexCalc).instructions +
+        cost.phase(Phase::ReorderAccess).instructions +
+        cost.phase(Phase::CanonicalAccess).instructions +
+        cost.phase(Phase::Accumulate).instructions;
+    EXPECT_DOUBLE_EQ(lookupInstr, 12.0 * lookups);
+}
+
+TEST(Charges, PEqualsOneDegeneratesToOpDatapath)
+{
+    // At p = 1 sorting/reordering are identities, so OP, OP+LC+RC and
+    // LoCaLUT must charge identical instruction totals.
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    PlanOverrides ov;
+    ov.gM = 2;
+    ov.gN = 2;
+    ov.p = 1;
+    const KernelCost op = engine.chargeCosts(
+        planFor(engine, 32, 48, 8, "W4A4", DesignPoint::OpLut, ov));
+    const KernelCost rc = engine.chargeCosts(
+        planFor(engine, 32, 48, 8, "W4A4", DesignPoint::OpLcRc, ov));
+    EXPECT_DOUBLE_EQ(op.totalInstructions(), rc.totalInstructions());
+    EXPECT_DOUBLE_EQ(rc.phase(Phase::ReorderAccess).instructions, 0.0);
+}
+
+TEST(Charges, StreamingAddsLutLoadDmaOnly)
+{
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    PlanOverrides buf;
+    buf.gM = 4;
+    buf.gN = 4;
+    buf.p = 4;
+    buf.streaming = 0;
+    PlanOverrides strm = buf;
+    strm.streaming = 1;
+    const KernelCost cBuf = engine.chargeCosts(
+        planFor(engine, 64, 96, 16, "W1A3", DesignPoint::LoCaLut, buf));
+    const KernelCost cStrm = engine.chargeCosts(
+        planFor(engine, 64, 96, 16, "W1A3", DesignPoint::LoCaLut, strm));
+    EXPECT_DOUBLE_EQ(cBuf.phase(Phase::LutLoadDma).dmaBytes, 0.0);
+    EXPECT_GT(cStrm.phase(Phase::LutLoadDma).dmaBytes, 0.0);
+    // Slice bytes: (groups * tileN) pairs of 2^(bw p) * (bo + reorder).
+    const LutShape shape(QuantConfig::preset("W1A3"), 4);
+    const double slices = 24.0 * 4.0;
+    EXPECT_DOUBLE_EQ(
+        cStrm.phase(Phase::LutLoadDma).dmaBytes,
+        slices * static_cast<double>(shape.weightRows()) *
+            (2.0 + static_cast<double>(reorderEntryBytes(shape))));
+}
+
+TEST(Charges, LinkBytesReplicateAcrossGm)
+{
+    // Activation payload is replicated to every M-row group (gM).
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    PlanOverrides g1;
+    g1.gM = 1;
+    g1.gN = 4;
+    g1.p = 4;
+    PlanOverrides g4 = g1;
+    g4.gM = 4;
+    const KernelCost c1 = engine.chargeCosts(
+        planFor(engine, 64, 96, 16, "W1A3", DesignPoint::OpLcRc, g1));
+    const KernelCost c4 = engine.chargeCosts(
+        planFor(engine, 64, 96, 16, "W1A3", DesignPoint::OpLcRc, g4));
+    EXPECT_DOUBLE_EQ(c4.phase(Phase::LinkActIn).linkBytes,
+                     4.0 * c1.phase(Phase::LinkActIn).linkBytes);
+    // Output gather does not replicate.
+    EXPECT_DOUBLE_EQ(c4.phase(Phase::LinkOut).linkBytes,
+                     c1.phase(Phase::LinkOut).linkBytes);
+}
+
+TEST(Charges, OutputTrafficMatchesShape)
+{
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    PlanOverrides ov;
+    ov.gM = 2;
+    ov.gN = 4;
+    const GemmPlan plan =
+        planFor(engine, 40, 64, 20, "W2A2", DesignPoint::NaivePim, ov);
+    const KernelCost cost = engine.chargeCosts(plan);
+    EXPECT_DOUBLE_EQ(cost.phase(Phase::LinkOut).linkBytes,
+                     40.0 * 20.0 * 4.0);
+    EXPECT_DOUBLE_EQ(cost.phase(Phase::OutputDma).dmaBytes,
+                     plan.tileM * static_cast<double>(plan.tileN) * 4.0);
+}
+
+TEST(Charges, LcReorderOverheadGrowsWithP)
+{
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    double prevPerLookup = 0.0;
+    for (unsigned p = 2; p <= 4; ++p) {
+        PlanOverrides ov;
+        ov.gM = 1;
+        ov.gN = 1;
+        ov.p = p;
+        const GemmPlan plan =
+            planFor(engine, 16, 48, 4, "W1A3", DesignPoint::OpLc, ov);
+        const KernelCost cost = engine.chargeCosts(plan);
+        const double lookups = 16.0 * std::ceil(48.0 / p) * 4.0;
+        const double perLookup =
+            cost.phase(Phase::IndexCalc).instructions / lookups;
+        EXPECT_GT(perLookup, prevPerLookup);
+        prevPerLookup = perLookup;
+    }
+}
+
+TEST(Charges, SsAmortizationImprovesWithK)
+{
+    EXPECT_GT(cost::ssInstrPerLookup(1), cost::ssInstrPerLookup(2));
+    EXPECT_GT(cost::ssInstrPerLookup(2), cost::ssInstrPerLookup(8));
+    EXPECT_DOUBLE_EQ(cost::ssInstrPerLookup(1), cost::kRcInstrPerLookup);
+}
+
+TEST(Charges, HigherPackingReducesKernelInstructions)
+{
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    double prev = 1e30;
+    for (unsigned p : {2u, 4u, 8u}) {
+        PlanOverrides ov;
+        ov.gM = 1;
+        ov.gN = 1;
+        ov.p = p;
+        const KernelCost cost = engine.chargeCosts(
+            planFor(engine, 64, 96, 8, "W1A3", DesignPoint::LoCaLut, ov));
+        EXPECT_LT(cost.totalInstructions(), prev) << "p=" << p;
+        prev = cost.totalInstructions();
+    }
+}
+
+TEST(Charges, DramResidentOpChargesDmaPerLookup)
+{
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    PlanOverrides ov;
+    ov.gM = 1;
+    ov.gN = 1;
+    ov.p = 2;
+    const KernelCost cost = engine.chargeCosts(
+        planFor(engine, 16, 32, 4, "W1A3", DesignPoint::OpLutDram, ov));
+    const double lookups = 16.0 * 16.0 * 4.0;
+    EXPECT_DOUBLE_EQ(cost.phase(Phase::CanonicalAccess).dmaTransfers,
+                     lookups);
+}
+
+} // namespace
+} // namespace localut

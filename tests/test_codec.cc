@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for value codecs and quantizers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "quant/codec.h"
+#include "quant/quantizer.h"
+
+namespace localut {
+namespace {
+
+TEST(Codec, TwosComplementDecode)
+{
+    const ValueCodec c = ValueCodec::twosComplement(3);
+    // Paper Fig. 2: 3-bit two's complement activations.
+    EXPECT_EQ(c.decodeInt(0b011), 3);
+    EXPECT_EQ(c.decodeInt(0b000), 0);
+    EXPECT_EQ(c.decodeInt(0b010), 2);
+    EXPECT_EQ(c.decodeInt(0b111), -1);
+    EXPECT_EQ(c.decodeInt(0b100), -4);
+    EXPECT_EQ(c.cardinality(), 8u);
+}
+
+TEST(Codec, SignedBinaryDecode)
+{
+    const ValueCodec c = ValueCodec::signedBinary();
+    EXPECT_EQ(c.decodeInt(0), -1);
+    EXPECT_EQ(c.decodeInt(1), 1);
+    EXPECT_EQ(c.maxAbsValue(), 1.0f);
+}
+
+TEST(Codec, UnsignedDecode)
+{
+    const ValueCodec c = ValueCodec::unsignedInt(2);
+    EXPECT_EQ(c.decodeInt(3), 3);
+    EXPECT_EQ(c.decodeInt(0), 0);
+}
+
+TEST(Codec, EncodeDecodeRoundTripInt)
+{
+    for (unsigned bits : {2u, 3u, 4u, 8u}) {
+        const ValueCodec c = ValueCodec::twosComplement(bits);
+        const std::int32_t lo = -static_cast<std::int32_t>(c.cardinality()) / 2;
+        const std::int32_t hi = static_cast<std::int32_t>(c.cardinality()) / 2 - 1;
+        for (std::int32_t v = lo; v <= hi; ++v) {
+            const std::uint32_t code =
+                c.encodeNearest(static_cast<float>(v));
+            EXPECT_EQ(c.decodeInt(code), v) << "bits=" << bits;
+        }
+    }
+}
+
+TEST(Codec, EncodeClampsToRange)
+{
+    const ValueCodec c = ValueCodec::twosComplement(3);
+    EXPECT_EQ(c.decodeInt(c.encodeNearest(100.0f)), 3);
+    EXPECT_EQ(c.decodeInt(c.encodeNearest(-100.0f)), -4);
+}
+
+TEST(Codec, Fp4ValueSet)
+{
+    const ValueCodec c = ValueCodec::fp4();
+    const std::vector<float> expected = {0.0f, 0.5f, 1.0f, 1.5f,
+                                         2.0f, 3.0f, 4.0f, 6.0f};
+    for (unsigned i = 0; i < 8; ++i) {
+        EXPECT_FLOAT_EQ(c.decode(i), expected[i]);
+        EXPECT_FLOAT_EQ(c.decode(i | 0x8), -expected[i]);
+    }
+    EXPECT_FLOAT_EQ(c.maxAbsValue(), 6.0f);
+}
+
+TEST(Codec, Fp8KeyValues)
+{
+    const ValueCodec c = ValueCodec::fp8();
+    EXPECT_FLOAT_EQ(c.decode(0), 0.0f);
+    // 0.0111.000 -> exp 7 (bias 7) -> 1.0
+    EXPECT_FLOAT_EQ(c.decode(0b00111000), 1.0f);
+    // Max normal: 0.1111.110 -> (1 + 6/8) * 2^8 = 448
+    EXPECT_FLOAT_EQ(c.decode(0b01111110), 448.0f);
+    // NaN: S.1111.111
+    EXPECT_TRUE(std::isnan(c.decode(0b01111111)));
+    // Smallest subnormal: 2^-9
+    EXPECT_FLOAT_EQ(c.decode(0b00000001), std::ldexp(1.0f, -9));
+}
+
+TEST(Codec, Fp16KeyValues)
+{
+    const ValueCodec c = ValueCodec::fp16();
+    EXPECT_FLOAT_EQ(c.decode(0x3c00), 1.0f);
+    EXPECT_FLOAT_EQ(c.decode(0xc000), -2.0f);
+    EXPECT_FLOAT_EQ(c.decode(0x7bff), 65504.0f);
+    EXPECT_FLOAT_EQ(c.decode(0x0001), std::ldexp(1.0f, -24));
+    EXPECT_TRUE(std::isinf(c.decode(0x7c00)));
+}
+
+TEST(Codec, RoundToFp16MatchesDecodeGrid)
+{
+    const ValueCodec c = ValueCodec::fp16();
+    Rng rng(5);
+    for (int iter = 0; iter < 500; ++iter) {
+        // Any decodable finite value must round to itself.
+        const std::uint32_t code =
+            static_cast<std::uint32_t>(rng.nextBounded(0x7c00));
+        const float v = c.decode(code);
+        EXPECT_EQ(roundToFp16(v), v) << "code=" << code;
+    }
+    // Values between fp16 grid points round to a representable neighbor.
+    EXPECT_EQ(roundToFp16(1.0002f), 1.0f);
+    EXPECT_EQ(roundToFp16(0.0f), 0.0f);
+}
+
+TEST(Quantizer, SymmetricScale)
+{
+    const std::vector<float> data = {-2.0f, 1.0f, 0.5f, 2.0f};
+    const auto qm =
+        Quantizer::quantize(data, 2, 2, ValueCodec::twosComplement(4));
+    EXPECT_FLOAT_EQ(qm.scale, 2.0f / 7.0f);
+    const auto back = Quantizer::dequantize(qm);
+    for (unsigned i = 0; i < data.size(); ++i) {
+        EXPECT_NEAR(back[i], data[i], qm.scale * 0.51f);
+    }
+}
+
+TEST(Quantizer, AllZeroInput)
+{
+    const std::vector<float> data(16, 0.0f);
+    const auto qm =
+        Quantizer::quantize(data, 4, 4, ValueCodec::twosComplement(4));
+    EXPECT_FLOAT_EQ(qm.scale, 1.0f);
+    for (auto code : qm.codes) {
+        EXPECT_EQ(qm.codec.decodeInt(code), 0);
+    }
+}
+
+TEST(Quantizer, SignedBinaryKeepsSigns)
+{
+    const std::vector<float> data = {-0.3f, 0.7f, -1.2f, 0.01f};
+    const auto qm = Quantizer::quantize(data, 1, 4, ValueCodec::signedBinary());
+    EXPECT_EQ(qm.codec.decodeInt(qm.codes[0]), -1);
+    EXPECT_EQ(qm.codec.decodeInt(qm.codes[1]), 1);
+    EXPECT_EQ(qm.codec.decodeInt(qm.codes[2]), -1);
+    EXPECT_EQ(qm.codec.decodeInt(qm.codes[3]), 1);
+}
+
+TEST(Quantizer, PackedBytes)
+{
+    QuantizedMatrix qm;
+    qm.rows = 7;
+    qm.cols = 3;
+    qm.codec = ValueCodec::twosComplement(3);
+    qm.codes.assign(21, 0);
+    EXPECT_EQ(qm.packedBytes(), (21u * 3 + 7) / 8);
+}
+
+TEST(QuantConfig, Presets)
+{
+    const auto w1a3 = QuantConfig::preset("W1A3");
+    EXPECT_EQ(w1a3.bw(), 1u);
+    EXPECT_EQ(w1a3.ba(), 3u);
+    EXPECT_EQ(w1a3.weightCodec.kind(), CodecKind::SignedBinary);
+    EXPECT_EQ(w1a3.actCodec.kind(), CodecKind::TwosComplement);
+    EXPECT_EQ(w1a3.name(), "W1A3");
+
+    const auto w4a4 = QuantConfig::preset("W4A4");
+    EXPECT_EQ(w4a4.weightCodec.kind(), CodecKind::TwosComplement);
+
+    const auto fp = QuantConfig::fpPreset(1, 4);
+    EXPECT_EQ(fp.actCodec.kind(), CodecKind::Fp4E2M1);
+    EXPECT_EQ(QuantConfig::paperConfigs().size(), 4u);
+}
+
+TEST(ReferenceGemm, SmallKnownProduct)
+{
+    // W = [[1, -1], [0, 2]] (int2 codes), A = [[3, 0], [-2, 1]] (int3)
+    QuantizedMatrix w;
+    w.rows = 2;
+    w.cols = 2;
+    w.codec = ValueCodec::twosComplement(2);
+    w.codes = {
+        static_cast<std::uint16_t>(w.codec.encodeNearest(1.0f)),
+        static_cast<std::uint16_t>(w.codec.encodeNearest(-1.0f)),
+        static_cast<std::uint16_t>(w.codec.encodeNearest(0.0f)),
+        static_cast<std::uint16_t>(w.codec.encodeNearest(1.0f)),
+    };
+    QuantizedMatrix a;
+    a.rows = 2;
+    a.cols = 2;
+    a.codec = ValueCodec::twosComplement(3);
+    a.codes = {
+        static_cast<std::uint16_t>(a.codec.encodeNearest(3.0f)),
+        static_cast<std::uint16_t>(a.codec.encodeNearest(0.0f)),
+        static_cast<std::uint16_t>(a.codec.encodeNearest(-2.0f)),
+        static_cast<std::uint16_t>(a.codec.encodeNearest(1.0f)),
+    };
+    const auto out = referenceGemmInt(w, a);
+    // [[1*3 + -1*-2, 1*0 + -1*1], [0*3 + 1*-2, 0*0 + 1*1]]
+    EXPECT_EQ(out, (std::vector<std::int32_t>{5, -1, -2, 1}));
+}
+
+} // namespace
+} // namespace localut

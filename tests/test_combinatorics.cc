@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit + property tests for the combinatorial primitives behind LUT
+ * canonicalization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/combinatorics.h"
+#include "common/rng.h"
+
+namespace localut {
+namespace {
+
+TEST(Binomial, SmallValues)
+{
+    EXPECT_EQ(binomial(0, 0), 1u);
+    EXPECT_EQ(binomial(5, 0), 1u);
+    EXPECT_EQ(binomial(5, 5), 1u);
+    EXPECT_EQ(binomial(5, 2), 10u);
+    EXPECT_EQ(binomial(10, 3), 120u);
+    EXPECT_EQ(binomial(3, 5), 0u);
+}
+
+TEST(Binomial, PascalIdentity)
+{
+    for (unsigned n = 1; n < 40; ++n) {
+        for (unsigned k = 1; k <= n; ++k) {
+            EXPECT_EQ(binomial(n, k),
+                      binomial(n - 1, k - 1) + binomial(n - 1, k));
+        }
+    }
+}
+
+TEST(Binomial, PaperCanonicalColumnCounts)
+{
+    // Paper Section IV-A: for 3-bit activations the column reduction is
+    // 12.4x at p = 4 and 611.1x at p = 7.
+    const double r4 = static_cast<double>(1ull << (3 * 4)) /
+                      static_cast<double>(multisetCount(8, 4));
+    const double r7 = static_cast<double>(1ull << (3 * 7)) /
+                      static_cast<double>(multisetCount(8, 7));
+    EXPECT_NEAR(r4, 12.4, 0.05);
+    EXPECT_NEAR(r7, 611.1, 0.5);
+}
+
+TEST(Factorial, Values)
+{
+    EXPECT_EQ(factorial(0), 1u);
+    EXPECT_EQ(factorial(1), 1u);
+    EXPECT_EQ(factorial(8), 40320u);
+    EXPECT_EQ(factorial(20), 2432902008176640000ull);
+}
+
+TEST(MultisetCount, MatchesFormula)
+{
+    // C(alphabet + p - 1, p)
+    EXPECT_EQ(multisetCount(8, 3), binomial(10, 3));
+    EXPECT_EQ(multisetCount(2, 7), binomial(8, 7));
+    EXPECT_EQ(multisetCount(16, 4), binomial(19, 4));
+}
+
+/** Enumerates all sorted tuples of length p over [0, s). */
+std::vector<std::vector<std::uint16_t>>
+allSortedTuples(unsigned s, unsigned p)
+{
+    std::vector<std::vector<std::uint16_t>> out;
+    std::vector<std::uint16_t> cur(p, 0);
+    while (true) {
+        out.push_back(cur);
+        // Next multiset in lexicographic order.
+        int i = static_cast<int>(p) - 1;
+        while (i >= 0 && cur[static_cast<unsigned>(i)] == s - 1) {
+            --i;
+        }
+        if (i < 0) {
+            break;
+        }
+        const std::uint16_t v = static_cast<std::uint16_t>(
+            cur[static_cast<unsigned>(i)] + 1);
+        for (unsigned j = static_cast<unsigned>(i); j < p; ++j) {
+            cur[j] = v;
+        }
+    }
+    return out;
+}
+
+struct MultisetParam {
+    unsigned alphabet;
+    unsigned p;
+};
+
+class MultisetRankBijection
+    : public ::testing::TestWithParam<MultisetParam>
+{};
+
+TEST_P(MultisetRankBijection, RankIsBijective)
+{
+    const auto [s, p] = GetParam();
+    const auto tuples = allSortedTuples(s, p);
+    ASSERT_EQ(tuples.size(), multisetCount(s, p));
+    std::set<std::uint64_t> seen;
+    for (const auto& t : tuples) {
+        const std::uint64_t r = multisetRank(t, s);
+        EXPECT_LT(r, multisetCount(s, p));
+        EXPECT_TRUE(seen.insert(r).second) << "duplicate rank " << r;
+        // Round trip.
+        std::vector<std::uint16_t> back(p);
+        multisetUnrank(r, s, back);
+        EXPECT_EQ(back, t);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultisetRankBijection,
+    ::testing::Values(MultisetParam{2, 1}, MultisetParam{2, 4},
+                      MultisetParam{2, 8}, MultisetParam{4, 3},
+                      MultisetParam{4, 6}, MultisetParam{8, 2},
+                      MultisetParam{8, 4}, MultisetParam{8, 5},
+                      MultisetParam{16, 3}, MultisetParam{3, 7}));
+
+TEST(MultisetRank, LargeAlphabetRoundTrip)
+{
+    // FP16 activations: alphabet 65536, p = 2 (used by the W1A16 study).
+    Rng rng(7);
+    for (int iter = 0; iter < 200; ++iter) {
+        std::vector<std::uint16_t> t(2);
+        t[0] = static_cast<std::uint16_t>(rng.nextBounded(65536));
+        t[1] = static_cast<std::uint16_t>(rng.nextBounded(65536));
+        std::sort(t.begin(), t.end());
+        const std::uint64_t r = multisetRank(t, 65536);
+        EXPECT_LT(r, multisetCount(65536, 2));
+        std::vector<std::uint16_t> back(2);
+        multisetUnrank(r, 65536, back);
+        EXPECT_EQ(back, t);
+    }
+}
+
+class PermutationRankBijection : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(PermutationRankBijection, RankIsBijectiveAndLex)
+{
+    const unsigned n = GetParam();
+    std::vector<std::uint8_t> perm(n);
+    for (unsigned i = 0; i < n; ++i) {
+        perm[i] = static_cast<std::uint8_t>(i);
+    }
+    std::uint32_t expected = 0;
+    do {
+        EXPECT_EQ(permutationRank(perm), expected);
+        std::vector<std::uint8_t> back(n);
+        permutationUnrank(expected, back);
+        EXPECT_EQ(back, perm);
+        ++expected;
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(expected, factorial(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PermutationRankBijection,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u));
+
+TEST(StableArgsort, SortsAndIsStable)
+{
+    const std::vector<std::uint16_t> codes = {3, 1, 3, 0, 1};
+    const auto perm = stableArgsort(codes);
+    // Sorted order: 0(idx 3), 1(idx 1), 1(idx 4), 3(idx 0), 3(idx 2)
+    const std::vector<std::uint8_t> expected = {3, 1, 4, 0, 2};
+    EXPECT_EQ(perm, expected);
+}
+
+TEST(StableArgsort, ProducesSortedSequence)
+{
+    Rng rng(13);
+    for (int iter = 0; iter < 100; ++iter) {
+        std::vector<std::uint16_t> codes(8);
+        for (auto& c : codes) {
+            c = static_cast<std::uint16_t>(rng.nextBounded(8));
+        }
+        const auto perm = stableArgsort(codes);
+        for (unsigned i = 1; i < codes.size(); ++i) {
+            EXPECT_LE(codes[perm[i - 1]], codes[perm[i]]);
+        }
+    }
+}
+
+} // namespace
+} // namespace localut

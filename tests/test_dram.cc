@@ -1,0 +1,91 @@
+/**
+ * @file
+ * DRAM bank state-machine tests: command legality, row-hit vs row-miss
+ * latencies, counters, and the bank-level streaming measurement.
+ */
+
+#include <gtest/gtest.h>
+
+#include "banklevel/bank_pim.h"
+#include "dram/timing.h"
+
+namespace localut {
+namespace {
+
+TEST(DramBank, RowHitIsCheaperThanRowMiss)
+{
+    const DramTimingParams t = DramTimingParams::upmemDdr4();
+    DramBank bank(t);
+    bank.issue(DramCommand::Act, 0, 0);
+    const std::uint64_t rd0 = bank.issue(DramCommand::Rd, 0, 0);
+    // Streaming reads to the open row pipeline at tCCD.
+    const std::uint64_t rd1 = bank.issue(DramCommand::Rd, 0, rd0);
+    EXPECT_EQ(rd1 - rd0, t.tCCD);
+    // A row miss pays PRE + ACT + tRCD.
+    const std::uint64_t missReady = bank.readBurst(1, rd1);
+    EXPECT_GT(missReady - rd1,
+              static_cast<std::uint64_t>(t.tRP + t.tRCD));
+}
+
+TEST(DramBank, CountersTrackCommands)
+{
+    DramBank bank(DramTimingParams::hbm2());
+    std::uint64_t t = 0;
+    for (int i = 0; i < 10; ++i) {
+        t = bank.readBurst(static_cast<std::uint32_t>(i % 2), t);
+    }
+    EXPECT_EQ(bank.reads(), 10u);
+    EXPECT_EQ(bank.activations(), 10u); // alternating rows: all misses
+    t = bank.writeBurst(1, t);
+    EXPECT_EQ(bank.writes(), 1u);
+}
+
+TEST(DramBank, ActRespectsTRasAndTRp)
+{
+    const DramTimingParams t = DramTimingParams::upmemDdr4();
+    DramBank bank(t);
+    const std::uint64_t act0 = bank.issue(DramCommand::Act, 0, 0);
+    const std::uint64_t pre = bank.issue(DramCommand::Pre, 0, act0);
+    EXPECT_GE(pre - act0, static_cast<std::uint64_t>(t.tRAS));
+    const std::uint64_t act1 = bank.issue(DramCommand::Act, 1, pre);
+    EXPECT_GE(act1 - pre, static_cast<std::uint64_t>(t.tRP));
+}
+
+TEST(DramBank, IllegalCommandsPanic)
+{
+    DramBank bank(DramTimingParams::hbm2());
+    EXPECT_ANY_THROW(bank.issue(DramCommand::Rd, 0, 0)); // no open row
+    EXPECT_ANY_THROW(bank.issue(DramCommand::Pre, 0, 0));
+    bank.issue(DramCommand::Act, 3, 0);
+    EXPECT_ANY_THROW(bank.issue(DramCommand::Rd, 5, 0)); // wrong row
+    EXPECT_ANY_THROW(bank.issue(DramCommand::Act, 4, 0)); // already open
+}
+
+TEST(DramBank, EnergyIsPositiveAndMonotonic)
+{
+    const DramEnergyParams e = DramEnergyParams::hbm2();
+    DramBank bank(DramTimingParams::hbm2());
+    std::uint64_t t = 0;
+    t = bank.readBurst(0, t);
+    const double e1 = bank.energyJoules(e, t);
+    t = bank.readBurst(1, t);
+    const double e2 = bank.energyJoules(e, t);
+    EXPECT_GT(e1, 0.0);
+    EXPECT_GT(e2, e1);
+}
+
+TEST(StreamingReadCycles, ScalesLinearlyWithRows)
+{
+    const BankLevelPim pim((BankPimConfig()));
+    const unsigned readsPerRow = BankPimConfig().dram.rowBytes /
+                                 BankPimConfig().dram.burstBytes;
+    const double oneRow = pim.streamingReadCycles(readsPerRow);
+    const double fourRows = pim.streamingReadCycles(4.0 * readsPerRow);
+    EXPECT_GT(oneRow, 0.0);
+    // Row costs amortize: 4 rows cost ~<= 4x one row + slack, >= 3x.
+    EXPECT_LT(fourRows, 4.5 * oneRow);
+    EXPECT_GT(fourRows, 3.0 * oneRow);
+}
+
+} // namespace
+} // namespace localut

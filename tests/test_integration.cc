@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Cross-module integration sweeps: planner feasibility and correctness
+ * over the full preset x shape grid, engine determinism, equivalence of
+ * the reordering LUT with explicit permutation across every paper config,
+ * and end-to-end sanity for every design point on every model config.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernels/functional.h"
+#include "kernels/gemm.h"
+#include "nn/inference.h"
+
+namespace localut {
+namespace {
+
+struct GridCase {
+    const char* preset;
+    std::size_t m, k, n;
+};
+
+std::ostream&
+operator<<(std::ostream& os, const GridCase& c)
+{
+    return os << c.preset << "_" << c.m << "x" << c.k << "x" << c.n;
+}
+
+class PlannerGrid : public ::testing::TestWithParam<GridCase>
+{};
+
+TEST_P(PlannerGrid, PlanIsFeasibleAndRunnable)
+{
+    const auto& c = GetParam();
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+    const GemmEngine engine(sys);
+    const GemmProblem problem =
+        makeShapeOnlyProblem(c.m, c.k, c.n, QuantConfig::preset(c.preset));
+    for (DesignPoint dp :
+         {DesignPoint::NaivePim, DesignPoint::Ltc, DesignPoint::OpLut,
+          DesignPoint::OpLc, DesignPoint::OpLcRc, DesignPoint::LoCaLut}) {
+        const GemmPlan plan = engine.plan(problem, dp);
+        EXPECT_GE(plan.p, 1u);
+        EXPECT_LE(plan.dpusUsed(), sys.totalDpus());
+        EXPECT_GE(plan.tileM * plan.gM, c.m);
+        EXPECT_GE(plan.tileN * static_cast<std::size_t>(plan.gN), c.n);
+        EXPECT_LE(plan.lutWramBytes, sys.dpu.wramLutBudget());
+        const GemmResult r = engine.run(problem, plan, false);
+        EXPECT_GT(r.timing.total, 0.0) << designPointName(dp);
+        EXPECT_GT(r.energy.total, 0.0) << designPointName(dp);
+    }
+}
+
+TEST_P(PlannerGrid, LoCaLutNeverLosesToItsOwnAblations)
+{
+    // The planner-driven design point subsumes OP+LC+RC (it may pick the
+    // same configuration), so it must never be slower.
+    const auto& c = GetParam();
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    const GemmProblem problem =
+        makeShapeOnlyProblem(c.m, c.k, c.n, QuantConfig::preset(c.preset));
+    const double tRc =
+        engine.run(problem, DesignPoint::OpLcRc, false).timing.total;
+    const double tLocalut =
+        engine.run(problem, DesignPoint::LoCaLut, false).timing.total;
+    EXPECT_LE(tLocalut, tRc * 1.0001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlannerGrid,
+    ::testing::Values(GridCase{"W1A3", 768, 768, 128},
+                      GridCase{"W1A3", 3072, 768, 128},
+                      GridCase{"W1A4", 768, 768, 128},
+                      GridCase{"W2A2", 3072, 768, 128},
+                      GridCase{"W4A4", 768, 768, 128},
+                      GridCase{"W1A3", 128, 128, 32},
+                      GridCase{"W2A2", 768, 3072, 4096},
+                      GridCase{"W4A4", 768, 768, 32},
+                      GridCase{"W1A8", 512, 512, 64},
+                      GridCase{"W1A3", 12288, 192, 1024}));
+
+TEST(Determinism, SameSeedSameEverything)
+{
+    const QuantConfig cfg = QuantConfig::preset("W2A2");
+    const GemmProblem p1 = makeRandomProblem(32, 48, 16, cfg, 77);
+    const GemmProblem p2 = makeRandomProblem(32, 48, 16, cfg, 77);
+    EXPECT_EQ(p1.w.codes, p2.w.codes);
+    EXPECT_EQ(p1.a.codes, p2.a.codes);
+
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    const GemmResult r1 = engine.run(p1, DesignPoint::LoCaLut);
+    const GemmResult r2 = engine.run(p2, DesignPoint::LoCaLut);
+    EXPECT_EQ(r1.outInt, r2.outInt);
+    EXPECT_DOUBLE_EQ(r1.timing.total, r2.timing.total);
+    EXPECT_DOUBLE_EQ(r1.energy.total, r2.energy.total);
+}
+
+class ReorderEquivalence : public ::testing::TestWithParam<const char*>
+{};
+
+TEST_P(ReorderEquivalence, ExplicitPermutationMatchesReorderLut)
+{
+    // The reordering LUT must be a pure strength-reduction: identical
+    // values to explicit unpack/permute/repack at every feasible p.
+    const QuantConfig cfg = QuantConfig::preset(GetParam());
+    const GemmProblem problem = makeRandomProblem(12, 29, 5, cfg, 31);
+    const unsigned pMax = cfg.bw() >= 4 ? 3u : 5u;
+    for (unsigned p = 2; p <= pMax; ++p) {
+        EXPECT_EQ(functional::canonicalInt(
+                      problem, p, functional::ReorderMode::Explicit),
+                  functional::canonicalInt(
+                      problem, p, functional::ReorderMode::ReorderLut))
+            << "p=" << p;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ReorderEquivalence,
+                         ::testing::Values("W1A3", "W1A4", "W2A2", "W4A4",
+                                           "W2A4", "W1A2"));
+
+TEST(EndToEnd, EveryDesignRunsEveryModelConfig)
+{
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+    const TransformerConfig models[] = {TransformerConfig::bertBase(),
+                                        TransformerConfig::vitBase(),
+                                        TransformerConfig::opt125m()};
+    for (const auto& model : models) {
+        for (const char* preset : {"W1A3", "W4A4"}) {
+            for (DesignPoint dp :
+                 {DesignPoint::NaivePim, DesignPoint::OpLut,
+                  DesignPoint::LoCaLut}) {
+                const TransformerRunner runner(
+                    sys, QuantConfig::preset(preset), dp);
+                const InferenceReport r = runner.prefill(model, 8, 64);
+                EXPECT_GT(r.timing.total, 0.0)
+                    << model.name << " " << preset;
+                EXPECT_GT(r.gemmSeconds, 0.0);
+            }
+        }
+    }
+}
+
+TEST(EndToEnd, DecodeNeverSlowerThanPrefillPerToken)
+{
+    // A decode step (N = batch) does strictly less GEMM work than a
+    // prefill over the same tokens.
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+    const TransformerRunner runner(sys, QuantConfig::preset("W4A4"),
+                                   DesignPoint::LoCaLut);
+    const auto model = TransformerConfig::opt125m();
+    const double prefill128 =
+        runner.prefill(model, 16, 128).timing.total / 128.0;
+    const double decode1 =
+        runner.decode(model, 16, 128, 8).timing.total / 8.0;
+    // Per generated token decode costs more than prefill's amortized
+    // per-token cost (the classic prefill/decode asymmetry).
+    EXPECT_GT(decode1, prefill128);
+}
+
+TEST(KSlices, MeasuredTimeImprovesOrPHolds)
+{
+    // For W1Ax, forcing larger k must not reduce the feasible p and must
+    // not slow the measured kernel (Fig. 13's left half).
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    const GemmProblem problem =
+        makeShapeOnlyProblem(3072, 768, 128, QuantConfig::preset("W1A3"));
+    double prev = 1e30;
+    for (unsigned k : {1u, 2u, 4u, 8u}) {
+        PlanOverrides ov;
+        ov.kSlices = k;
+        const GemmPlan plan = engine.plan(problem, DesignPoint::LoCaLut, ov);
+        EXPECT_EQ(plan.p, 8u) << "k=" << k;
+        const double t = engine.run(problem, plan, false).timing.total;
+        EXPECT_LE(t, prev * 1.0001) << "k=" << k;
+        prev = t;
+    }
+}
+
+} // namespace
+} // namespace localut

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Unit + property tests for the LUT structures: operation-packed LUT,
+ * canonical LUT (paper Fig. 4), reordering LUT (Fig. 5), capacity model
+ * (Fig. 6), and the canonicalization invariant itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "upmem/params.h"
+#include "lut/canonical_lut.h"
+#include "lut/canonicalizer.h"
+#include "lut/capacity.h"
+#include "lut/packed_lut.h"
+#include "lut/reordering_lut.h"
+
+namespace localut {
+namespace {
+
+struct ShapeParam {
+    const char* preset;
+    unsigned p;
+};
+
+std::ostream&
+operator<<(std::ostream& os, const ShapeParam& s)
+{
+    return os << s.preset << "_p" << s.p;
+}
+
+class LutShapeSweep : public ::testing::TestWithParam<ShapeParam>
+{
+  protected:
+    LutShape
+    shape() const
+    {
+        return LutShape(QuantConfig::preset(GetParam().preset),
+                        GetParam().p);
+    }
+};
+
+/** Brute-force dot product of decoded codes. */
+std::int32_t
+dotInt(const LutShape& s, std::span<const std::uint16_t> w,
+       std::span<const std::uint16_t> a)
+{
+    std::int32_t acc = 0;
+    for (unsigned i = 0; i < s.p; ++i) {
+        acc += s.wCodec.decodeInt(w[i]) * s.aCodec.decodeInt(a[i]);
+    }
+    return acc;
+}
+
+TEST_P(LutShapeSweep, PackedLutMatchesBruteForce)
+{
+    const LutShape s = shape();
+    if (s.opColumns() * s.weightRows() > (1u << 22)) {
+        GTEST_SKIP() << "too large for exhaustive check";
+    }
+    const OperationPackedLut lut(s);
+    Rng rng(99);
+    std::vector<std::uint16_t> w(s.p), a(s.p);
+    for (int iter = 0; iter < 500; ++iter) {
+        for (unsigned i = 0; i < s.p; ++i) {
+            w[i] = static_cast<std::uint16_t>(
+                rng.nextBounded(s.wCodec.cardinality()));
+            a[i] = static_cast<std::uint16_t>(
+                rng.nextBounded(s.aCodec.cardinality()));
+        }
+        EXPECT_EQ(lut.lookupInt(packCodes(w, s.bw()), packCodes(a, s.ba())),
+                  dotInt(s, w, a));
+    }
+}
+
+TEST_P(LutShapeSweep, CanonicalLutMatchesBruteForceViaCanonicalization)
+{
+    const LutShape s = shape();
+    const CanonicalLut canon(s);
+    const ActivationCanonicalizer canonicalizer(s);
+    Rng rng(7);
+    std::vector<std::uint16_t> w(s.p), a(s.p), wSorted(s.p);
+    std::vector<std::uint8_t> perm(s.p);
+    for (int iter = 0; iter < 500; ++iter) {
+        for (unsigned i = 0; i < s.p; ++i) {
+            w[i] = static_cast<std::uint16_t>(
+                rng.nextBounded(s.wCodec.cardinality()));
+            a[i] = static_cast<std::uint16_t>(
+                rng.nextBounded(s.aCodec.cardinality()));
+        }
+        const CanonicalGroup g = canonicalizer.canonicalize(a);
+        permutationUnrank(g.permRank, perm);
+        for (unsigned i = 0; i < s.p; ++i) {
+            wSorted[i] = w[perm[i]];
+        }
+        EXPECT_EQ(
+            canon.lookupInt(g.multisetRank, packCodes(wSorted, s.bw())),
+            dotInt(s, w, a));
+    }
+}
+
+TEST_P(LutShapeSweep, ReorderingLutMatchesExplicitPermutation)
+{
+    const LutShape s = shape();
+    const ReorderingLut reorder(s);
+    Rng rng(21);
+    std::vector<std::uint16_t> w(s.p), expected(s.p);
+    std::vector<std::uint8_t> perm(s.p);
+    for (int iter = 0; iter < 300; ++iter) {
+        for (unsigned i = 0; i < s.p; ++i) {
+            w[i] = static_cast<std::uint16_t>(
+                rng.nextBounded(s.wCodec.cardinality()));
+        }
+        const std::uint32_t permRank = static_cast<std::uint32_t>(
+            rng.nextBounded(factorial(s.p)));
+        permutationUnrank(permRank, perm);
+        for (unsigned i = 0; i < s.p; ++i) {
+            expected[i] = w[perm[i]];
+        }
+        EXPECT_EQ(reorder.lookup(permRank, packCodes(w, s.bw())),
+                  packCodes(expected, s.bw()));
+    }
+}
+
+TEST_P(LutShapeSweep, JointPermutationInvariance)
+{
+    // The core canonicalization insight (paper Fig. 4a): the inner product
+    // is invariant under any joint permutation of (w_i, a_i) pairs, so the
+    // canonical column must agree for all permuted variants.
+    const LutShape s = shape();
+    const ActivationCanonicalizer canonicalizer(s);
+    Rng rng(3);
+    std::vector<std::uint16_t> a(s.p), aPerm(s.p);
+    std::vector<std::uint8_t> perm(s.p);
+    for (int iter = 0; iter < 200; ++iter) {
+        for (unsigned i = 0; i < s.p; ++i) {
+            a[i] = static_cast<std::uint16_t>(
+                rng.nextBounded(s.aCodec.cardinality()));
+        }
+        const std::uint32_t permRank = static_cast<std::uint32_t>(
+            rng.nextBounded(factorial(s.p)));
+        permutationUnrank(permRank, perm);
+        for (unsigned i = 0; i < s.p; ++i) {
+            aPerm[i] = a[perm[i]];
+        }
+        EXPECT_EQ(canonicalizer.canonicalize(a).multisetRank,
+                  canonicalizer.canonicalize(aPerm).multisetRank);
+    }
+}
+
+TEST_P(LutShapeSweep, ColumnSliceMatchesPointLookups)
+{
+    const LutShape s = shape();
+    const CanonicalLut canon(s);
+    Rng rng(17);
+    for (int iter = 0; iter < 20; ++iter) {
+        const std::uint64_t col = rng.nextBounded(canon.cols());
+        const auto slice = canon.columnInt(col);
+        ASSERT_EQ(slice.size(), canon.rows());
+        for (std::uint64_t r = 0; r < canon.rows(); r += 7) {
+            EXPECT_EQ(slice[r], canon.lookupInt(col, r));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LutShapeSweep,
+    ::testing::Values(ShapeParam{"W1A3", 1}, ShapeParam{"W1A3", 2},
+                      ShapeParam{"W1A3", 3}, ShapeParam{"W1A3", 4},
+                      ShapeParam{"W1A3", 5}, ShapeParam{"W1A3", 6},
+                      ShapeParam{"W1A3", 7}, ShapeParam{"W1A3", 8},
+                      ShapeParam{"W1A4", 2}, ShapeParam{"W1A4", 4},
+                      ShapeParam{"W1A4", 6}, ShapeParam{"W2A2", 2},
+                      ShapeParam{"W2A2", 3}, ShapeParam{"W2A2", 4},
+                      ShapeParam{"W2A2", 5}, ShapeParam{"W4A4", 1},
+                      ShapeParam{"W4A4", 2}, ShapeParam{"W4A4", 3},
+                      ShapeParam{"W1A2", 6}, ShapeParam{"W1A2", 8},
+                      ShapeParam{"W2A4", 2}, ShapeParam{"W2A4", 3},
+                      ShapeParam{"W1A8", 2}, ShapeParam{"W1A8", 3}));
+
+TEST(CanonicalLut, VirtualModeMatchesMaterialized)
+{
+    const LutShape s(QuantConfig::preset("W1A3"), 4);
+    const CanonicalLut mat(s);
+    const CanonicalLut virt(s, /*materializeLimitBytes=*/0);
+    ASSERT_TRUE(mat.materialized());
+    ASSERT_FALSE(virt.materialized());
+    for (std::uint64_t col = 0; col < mat.cols(); ++col) {
+        for (std::uint64_t r = 0; r < mat.rows(); ++r) {
+            ASSERT_EQ(mat.lookupInt(col, r), virt.lookupInt(col, r));
+        }
+        EXPECT_EQ(mat.columnInt(col), virt.columnInt(col));
+    }
+}
+
+TEST(Capacity, MatchesClosedForms)
+{
+    const LutShape s(QuantConfig::preset("W1A3"), 4);
+    EXPECT_EQ(opPackedLutBytes(s), 2ull << (4 * 4));
+    EXPECT_EQ(canonicalLutBytes(s), 2ull * 16 * binomial(11, 4));
+    EXPECT_EQ(reorderingLutBytes(s), 2ull * 16 * 24);
+}
+
+TEST(Capacity, PaperFig6ExactEndpoints)
+{
+    // Paper Fig. 6 (W1A3): total reduction rate 1.68x at p = 2 and 358x
+    // at p = 8; these are exact with 2-byte-aligned reordering entries.
+    const QuantConfig cfg = QuantConfig::preset("W1A3");
+    EXPECT_NEAR(totalReductionRate(LutShape(cfg, 2)), 1.684, 0.01);
+    EXPECT_NEAR(totalReductionRate(LutShape(cfg, 8)), 358.4, 1.0);
+}
+
+TEST(Capacity, PaperReductionRange)
+{
+    // Fig. 6: total reduction (OP vs canonical+reordering) spans roughly
+    // 1.68x at p = 2 to 358x at p = 8 for W1A3.
+    const QuantConfig cfg = QuantConfig::preset("W1A3");
+    const double r2 = totalReductionRate(LutShape(cfg, 2));
+    const double r8 = totalReductionRate(LutShape(cfg, 8));
+    EXPECT_GT(r2, 1.3);
+    EXPECT_LT(r2, 2.5);
+    EXPECT_GT(r8, 250.0);
+    EXPECT_LT(r8, 700.0);
+    // Monotonically improving with p.
+    double prev = 0.0;
+    for (unsigned p = 2; p <= 8; ++p) {
+        const double r = totalReductionRate(LutShape(cfg, p));
+        EXPECT_GT(r, prev);
+        prev = r;
+    }
+}
+
+TEST(Capacity, PaperPackingDegrees)
+{
+    // Paper Section V: with half of MRAM/WRAM devoted to LUTs, W1A3
+    // reaches p_DRAM ~ 8; without canonicalization p_local drops to 3.
+    const DpuParams dpu;
+    const QuantConfig cfg = QuantConfig::preset("W1A3");
+    EXPECT_EQ(maxPackingDegree(dpu.mramLutBudget(), cfg, true, true), 8u);
+    EXPECT_EQ(maxPackingDegree(dpu.wramLutBudget(), cfg, false, false), 3u);
+    EXPECT_EQ(maxPackingDegree(dpu.wramLutBudget(), cfg, true, true), 4u);
+}
+
+TEST(Capacity, OverflowSaturates)
+{
+    const LutShape s(QuantConfig::preset("W4A4"), 12);
+    EXPECT_EQ(opPackedLutBytes(s),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+} // namespace
+} // namespace localut

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * End-to-end transformer runner tests: model configs, prefill/decode
+ * scaling, batch-size behaviour, and the Fig. 10 end-to-end ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/inference.h"
+
+namespace localut {
+namespace {
+
+TEST(TransformerConfig, ParameterCounts)
+{
+    // BERT-base / ViT-Base transformer stacks are ~85M parameters
+    // (embeddings excluded).
+    const auto bert = TransformerConfig::bertBase();
+    EXPECT_NEAR(static_cast<double>(bert.parameterCount()), 85e6, 1e6);
+    EXPECT_EQ(bert.headDim(), 64u);
+    EXPECT_EQ(TransformerConfig::vitBase().defaultSeqLen, 197u);
+}
+
+TEST(TransformerRunner, PrefillScalesWithLayersAndBatch)
+{
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+    const TransformerRunner runner(sys, QuantConfig::preset("W1A3"),
+                                   DesignPoint::LoCaLut);
+    auto model = TransformerConfig::bertBase();
+    const double t1 = runner.prefill(model, 1, 128).timing.total;
+    model.layers = 24;
+    const double t2 = runner.prefill(model, 1, 128).timing.total;
+    EXPECT_NEAR(t2 / t1, 2.0, 0.05);
+
+    model.layers = 12;
+    const double b1 = runner.prefill(model, 8, 128).timing.total;
+    const double b4 = runner.prefill(model, 32, 128).timing.total;
+    EXPECT_GT(b4, b1); // more tokens, more time
+    EXPECT_LT(b4, 4.5 * b1);
+}
+
+TEST(TransformerRunner, DecodeScalesWithSteps)
+{
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+    const TransformerRunner runner(sys, QuantConfig::preset("W4A4"),
+                                   DesignPoint::LoCaLut);
+    const auto model = TransformerConfig::opt125m();
+    const double t4 = runner.decode(model, 8, 128, 4).timing.total;
+    const double t16 = runner.decode(model, 8, 128, 16).timing.total;
+    EXPECT_NEAR(t16 / t4, 4.0, 0.5);
+}
+
+TEST(TransformerRunner, Fig10EndToEndOrdering)
+{
+    // Paper Fig. 10: LoCaLUT beats Naive and LTC end to end on all models.
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+    struct Case {
+        TransformerConfig model;
+        const char* preset;
+    };
+    const Case cases[] = {
+        {TransformerConfig::bertBase(), "W1A3"},
+        {TransformerConfig::bertBase(), "W4A4"},
+        {TransformerConfig::vitBase(), "W2A2"},
+    };
+    for (const auto& c : cases) {
+        auto timeFor = [&](DesignPoint dp) {
+            const TransformerRunner runner(sys, QuantConfig::preset(c.preset),
+                                           dp);
+            return runner.prefill(c.model, 32, c.model.defaultSeqLen)
+                .timing.total;
+        };
+        const double naive = timeFor(DesignPoint::NaivePim);
+        const double ltc = timeFor(DesignPoint::Ltc);
+        const double op = timeFor(DesignPoint::OpLut);
+        const double localut = timeFor(DesignPoint::LoCaLut);
+        EXPECT_LT(localut, naive) << c.model.name << " " << c.preset;
+        EXPECT_LT(localut, ltc) << c.model.name << " " << c.preset;
+        EXPECT_LE(localut, op) << c.model.name << " " << c.preset;
+    }
+}
+
+TEST(TransformerRunner, BreakdownHasGemmAndHostParts)
+{
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+    const TransformerRunner runner(sys, QuantConfig::preset("W1A3"),
+                                   DesignPoint::LoCaLut);
+    const InferenceReport r =
+        runner.prefill(TransformerConfig::bertBase(), 8, 128);
+    EXPECT_GT(r.gemmSeconds, 0.0);
+    EXPECT_GT(r.hostOpSeconds, 0.0);
+    EXPECT_NEAR(r.timing.total, r.gemmSeconds + r.hostOpSeconds, 1e-9);
+}
+
+TEST(MakeShapeOnlyProblem, HasShapesNoCodes)
+{
+    const auto p =
+        makeShapeOnlyProblem(16, 32, 8, QuantConfig::preset("W2A2"));
+    EXPECT_EQ(p.m(), 16u);
+    EXPECT_EQ(p.k(), 32u);
+    EXPECT_EQ(p.n(), 8u);
+    EXPECT_TRUE(p.w.codes.empty());
+}
+
+} // namespace
+} // namespace localut

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests of the paper's Eq. 2-6 performance model and the planner:
+ * p_local/p_DRAM budgets (Section V), the streaming break-even in M
+ * (Eq. 6), and the Fig. 13 k-vs-p interaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lut/perf_model.h"
+#include "lut/planner.h"
+
+namespace localut {
+namespace {
+
+TEST(PerfModel, PaperPackingBudgets)
+{
+    const DpuParams dpu;
+    const PerfModel model(dpu, QuantConfig::preset("W1A3"));
+    // Section V: p_DRAM ~ 8 with canonicalization on a 64 MB bank.
+    EXPECT_EQ(model.pDramMax(), 8u);
+    EXPECT_EQ(model.pLocalMax(), 4u);
+}
+
+TEST(PerfModel, BufferBeatsStreamingAtEqualP)
+{
+    const DpuParams dpu;
+    const PerfModel model(dpu, QuantConfig::preset("W2A2"));
+    // At the same p, the buffer-resident LUT never loses (Eq. 4 drops the
+    // slice-load term of Eq. 2).
+    for (unsigned p = 1; p <= model.pLocalMax(); ++p) {
+        EXPECT_LE(model.bufferSeconds(48, 768, 1, p),
+                  model.streamingSeconds(48, 768, 1, p))
+            << "p=" << p;
+    }
+}
+
+TEST(PerfModel, StreamingWinsForLargeM)
+{
+    // Eq. 6: slice streaming becomes beneficial as M grows.
+    const DpuParams dpu;
+    const PerfModel model(dpu, QuantConfig::preset("W2A2"));
+    const unsigned pLocal = model.pLocalMax();
+    const unsigned pStar = model.pDramMax();
+    ASSERT_GT(pStar, pLocal);
+    const double breakEven = model.breakEvenM(pStar, pLocal);
+    EXPECT_GT(breakEven, 0.0);
+
+    const double small = breakEven / 4.0;
+    const double large = breakEven * 4.0;
+    EXPECT_LT(model.bufferSeconds(small, 768, 8, pLocal),
+              model.streamingSeconds(small, 768, 8, pStar));
+    EXPECT_GT(model.bufferSeconds(large, 768, 8, pLocal),
+              model.streamingSeconds(large, 768, 8, pStar));
+}
+
+TEST(PerfModel, ChooseIsArgmin)
+{
+    const DpuParams dpu;
+    for (const char* preset : {"W1A3", "W1A4", "W2A2", "W4A4"}) {
+        const PerfModel model(dpu, QuantConfig::preset(preset));
+        const PerfChoice choice = model.choose(48, 768, 8);
+        // The chosen configuration must not lose to any alternative.
+        for (unsigned p = 1; p <= model.pDramMax(); ++p) {
+            EXPECT_LE(choice.seconds,
+                      model.streamingSeconds(48, 768, 8, p) + 1e-15)
+                << preset << " p=" << p;
+            if (p <= model.pLocalMax()) {
+                EXPECT_LE(choice.seconds,
+                          model.bufferSeconds(48, 768, 8, p) + 1e-15)
+                    << preset << " p=" << p;
+            }
+        }
+    }
+}
+
+TEST(Planner, ForcedKReducesPWhenSlicesOutgrowWram)
+{
+    // Paper Fig. 13: for W2A2 and W4A4, moving from k = 2 to k = 4 forces
+    // a lower packing degree because k slice pairs no longer fit WRAM.
+    const DpuParams dpu;
+    const LutPlanner planner(dpu, QuantConfig::preset("W2A2"));
+    const LutPlan k2 = planner.chooseWithForcedK(3072, 768, 8, 2);
+    const LutPlan k4 = planner.chooseWithForcedK(3072, 768, 8, 4);
+    EXPECT_GT(k2.p, k4.p);
+
+    // W1A3 slices are small enough that k = 8 keeps the maximum p.
+    const LutPlanner planner13(dpu, QuantConfig::preset("W1A3"));
+    const LutPlan k8 = planner13.chooseWithForcedK(3072, 768, 8, 8);
+    EXPECT_EQ(k8.p, planner13.perfModel().pDramMax());
+}
+
+TEST(Planner, AutoPlanFeasible)
+{
+    const DpuParams dpu;
+    for (const char* preset : {"W1A3", "W1A4", "W2A2", "W4A4"}) {
+        const LutPlanner planner(dpu, QuantConfig::preset(preset));
+        const LutPlan plan = planner.choose(48, 768, 8);
+        EXPECT_GE(plan.p, 1u) << preset;
+        EXPECT_GE(plan.kSlices, 1u) << preset;
+        if (plan.streaming) {
+            EXPECT_LE(plan.kSlices * planner.slicePairBytes(plan.p),
+                      dpu.wramLutBudget())
+                << preset;
+        }
+    }
+}
+
+TEST(Planner, ConstantsMatchPaperScale)
+{
+    // Section VI-I: the paper profiles L_local = 3.27e-8 s (12
+    // instructions at 350 MHz and full issue) and L_D = 1.36e-9 s per
+    // canonical+reordering entry pair.  Our profiled constants must land
+    // on the same order.
+    const DpuParams dpu;
+    const PerfModelConstants c = PerfModelConstants::profile(
+        dpu, LutShape(QuantConfig::preset("W1A3"), 8));
+    EXPECT_NEAR(c.lLocal, 3.27e-8, 1.5e-8);
+    EXPECT_NEAR(c.lD, 1.36e-9, 1.0e-9);
+}
+
+} // namespace
+} // namespace localut

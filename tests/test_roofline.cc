@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Roofline-model tests (Fig. 17 substrate): compute/memory/transfer
+ * decomposition, the skinny-K derating, flat time across sub-byte
+ * configs, and the CPU-vs-GPU ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hostsim/roofline.h"
+
+namespace localut {
+namespace {
+
+TEST(Roofline, FlatAcrossSubByteConfigs)
+{
+    // Neither device has native sub-8-bit arithmetic: W1A3 and W4A4 run
+    // through the same unpack path, so their times are ~identical.
+    const RooflineDevice gpu = RooflineDevice::rtx2080Ti();
+    const RooflineResult a = rooflineGemm(gpu, 1024, 1024, 1024, 1, 3);
+    const RooflineResult b = rooflineGemm(gpu, 1024, 1024, 1024, 4, 4);
+    EXPECT_NEAR(a.computeSeconds, b.computeSeconds,
+                1e-6 * a.computeSeconds);
+}
+
+TEST(Roofline, SkinnyKDerating)
+{
+    const RooflineDevice gpu = RooflineDevice::rtx2080Ti();
+    // Same MAC count; the skinny-K shape is slower.
+    const RooflineResult wide = rooflineGemm(gpu, 1024, 1024, 1024, 4, 4);
+    const RooflineResult skinny =
+        rooflineGemm(gpu, 4096, 256, 1024, 4, 4);
+    EXPECT_GT(skinny.computeSeconds, wide.computeSeconds * 1.5);
+}
+
+TEST(Roofline, GpuPaysPcieCpuDoesNot)
+{
+    const RooflineResult cpu = rooflineGemm(
+        RooflineDevice::xeonGold5215(), 512, 512, 512, 4, 4);
+    const RooflineResult gpu = rooflineGemm(
+        RooflineDevice::rtx2080Ti(), 512, 512, 512, 4, 4);
+    EXPECT_EQ(cpu.transferSeconds, 0.0);
+    EXPECT_GT(gpu.transferSeconds, 0.0);
+}
+
+TEST(Roofline, GpuFasterThanCpuOnCompute)
+{
+    const RooflineResult cpu = rooflineGemm(
+        RooflineDevice::xeonGold5215(), 4096, 1024, 4096, 4, 4);
+    const RooflineResult gpu = rooflineGemm(
+        RooflineDevice::rtx2080Ti(), 4096, 1024, 4096, 4, 4);
+    EXPECT_LT(gpu.seconds, cpu.seconds);
+}
+
+TEST(Roofline, EnergyProportionalToTime)
+{
+    const RooflineDevice cpu = RooflineDevice::xeonGold5215();
+    const RooflineResult r = rooflineGemm(cpu, 1024, 1024, 256, 2, 2);
+    EXPECT_NEAR(r.energyJ, r.seconds * cpu.watts, 1e-12);
+}
+
+TEST(Roofline, MemoryBoundWhenArithmeticIntensityLow)
+{
+    // A GEMV-like shape (N = 1) is memory-bound on the CPU.
+    const RooflineDevice cpu = RooflineDevice::xeonGold5215();
+    const RooflineResult r = rooflineGemm(cpu, 8192, 8192, 1, 8, 8);
+    EXPECT_GT(r.memorySeconds, r.computeSeconds);
+    EXPECT_DOUBLE_EQ(r.seconds,
+                     std::max(r.computeSeconds, r.memorySeconds) +
+                         r.transferSeconds);
+}
+
+} // namespace
+} // namespace localut
