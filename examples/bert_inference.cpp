@@ -1,12 +1,13 @@
 /**
  * @file
- * End-to-end BERT-base inference on the PIM system model (paper Fig. 8
- * execution flow): all GEMMs on the PIM banks under LoCaLUT, attention /
- * softmax / norms / GELU on the host.  Prints the phase breakdown that
- * corresponds to the paper's Fig. 16(a).
+ * End-to-end BERT-base inference through the serving API (paper Fig. 8
+ * execution flow): compile the prefill workload once per configuration,
+ * submit all configurations as batched asynchronous requests, and print
+ * the phase breakdown that corresponds to the paper's Fig. 16(a).
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "localut.h"
 
@@ -15,7 +16,6 @@ main()
 {
     using namespace localut;
 
-    const PimSystemConfig system = PimSystemConfig::upmemServer();
     const TransformerConfig model = TransformerConfig::bertBase();
     std::printf("%s: %u layers, hidden %u, ~%.1fM transformer parameters\n",
                 model.name.c_str(), model.layers, model.hidden,
@@ -25,25 +25,36 @@ main()
     const unsigned seq = 128;
     std::printf("batch %u x seq %u  (GLUE-style maximum length)\n\n", batch,
                 seq);
+    const WorkloadSpec prefill = WorkloadSpec::prefill(model, batch, seq);
 
-    for (const char* preset : {"W1A3", "W1A4", "W2A2", "W4A4"}) {
-        const TransformerRunner naive(system, QuantConfig::preset(preset),
-                                      DesignPoint::NaivePim);
-        const TransformerRunner localut(system, QuantConfig::preset(preset),
-                                        DesignPoint::LoCaLut);
-        const InferenceReport rn = naive.prefill(model, batch, seq);
-        const InferenceReport rl = localut.prefill(model, batch, seq);
+    // One session serves every configuration; submit the NaivePIM and
+    // LoCaLUT variants of all four presets in one batch.
+    InferenceSession session(makeBackend("upmem"));
+    const std::vector<const char*> presets = {"W1A3", "W1A4", "W2A2",
+                                              "W4A4"};
+    std::vector<InferenceSession::RequestId> naiveIds, localutIds;
+    for (const char* preset : presets) {
+        const QuantConfig config = QuantConfig::preset(preset);
+        naiveIds.push_back(session.submit(
+            session.compile(prefill, config, DesignPoint::NaivePim)));
+        localutIds.push_back(session.submit(
+            session.compile(prefill, config, DesignPoint::LoCaLut)));
+    }
+    for (std::size_t i = 0; i < presets.size(); ++i) {
+        const InferenceReport rn = session.waitReport(naiveIds[i]);
+        const InferenceReport rl = session.waitReport(localutIds[i]);
         std::printf("%s: NaivePIM %7.2f ms | LoCaLUT %7.2f ms | "
                     "speedup %.2fx | energy %.1f J -> %.1f J\n",
-                    preset, rn.timing.total * 1e3, rl.timing.total * 1e3,
+                    presets[i], rn.timing.total * 1e3,
+                    rl.timing.total * 1e3,
                     rn.timing.total / rl.timing.total, rn.energy.total,
                     rl.energy.total);
     }
 
     // Phase breakdown for W1A3 (the paper's Fig. 16a categories).
-    const TransformerRunner runner(system, QuantConfig::preset("W1A3"),
-                                   DesignPoint::LoCaLut);
-    const InferenceReport report = runner.prefill(model, batch, seq);
+    const auto id = session.submit(session.compile(
+        prefill, QuantConfig::preset("W1A3"), DesignPoint::LoCaLut));
+    const InferenceReport report = session.waitReport(id);
     std::printf("\nW1A3 phase breakdown (total %.2f ms):\n",
                 report.timing.total * 1e3);
     for (const auto& [name, seconds] : report.timing.seconds.items()) {

@@ -2,7 +2,8 @@
  * @file
  * Design-space explorer: walks the capacity model (paper Eq. 1 / Fig. 6)
  * and the performance model (Eq. 2-6) interactively over the command-line
- * arguments, showing how p*, placement, and k are chosen.
+ * arguments, showing how p*, placement, and k are chosen — then runs the
+ * same GEMM through every registered backend for a cross-device view.
  *
  * Usage: example_design_explorer [preset [M K N]]
  *        e.g. example_design_explorer W2A2 3072 768 128
@@ -51,10 +52,11 @@ main(int argc, char** argv)
                     model.breakEvenM(model.pDramMax(), model.pLocalMax()));
     }
 
-    const GemmEngine engine(system);
+    InferenceSession session(makeBackend("upmem"));
     const GemmProblem problem = makeShapeOnlyProblem(m, k, n, config);
-    const GemmPlan plan = engine.plan(problem, DesignPoint::LoCaLut);
-    const GemmResult result = engine.run(problem, plan, false);
+    const GemmPlan plan = session.plan(problem, DesignPoint::LoCaLut);
+    const GemmResult result = session.backend().execute(problem, plan,
+                                                        false);
     std::printf("\nplanner decision: p* = %u, k = %u, %s, grid %ux%u\n",
                 plan.p, plan.kSlices,
                 plan.streaming ? "slice streaming" : "buffer-resident LUT",
@@ -67,5 +69,21 @@ main(int argc, char** argv)
                 result.timing.dpuSeconds * 1e3,
                 result.timing.hostSeconds * 1e3,
                 result.timing.linkSeconds * 1e3);
+
+    // Cross-backend view: the same GEMM on every registered device model
+    // (LoCaLUT where supported, each backend's best fit otherwise).
+    std::printf("\ncross-backend view (LoCaLUT where supported):\n");
+    for (const std::string& name : backendNames()) {
+        const BackendPtr backend = makeBackend(name);
+        const DesignPoint dp =
+            backend->capabilities().supports(DesignPoint::LoCaLut)
+                ? DesignPoint::LoCaLut
+                : backend->capabilities().designPoints.front();
+        const GemmResult r = backend->execute(problem, dp, false);
+        std::printf("  %-10s [%-9s] %10.3f ms  %8.2f mJ  (%s)\n",
+                    name.c_str(), designPointName(dp),
+                    r.timing.total * 1e3, r.energy.total * 1e3,
+                    backend->capabilities().description.c_str());
+    }
     return 0;
 }

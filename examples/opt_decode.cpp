@@ -1,12 +1,17 @@
 /**
  * @file
- * OPT-125M autoregressive generation on the PIM system model: prefill of
- * a 128-token prompt followed by decode steps (paper Fig. 19a scenario).
+ * OPT-125M autoregressive generation through the serving API: prefill of
+ * a 128-token prompt followed by decode steps (paper Fig. 19a scenario),
+ * dispatched as batched asynchronous requests on an InferenceSession.
  * Shows how the planner adapts the packing configuration to the skinny
- * decode GEMMs (N = batch) vs the wide prefill GEMMs (N = batch x seq).
+ * decode GEMMs (N = batch) vs the wide prefill GEMMs (N = batch x seq),
+ * how the PlanCache removes planner cost from repeated decode steps, and
+ * that every design point produces the identical functional output on the
+ * UPMEM backend and the host (reference) backend.
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "localut.h"
 
@@ -15,7 +20,6 @@ main()
 {
     using namespace localut;
 
-    const PimSystemConfig system = PimSystemConfig::upmemServer();
     const TransformerConfig model = TransformerConfig::opt125m();
     const QuantConfig config = QuantConfig::preset("W4A4");
     const unsigned batch = 32;
@@ -24,33 +28,93 @@ main()
     std::printf("%s, W4A4, batch %u, prompt %u tokens\n\n",
                 model.name.c_str(), batch, prompt);
 
+    InferenceSession session(makeBackend("upmem"));
+
     // Show the planner's per-phase choices on the core GEMM shapes.
-    const GemmEngine engine(system);
     for (const auto& [label, n] :
          std::initializer_list<std::pair<const char*, std::size_t>>{
              {"prefill GEMM (N = batch*seq)", std::size_t{batch} * prompt},
              {"decode GEMM  (N = batch)", std::size_t{batch}}}) {
         const GemmProblem gemm =
             makeShapeOnlyProblem(model.hidden, model.hidden, n, config);
-        const GemmPlan plan = engine.plan(gemm, DesignPoint::LoCaLut);
+        const GemmPlan plan = session.plan(gemm, DesignPoint::LoCaLut);
         std::printf("%-30s -> p=%u, k=%u, %s, grid %ux%u\n", label, plan.p,
                     plan.kSlices,
                     plan.streaming ? "streaming" : "buffer-resident",
                     plan.gM, plan.gN);
     }
 
+    // Compile the phases once, then submit every decode length as an
+    // asynchronous batched request; the session's workers overlap them.
+    const auto prefillWork =
+        session.compile(WorkloadSpec::prefill(model, batch, prompt), config,
+                        DesignPoint::LoCaLut);
+
+    const std::vector<unsigned> outputLengths = {4, 8, 16, 32};
+    std::vector<InferenceSession::RequestId> localutIds, opIds;
+    for (unsigned out : outputLengths) {
+        localutIds.push_back(session.submit(
+            session.compile(WorkloadSpec::decode(model, batch, prompt, out),
+                            config, DesignPoint::LoCaLut)));
+        opIds.push_back(session.submit(
+            session.compile(WorkloadSpec::decode(model, batch, prompt, out),
+                            config, DesignPoint::OpLut)));
+    }
+    const auto prefillId = session.submit(prefillWork);
+    const double pre = session.waitReport(prefillId).timing.total;
+
     std::printf("\n%-14s %-12s %-12s %-12s %s\n", "output tokens",
                 "prefill", "decode", "total", "decode speedup vs OP");
-    for (unsigned out : {4u, 8u, 16u, 32u}) {
-        const TransformerRunner op(system, config, DesignPoint::OpLut);
-        const TransformerRunner lc(system, config, DesignPoint::LoCaLut);
-        const double pre = lc.prefill(model, batch, prompt).timing.total;
-        const double dec =
-            lc.decode(model, batch, prompt, out).timing.total;
-        const double decOp =
-            op.decode(model, batch, prompt, out).timing.total;
-        std::printf("%-14u %9.2f ms %9.2f ms %9.2f ms   %.2fx\n", out,
-                    pre * 1e3, dec * 1e3, (pre + dec) * 1e3, decOp / dec);
+    for (std::size_t i = 0; i < outputLengths.size(); ++i) {
+        const double dec = session.waitReport(localutIds[i]).timing.total;
+        const double decOp = session.waitReport(opIds[i]).timing.total;
+        std::printf("%-14u %9.2f ms %9.2f ms %9.2f ms   %.2fx\n",
+                    outputLengths[i], pre * 1e3, dec * 1e3,
+                    (pre + dec) * 1e3, decOp / dec);
+    }
+
+    // The decode shapes repeat across requests, so after the first
+    // compile every further decode length reuses cached plans.
+    const PlanCache::Stats stats = session.planCacheStats();
+    std::printf("\nplan cache: %llu hits / %llu misses (%.0f%% hit rate, "
+                "%zu plans)\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                100.0 * stats.hitRate(), stats.entries);
+    if (stats.hits == 0) {
+        std::printf("ERROR: decode steps did not reuse cached plans\n");
+        return 1;
+    }
+
+    // Multi-backend parity: every design point, executed functionally on
+    // the decode GEMM shape, must be bit-exact across the UPMEM backend
+    // and the host reference backend.
+    std::printf("\nfunctional parity on the decode GEMM "
+                "(UPMEM vs host-cpu):\n");
+    InferenceSession hostSession(makeBackend("host-cpu"));
+    const GemmProblem decodeGemm = makeRandomProblem(
+        model.hidden, model.hidden, batch, config, /*seed=*/1);
+    bool allMatch = true;
+    for (DesignPoint dp :
+         {DesignPoint::NaivePim, DesignPoint::Ltc, DesignPoint::OpLutDram,
+          DesignPoint::OpLut, DesignPoint::OpLc, DesignPoint::OpLcRc,
+          DesignPoint::LoCaLut}) {
+        const auto upmemId =
+            session.submit(decodeGemm, dp, /*computeValues=*/true);
+        const auto hostId =
+            hostSession.submit(decodeGemm, dp, /*computeValues=*/true);
+        const GemmResult upmemResult = session.wait(upmemId);
+        const GemmResult hostResult = hostSession.wait(hostId);
+        const bool match = upmemResult.outInt == hostResult.outInt;
+        allMatch = allMatch && match;
+        std::printf("  %-10s upmem %9.3f us | host-cpu %9.3f us | %s\n",
+                    designPointName(dp), upmemResult.timing.total * 1e6,
+                    hostResult.timing.total * 1e6,
+                    match ? "bit-exact" : "MISMATCH!");
+    }
+    if (!allMatch) {
+        std::printf("ERROR: backend outputs diverged\n");
+        return 1;
     }
     return 0;
 }

@@ -1,14 +1,16 @@
 /**
  * @file
- * Quickstart: quantize a small GEMM, run it through every design point on
- * the modeled UPMEM server, verify all LUT designs agree bit-exactly with
+ * Quickstart: pick a backend by name, open an InferenceSession on it,
+ * submit a small quantized GEMM under every design point as batched
+ * asynchronous requests, verify all LUT designs agree bit-exactly with
  * the reference, and print the modeled time/energy.
  *
- * Build & run:  cmake -B build -G Ninja && cmake --build build
- *               ./build/examples/example_quickstart
+ * Build & run:  cmake -B build && cmake --build build -j
+ *               ./build/example_quickstart
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "localut.h"
 
@@ -17,39 +19,54 @@ main()
 {
     using namespace localut;
 
-    // 1. A PIM system model: the paper's 32-rank UPMEM server (2048 DPUs,
-    //    64 MB MRAM + 64 KB WRAM per DPU, 350 MHz in-order cores).
-    const PimSystemConfig system = PimSystemConfig::upmemServer();
-    const GemmEngine engine(system);
+    // 1. A backend: the paper's 32-rank UPMEM server (2048 DPUs, 64 MB
+    //    MRAM + 64 KB WRAM per DPU, 350 MHz in-order cores).  "bankpim",
+    //    "host-cpu" and "host-gpu" name the other built-in device models.
+    const BackendPtr backend = makeBackend("upmem");
+    std::printf("backend: %s (%s)\n", backend->name().c_str(),
+                backend->capabilities().description.c_str());
 
     // 2. A quantized GEMM problem: W1A3 = signed-binary weights, 3-bit
     //    two's-complement activations (paper Fig. 2).
     const QuantConfig config = QuantConfig::preset("W1A3");
     const GemmProblem problem = makeRandomProblem(256, 256, 64, config);
 
-    // 3. Run the full LoCaLUT stack and the baselines.
+    // 3. Submit the full LoCaLUT stack and the baselines as one batch;
+    //    the session executes them concurrently on its worker pool.
+    InferenceSession session(backend);
+    const std::vector<DesignPoint> designs = {
+        DesignPoint::NaivePim, DesignPoint::Ltc,  DesignPoint::OpLut,
+        DesignPoint::OpLc,     DesignPoint::OpLcRc, DesignPoint::LoCaLut};
+    std::vector<InferenceSession::RequestId> ids;
+    for (DesignPoint dp : designs) {
+        ids.push_back(session.submit(problem, dp, /*computeValues=*/true));
+    }
+
     const auto reference = referenceGemmInt(problem.w, problem.a);
-    std::printf("%-10s %-12s %-8s %-6s %-9s %s\n", "design", "time",
+    std::printf("\n%-10s %-12s %-8s %-6s %-9s %s\n", "design", "time",
                 "energy", "p", "stream", "bit-exact");
-    for (DesignPoint dp :
-         {DesignPoint::NaivePim, DesignPoint::Ltc, DesignPoint::OpLut,
-          DesignPoint::OpLc, DesignPoint::OpLcRc, DesignPoint::LoCaLut}) {
-        const GemmPlan plan = engine.plan(problem, dp);
-        const GemmResult result = engine.run(problem, plan);
+    for (std::size_t i = 0; i < designs.size(); ++i) {
+        const GemmPlan plan = session.plan(problem, designs[i]);
+        const GemmResult result = session.wait(ids[i]);
         std::printf("%-10s %9.3f us %6.2f mJ %-6u %-9s %s\n",
-                    designPointName(dp), result.timing.total * 1e6,
-                    result.energy.total * 1e3, plan.p,
-                    plan.streaming ? "yes" : "no",
+                    designPointName(designs[i]),
+                    result.timing.total * 1e6, result.energy.total * 1e3,
+                    plan.p, plan.streaming ? "yes" : "no",
                     result.outInt == reference ? "yes" : "NO!");
     }
 
-    // 4. Inspect the planner's reasoning for LoCaLUT.
-    const GemmPlan plan = engine.plan(problem, DesignPoint::LoCaLut);
+    // 4. Inspect the planner's reasoning for LoCaLUT.  session.plan() is
+    //    memoized: this lookup hits the plans the submits already cached.
+    const GemmPlan plan = session.plan(problem, DesignPoint::LoCaLut);
     std::printf("\nLoCaLUT plan: p=%u, k=%u, %s, grid %ux%u "
                 "(%u DPUs), WRAM LUT bytes=%llu\n",
                 plan.p, plan.kSlices,
                 plan.streaming ? "slice streaming" : "buffer-resident",
                 plan.gM, plan.gN, plan.dpusUsed(),
                 static_cast<unsigned long long>(plan.lutWramBytes));
+    const PlanCache::Stats stats = session.planCacheStats();
+    std::printf("plan cache: %llu hits / %llu misses\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses));
     return 0;
 }

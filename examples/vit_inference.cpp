@@ -1,10 +1,11 @@
 /**
  * @file
- * ViT-Base image classification on the PIM system model, including the
- * floating-point symbol path (paper Section VI-K / Fig. 21): LUT entries
- * are precision-agnostic, so the same machinery serves FP4 activation
- * symbols — this example runs a real FP4 canonical-LUT GEMM and checks
- * its numerics against the float reference.
+ * ViT-Base image classification through the serving API, on two PIM
+ * backends side by side: the UPMEM server model and the bank-level PIM
+ * redesign (paper Section VI-K).  Also exercises the floating-point
+ * symbol path (Fig. 21): LUT entries are precision-agnostic, so the same
+ * machinery serves FP4 activation symbols — this example runs a real FP4
+ * canonical-LUT GEMM and checks its numerics against the float reference.
  */
 
 #include <cmath>
@@ -17,23 +18,29 @@ main()
 {
     using namespace localut;
 
-    const PimSystemConfig system = PimSystemConfig::upmemServer();
     const TransformerConfig model = TransformerConfig::vitBase();
     std::printf("%s: %u tokens per image (196 patches + CLS)\n\n",
                 model.name.c_str(), model.defaultSeqLen);
+    const WorkloadSpec prefill =
+        WorkloadSpec::prefill(model, 32, model.defaultSeqLen);
 
-    // Integer path: W2A2 and W4A4 as in the paper's Fig. 10.
-    for (const char* preset : {"W2A2", "W4A4"}) {
-        const TransformerRunner naive(system, QuantConfig::preset(preset),
-                                      DesignPoint::NaivePim);
-        const TransformerRunner localut(system, QuantConfig::preset(preset),
-                                        DesignPoint::LoCaLut);
-        const double tn =
-            naive.prefill(model, 32, model.defaultSeqLen).timing.total;
-        const double tl =
-            localut.prefill(model, 32, model.defaultSeqLen).timing.total;
-        std::printf("%s: NaivePIM %7.2f ms | LoCaLUT %7.2f ms | %.2fx\n",
-                    preset, tn * 1e3, tl * 1e3, tn / tl);
+    // Integer path: W2A2 and W4A4 as in the paper's Fig. 10, on both PIM
+    // backends (LoCaLUT vs each backend's MAC baseline).
+    for (const char* backendName : {"upmem", "bankpim"}) {
+        InferenceSession session{std::string(backendName)};
+        std::printf("%s backend:\n", backendName);
+        for (const char* preset : {"W2A2", "W4A4"}) {
+            const QuantConfig config = QuantConfig::preset(preset);
+            const auto naiveId = session.submit(
+                session.compile(prefill, config, DesignPoint::NaivePim));
+            const auto localutId = session.submit(
+                session.compile(prefill, config, DesignPoint::LoCaLut));
+            const double tn = session.waitReport(naiveId).timing.total;
+            const double tl = session.waitReport(localutId).timing.total;
+            std::printf("  %s: MAC baseline %7.2f ms | LoCaLUT %7.2f ms "
+                        "| %.2fx\n",
+                        preset, tn * 1e3, tl * 1e3, tn / tl);
+        }
     }
 
     // Floating-point symbols: FP4 activations through a canonical LUT

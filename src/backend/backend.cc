@@ -1,0 +1,168 @@
+#include "backend/backend.h"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "backend/bankpim_backend.h"
+#include "backend/host_backend.h"
+#include "backend/upmem_backend.h"
+#include "common/logging.h"
+
+namespace localut {
+
+bool
+BackendCapabilities::supports(DesignPoint dp) const
+{
+    return std::find(designPoints.begin(), designPoints.end(), dp) !=
+           designPoints.end();
+}
+
+void
+Backend::chargeHostOpsWith(const HostComputeParams& host, double ops,
+                           TimingReport& timing, EnergyReport& energy)
+{
+    const double seconds = ops / (host.effectiveGops * 1e9);
+    timing.hostSeconds += seconds;
+    timing.total += seconds;
+    timing.seconds.add("host.other", seconds);
+    const double joules = seconds * host.activeWatts;
+    energy.total += joules;
+    energy.joules.add("host.other", joules);
+}
+
+void
+Backend::chargeHostOps(double ops, TimingReport& timing,
+                       EnergyReport& energy) const
+{
+    chargeHostOpsWith(HostComputeParams{}, ops, timing, energy);
+}
+
+Backend::FingerprintBuilder&
+Backend::FingerprintBuilder::add(std::uint64_t value)
+{
+    // FNV-1a over the value's bytes.
+    for (unsigned i = 0; i < 8; ++i) {
+        state_ ^= (value >> (8 * i)) & 0xff;
+        state_ *= 0x100000001b3ull;
+    }
+    return *this;
+}
+
+Backend::FingerprintBuilder&
+Backend::FingerprintBuilder::add(double value)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return add(bits);
+}
+
+Backend::FingerprintBuilder&
+Backend::FingerprintBuilder::add(const std::string& value)
+{
+    for (const char c : value) {
+        state_ ^= static_cast<unsigned char>(c);
+        state_ *= 0x100000001b3ull;
+    }
+    return add(std::uint64_t{value.size()});
+}
+
+GemmResult
+Backend::execute(const GemmProblem& problem, DesignPoint design,
+                 bool computeValues, const PlanOverrides& overrides) const
+{
+    return execute(problem, plan(problem, design, overrides),
+                   computeValues);
+}
+
+namespace {
+
+struct Registry {
+    std::mutex mutex;
+    /** (name, factory) pairs; insertion order is the listing order. */
+    std::vector<std::pair<std::string, std::function<BackendPtr()>>>
+        entries;
+};
+
+Registry&
+registry()
+{
+    static Registry* r = [] {
+        auto* reg = new Registry;
+        reg->entries.emplace_back("upmem", [] {
+            return std::make_shared<const UpmemBackend>();
+        });
+        reg->entries.emplace_back("bankpim", [] {
+            return std::make_shared<const BankPimBackend>();
+        });
+        reg->entries.emplace_back("host-cpu",
+                                  [] { return HostBackend::cpu(); });
+        reg->entries.emplace_back("host-gpu",
+                                  [] { return HostBackend::gpu(); });
+        return reg;
+    }();
+    return *r;
+}
+
+} // namespace
+
+BackendPtr
+makeBackend(const std::string& name)
+{
+    std::function<BackendPtr()> factory;
+    {
+        Registry& reg = registry();
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        for (const auto& [entryName, entryFactory] : reg.entries) {
+            if (entryName == name) {
+                factory = entryFactory;
+                break;
+            }
+        }
+    }
+    if (!factory) {
+        std::string known;
+        for (const std::string& n : backendNames()) {
+            known += (known.empty() ? "" : ", ") + n;
+        }
+        LOCALUT_FATAL("unknown backend \"", name, "\" (registered: ",
+                      known, ")");
+    }
+    BackendPtr backend = factory();
+    LOCALUT_ASSERT(backend != nullptr, "backend factory returned null");
+    return backend;
+}
+
+std::vector<std::string>
+backendNames()
+{
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    std::vector<std::string> names;
+    names.reserve(reg.entries.size());
+    for (const auto& [name, factory] : reg.entries) {
+        names.push_back(name);
+    }
+    return names;
+}
+
+void
+registerBackend(const std::string& name,
+                std::function<BackendPtr()> factory)
+{
+    LOCALUT_REQUIRE(!name.empty() && factory != nullptr,
+                    "backend registration needs a name and a factory");
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    for (auto& [entryName, entryFactory] : reg.entries) {
+        if (entryName == name) {
+            entryFactory = std::move(factory);
+            return;
+        }
+    }
+    reg.entries.emplace_back(name, std::move(factory));
+}
+
+} // namespace localut

@@ -1,0 +1,145 @@
+#ifndef LOCALUT_BACKEND_BACKEND_H_
+#define LOCALUT_BACKEND_BACKEND_H_
+
+/**
+ * @file
+ * The backend abstraction: every PIM (or comparison) device model the
+ * library can dispatch a quantized GEMM to implements this interface.
+ * Three implementations ship with the library and register themselves in
+ * the factory (see makeBackend()):
+ *
+ *  - "upmem"     UPMEM-class server model (src/kernels + src/upmem), the
+ *                paper's main evaluation platform;
+ *  - "bankpim"   bank-level PIM command model (src/banklevel, Fig. 20/21);
+ *  - "host-cpu"  Xeon roofline (src/hostsim) + the reference kernels;
+ *  - "host-gpu"  RTX 2080 Ti roofline + the reference kernels.
+ *
+ * Backends are stateless after construction: plan() and execute() are
+ * const and safe to call from several threads at once, which is what lets
+ * InferenceSession (serving/session.h) fan requests out over a worker
+ * pool.
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernels/gemm.h"
+
+namespace localut {
+
+/** What a backend can and cannot do (queried by sessions and tests). */
+struct BackendCapabilities {
+    std::string name;        ///< registry name, e.g. "upmem"
+    std::string description; ///< one-line human-readable summary
+    bool functionalValues = false; ///< execute() can compute real outputs
+    bool honorsOverrides = false;  ///< plan() honors PlanOverrides
+    unsigned parallelUnits = 0;    ///< DPUs / banks / devices
+    std::vector<DesignPoint> designPoints; ///< accepted by plan()
+
+    bool supports(DesignPoint dp) const;
+};
+
+/**
+ * A device model that plans and executes quantized GEMMs.
+ *
+ * The contract mirrors GemmEngine: plan() resolves a full execution plan,
+ * chargeCosts() produces the raw event accounting for a plan (the same
+ * numbers execute() reports), and execute() returns timing/energy plus —
+ * when capabilities().functionalValues — the numeric output, which must be
+ * bit-exact against referenceGemmInt() for integer configurations on every
+ * backend (the cross-backend parity invariant; see tests/test_backend.cc).
+ */
+class Backend
+{
+  public:
+    virtual ~Backend() = default;
+
+    virtual const BackendCapabilities& capabilities() const = 0;
+
+    /** Resolves a full execution plan for @p problem under @p design. */
+    virtual GemmPlan plan(const GemmProblem& problem, DesignPoint design,
+                          const PlanOverrides& overrides = {}) const = 0;
+
+    /** Raw event accounting of executing @p plan (no values). */
+    virtual KernelCost chargeCosts(const GemmPlan& plan) const = 0;
+
+    /** Executes a plan; @p computeValues controls the functional pass. */
+    virtual GemmResult execute(const GemmProblem& problem,
+                               const GemmPlan& plan,
+                               bool computeValues = true) const = 0;
+
+    /**
+     * Charges @p ops scalar-equivalent host operations (the non-GEMM
+     * transformer work a PIM offload leaves on the host) into the
+     * reports.  The base implementation uses the default host compute
+     * model; backends with their own host model override it.
+     */
+    virtual void chargeHostOps(double ops, TimingReport& timing,
+                               EnergyReport& energy) const;
+
+    /**
+     * Hash of the device configuration behind this backend.  Two
+     * backends with the same name() but different configurations (e.g.
+     * a custom-rank UpmemBackend) must fingerprint differently: the
+     * PlanCache keys plans by (name, fingerprint) so they never alias.
+     */
+    virtual std::uint64_t configFingerprint() const = 0;
+
+    /** plan() + execute() convenience. */
+    GemmResult execute(const GemmProblem& problem, DesignPoint design,
+                       bool computeValues = true,
+                       const PlanOverrides& overrides = {}) const;
+
+    const std::string& name() const { return capabilities().name; }
+
+  protected:
+    /** Shared implementation of chargeHostOps() for a host model. */
+    static void chargeHostOpsWith(const HostComputeParams& host, double ops,
+                                  TimingReport& timing,
+                                  EnergyReport& energy);
+
+    /** Order-dependent field hashing for configFingerprint(). */
+    class FingerprintBuilder
+    {
+      public:
+        FingerprintBuilder& add(double value);
+        FingerprintBuilder& add(std::uint64_t value);
+        FingerprintBuilder& add(const std::string& value);
+        std::uint64_t value() const { return state_; }
+
+      private:
+        std::uint64_t state_ = 0xcbf29ce484222325ull;
+    };
+};
+
+using BackendPtr = std::shared_ptr<const Backend>;
+
+/**
+ * Creates a backend by registry name ("upmem", "bankpim", "host-cpu",
+ * "host-gpu") with its default device configuration.  Fatals on unknown
+ * names (listing the registered ones).
+ */
+BackendPtr makeBackend(const std::string& name);
+
+/** Registered backend names, in registration order. */
+std::vector<std::string> backendNames();
+
+/**
+ * Registers (or replaces) a named backend factory.  The built-in backends
+ * self-register; call this to expose custom device configurations to the
+ * name-based lookup, e.g.:
+ *
+ *     registerBackend("upmem-8rank", [] {
+ *         PimSystemConfig cfg = PimSystemConfig::upmemServer();
+ *         cfg.ranks = 8;
+ *         return std::make_shared<UpmemBackend>(cfg);
+ *     });
+ */
+void registerBackend(const std::string& name,
+                     std::function<BackendPtr()> factory);
+
+} // namespace localut
+
+#endif // LOCALUT_BACKEND_BACKEND_H_

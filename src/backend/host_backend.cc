@@ -1,0 +1,145 @@
+#include "backend/host_backend.h"
+
+#include <utility>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+
+namespace localut {
+
+HostBackend::HostBackend(std::string name, const RooflineDevice& device,
+                         const HostComputeParams& hostOps)
+    : device_(device), hostOps_(hostOps)
+{
+    caps_.name = std::move(name);
+    caps_.description = device_.name + " roofline + reference kernels";
+    caps_.functionalValues = true;
+    caps_.honorsOverrides = false; // no LUT placement to override
+    caps_.parallelUnits = 1;
+    caps_.designPoints = {
+        DesignPoint::NaivePim, DesignPoint::Ltc,  DesignPoint::OpLutDram,
+        DesignPoint::OpLut,    DesignPoint::OpLc, DesignPoint::OpLcRc,
+        DesignPoint::LoCaLut,
+    };
+}
+
+std::shared_ptr<HostBackend>
+HostBackend::cpu()
+{
+    return std::make_shared<HostBackend>("host-cpu",
+                                         RooflineDevice::xeonGold5215());
+}
+
+std::shared_ptr<HostBackend>
+HostBackend::gpu()
+{
+    return std::make_shared<HostBackend>("host-gpu",
+                                         RooflineDevice::rtx2080Ti());
+}
+
+const BackendCapabilities&
+HostBackend::capabilities() const
+{
+    return caps_;
+}
+
+GemmPlan
+HostBackend::plan(const GemmProblem& problem, DesignPoint design,
+                  const PlanOverrides& overrides) const
+{
+    (void)overrides; // a roofline device has no packing/placement choices
+    GemmPlan plan(design, problem.config());
+    plan.m = problem.m();
+    plan.k = problem.k();
+    plan.n = problem.n();
+    plan.tileM = static_cast<unsigned>(plan.m);
+    plan.tileN = static_cast<unsigned>(plan.n);
+    plan.predictedSeconds =
+        rooflineGemm(device_, plan.m, plan.k, plan.n,
+                     plan.config.bw(), plan.config.ba())
+            .seconds;
+    return plan;
+}
+
+KernelCost
+HostBackend::chargeCosts(const GemmPlan& plan) const
+{
+    const double macs =
+        static_cast<double>(plan.m) * plan.k * plan.n;
+    const double opsPerMac =
+        1.0 + (plan.config.bw() < 8 || plan.config.ba() < 8
+                   ? device_.unpackOpsPerMac
+                   : 0.0);
+    KernelCost cost;
+    cost.addHostOps(Phase::HostOther, macs * opsPerMac);
+    if (device_.pcieBytesPerSec > 0) {
+        cost.addLinkBytes(
+            Phase::LinkActIn,
+            static_cast<double>(bytesForBits(
+                static_cast<std::uint64_t>(plan.k) * plan.n *
+                plan.config.ba())));
+        cost.addLinkBytes(Phase::LinkOut,
+                          static_cast<double>(plan.m) * plan.n * 4.0);
+    }
+    return cost;
+}
+
+GemmResult
+HostBackend::execute(const GemmProblem& problem, const GemmPlan& plan,
+                     bool computeValues) const
+{
+    const RooflineResult r =
+        rooflineGemm(device_, plan.m, plan.k, plan.n, plan.config.bw(),
+                     plan.config.ba());
+
+    GemmResult result;
+    result.cost = chargeCosts(plan);
+    result.timing.hostSeconds = std::max(r.computeSeconds, r.memorySeconds);
+    result.timing.linkSeconds = r.transferSeconds;
+    result.timing.total = r.seconds;
+    result.timing.seconds.add("host.compute", r.computeSeconds);
+    result.timing.seconds.add("host.memory", r.memorySeconds);
+    if (r.transferSeconds > 0) {
+        result.timing.seconds.add("link.pcie", r.transferSeconds);
+    }
+    result.energy.total = r.energyJ;
+    result.energy.joules.add("host." + device_.name, r.energyJ);
+
+    if (!computeValues) {
+        return result;
+    }
+    LOCALUT_REQUIRE(!problem.w.codes.empty() && !problem.a.codes.empty(),
+                    "functional pass needs materialized codes");
+    if (plan.config.weightCodec.isInteger() &&
+        plan.config.actCodec.isInteger()) {
+        result.outInt = referenceGemmInt(problem.w, problem.a);
+    } else {
+        result.outFloat = referenceGemmFloat(problem.w, problem.a);
+    }
+    return result;
+}
+
+void
+HostBackend::chargeHostOps(double ops, TimingReport& timing,
+                           EnergyReport& energy) const
+{
+    chargeHostOpsWith(hostOps_, ops, timing, energy);
+}
+
+std::uint64_t
+HostBackend::configFingerprint() const
+{
+    return FingerprintBuilder()
+        .add(device_.name)
+        .add(device_.peakOpsPerSec)
+        .add(device_.memBytesPerSec)
+        .add(device_.efficiency)
+        .add(device_.unpackOpsPerMac)
+        .add(device_.pcieBytesPerSec)
+        .add(std::uint64_t{device_.skinnyKThreshold})
+        .add(device_.skinnyKFactor)
+        .add(hostOps_.effectiveGops)
+        .value();
+}
+
+} // namespace localut

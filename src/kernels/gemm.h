@@ -44,6 +44,8 @@ struct PlanOverrides {
     unsigned kSlices = 0;          ///< force slice window (Fig. 13)
     int streaming = -1;            ///< -1 auto, 0 buffer-resident, 1 stream
     unsigned gM = 0, gN = 0;       ///< force the partition grid
+
+    bool operator==(const PlanOverrides&) const = default;
 };
 
 /** A fully-resolved execution plan for one GEMM. */

@@ -1,24 +1,11 @@
 #include "nn/inference.h"
 
+#include <utility>
+
+#include "backend/upmem_backend.h"
 #include "common/logging.h"
 
 namespace localut {
-
-namespace {
-
-/** Host scalar-op estimates for the non-GEMM transformer work. */
-constexpr double kLayerNormOpsPerElem = 8.0;
-constexpr double kGeluOpsPerElem = 8.0;
-constexpr double kSoftmaxOpsPerElem = 10.0;
-constexpr double kResidualOpsPerElem = 1.0;
-/**
- * Dense attention score/value products vectorize on AVX-512 (unlike the
- * transcendental-heavy softmax/GELU/norm work), so their MACs cost a
- * fraction of a scalar-equivalent op.
- */
-constexpr double kVectorizedMacDiscount = 0.25;
-
-} // namespace
 
 GemmProblem
 makeShapeOnlyProblem(std::size_t m, std::size_t k, std::size_t n,
@@ -38,104 +25,46 @@ TransformerRunner::TransformerRunner(const PimSystemConfig& system,
                                      const QuantConfig& quant,
                                      DesignPoint design,
                                      const PlanOverrides& overrides)
-    : system_(system), quant_(quant), design_(design),
-      overrides_(overrides), engine_(system)
+    : TransformerRunner(std::make_shared<const UpmemBackend>(system), quant,
+                        design, overrides)
 {}
 
-void
-TransformerRunner::addGemm(InferenceReport& report, std::size_t m,
-                           std::size_t k, std::size_t n, double count) const
+TransformerRunner::TransformerRunner(BackendPtr backend,
+                                     const QuantConfig& quant,
+                                     DesignPoint design,
+                                     const PlanOverrides& overrides)
+    : backend_(std::move(backend)), quant_(quant), design_(design),
+      overrides_(overrides)
 {
-    const GemmProblem problem = makeShapeOnlyProblem(m, k, n, quant_);
-    const GemmResult r =
-        engine_.run(problem, design_, /*computeValues=*/false, overrides_);
-    accumulate(report.timing, r.timing, count);
-    accumulate(report.energy, r.energy, count);
-    report.gemmSeconds += r.timing.total * count;
+    LOCALUT_REQUIRE(backend_ != nullptr, "TransformerRunner needs a backend");
 }
 
-void
-TransformerRunner::addHostOps(InferenceReport& report, double ops) const
+InferenceReport
+TransformerRunner::run(const WorkloadSpec& spec) const
 {
-    KernelCost cost;
-    cost.addHostOps(Phase::HostOther, ops);
-    const CostEvaluator eval(system_);
-    const TimingReport t = eval.timing(cost, 1);
-    const EnergyReport e = eval.energy(cost, 1);
-    accumulate(report.timing, t);
-    accumulate(report.energy, e);
-    report.hostOpSeconds += t.total;
+    std::vector<PlannedGemm> nodes;
+    for (const WorkloadGemm& gemm : workloadGemms(spec)) {
+        const GemmProblem problem =
+            makeShapeOnlyProblem(gemm.m, gemm.k, gemm.n, quant_);
+        nodes.push_back(
+            {gemm, cache_.planFor(*backend_, problem, design_, overrides_)});
+    }
+    return executeWorkload(*backend_, nodes, quant_,
+                           workloadHostOps(spec));
 }
 
 InferenceReport
 TransformerRunner::prefill(const TransformerConfig& model, unsigned batch,
                            unsigned seqLen) const
 {
-    LOCALUT_REQUIRE(batch >= 1 && seqLen >= 1, "degenerate prefill shape");
-    InferenceReport report;
-    const double layers = model.layers;
-    const std::size_t h = model.hidden;
-    const std::size_t f = model.ffnHidden;
-    const std::size_t tokens =
-        static_cast<std::size_t>(batch) * seqLen; // GEMM N dimension
-
-    // PIM GEMMs per layer: Q, K, V projections, output projection, FFN
-    // up and down (paper Fig. 8).
-    addGemm(report, h, h, tokens, 3.0 * layers); // QKV
-    addGemm(report, h, h, tokens, layers);       // out proj
-    addGemm(report, f, h, tokens, layers);       // FFN up
-    addGemm(report, h, f, tokens, layers);       // FFN down
-
-    // Host work per layer: attention score (QK^T) and value (PV) products,
-    // softmax, two layer norms, GELU, residual adds.
-    const double s = seqLen;
-    const double attnMacs =
-        2.0 * batch * model.heads * s * s * model.headDim();
-    const double softmaxOps =
-        kSoftmaxOpsPerElem * batch * model.heads * s * s;
-    const double lnOps =
-        2.0 * kLayerNormOpsPerElem * static_cast<double>(tokens) * h;
-    const double geluOps =
-        kGeluOpsPerElem * static_cast<double>(tokens) * f;
-    const double resOps =
-        2.0 * kResidualOpsPerElem * static_cast<double>(tokens) * h;
-    addHostOps(report,
-               layers * (2.0 * kVectorizedMacDiscount * attnMacs +
-                         softmaxOps + lnOps + geluOps + resOps));
-    return report;
+    return run(WorkloadSpec::prefill(model, batch, seqLen));
 }
 
 InferenceReport
 TransformerRunner::decode(const TransformerConfig& model, unsigned batch,
                           unsigned promptLen, unsigned steps) const
 {
-    LOCALUT_REQUIRE(steps >= 1, "decode needs at least one step");
-    InferenceReport report;
-    const double layers = model.layers;
-    const std::size_t h = model.hidden;
-    const std::size_t f = model.ffnHidden;
-
-    // Per step, every layer runs GEMV-like GEMMs with N = batch.
-    addGemm(report, h, h, batch, 3.0 * layers * steps); // QKV
-    addGemm(report, h, h, batch, layers * steps);       // out proj
-    addGemm(report, f, h, batch, layers * steps);       // FFN up
-    addGemm(report, h, f, batch, layers * steps);       // FFN down
-
-    // Host attention against the growing KV context.
-    double attnOps = 0.0;
-    for (unsigned t = 0; t < steps; ++t) {
-        const double ctx = promptLen + t + 1;
-        attnOps += 2.0 * 2.0 * kVectorizedMacDiscount * batch *
-                   model.heads * ctx * model.headDim();
-        attnOps += kSoftmaxOpsPerElem * batch * model.heads * ctx;
-    }
-    const double tokens = static_cast<double>(batch) * steps;
-    const double lnOps = 2.0 * kLayerNormOpsPerElem * tokens * h;
-    const double geluOps = kGeluOpsPerElem * tokens * f;
-    const double resOps = 2.0 * kResidualOpsPerElem * tokens * h;
-    addHostOps(report,
-               layers * (attnOps + lnOps + geluOps + resOps));
-    return report;
+    return run(WorkloadSpec::decode(model, batch, promptLen, steps));
 }
 
 } // namespace localut

@@ -3,34 +3,40 @@
 
 /**
  * @file
- * End-to-end transformer inference on the PIM system (paper Section V-B,
+ * End-to-end transformer inference on a PIM backend (paper Section V-B,
  * Fig. 8): every matrix multiplication (QKV projections, output
- * projection, FFN) runs on the PIM banks under a chosen design point;
+ * projection, FFN) runs on the backend under a chosen design point;
  * softmax, layer norm, GELU, attention score/value products, and
  * quantize/dequantize run on the host.  Prefill and decode phases are
  * modeled separately (Fig. 19a); batching folds into the GEMM N dimension
  * (Fig. 19b).
+ *
+ * The phase contents come from nn/workload.h, and repeated shapes are
+ * planned once through a PlanCache — the same machinery the serving-layer
+ * InferenceSession (serving/session.h) uses for batched asynchronous
+ * request execution.
  */
 
+#include "backend/backend.h"
 #include "kernels/gemm.h"
 #include "nn/transformer.h"
+#include "nn/workload.h"
+#include "serving/plan_cache.h"
 
 namespace localut {
-
-/** Aggregated end-to-end execution report. */
-struct InferenceReport {
-    TimingReport timing;
-    EnergyReport energy;
-    double gemmSeconds = 0;  ///< PIM GEMM portion (kernel + its host/link)
-    double hostOpSeconds = 0;///< non-GEMM host work
-};
 
 /** Runs transformer phases under one design point / quantization config. */
 class TransformerRunner
 {
   public:
+    /** Runs on the UPMEM server model built from @p system. */
     TransformerRunner(const PimSystemConfig& system,
                       const QuantConfig& quant, DesignPoint design,
+                      const PlanOverrides& overrides = {});
+
+    /** Runs on any backend. */
+    TransformerRunner(BackendPtr backend, const QuantConfig& quant,
+                      DesignPoint design,
                       const PlanOverrides& overrides = {});
 
     /**
@@ -47,19 +53,15 @@ class TransformerRunner
     InferenceReport decode(const TransformerConfig& model, unsigned batch,
                            unsigned promptLen, unsigned steps) const;
 
+    /** Runs one workload phase (what prefill()/decode() build). */
+    InferenceReport run(const WorkloadSpec& spec) const;
+
   private:
-    /** Timing/energy of one GEMM shape, repeated @p count times. */
-    void addGemm(InferenceReport& report, std::size_t m, std::size_t k,
-                 std::size_t n, double count) const;
-
-    /** Charges non-GEMM host work (attention, softmax, norms, GELU). */
-    void addHostOps(InferenceReport& report, double ops) const;
-
-    PimSystemConfig system_;
+    BackendPtr backend_;
     QuantConfig quant_;
     DesignPoint design_;
     PlanOverrides overrides_;
-    GemmEngine engine_;
+    mutable PlanCache cache_; ///< decode steps reuse per-shape plans
 };
 
 /** Shape-only problem (empty codes) for timing runs. */

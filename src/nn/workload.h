@@ -1,0 +1,88 @@
+#ifndef LOCALUT_NN_WORKLOAD_H_
+#define LOCALUT_NN_WORKLOAD_H_
+
+/**
+ * @file
+ * Workload description: the GEMM shapes and host-op counts of one
+ * transformer phase (paper Fig. 8 execution flow, Fig. 19 scenarios).
+ * This enumeration is the single source of truth shared by the
+ * synchronous TransformerRunner (nn/inference.h) and the InferenceSession
+ * workload compiler (serving/session.h), so the two paths can never
+ * disagree about what a phase executes.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "backend/backend.h"
+#include "nn/transformer.h"
+
+namespace localut {
+
+/** Which phase of autoregressive execution a workload models. */
+enum class WorkloadPhase {
+    Prefill, ///< all tokens at once; GEMM N = batch * seqLen
+    Decode,  ///< one token per step per sequence; GEMM N = batch
+};
+
+/** One transformer phase over one model (the unit a session compiles). */
+struct WorkloadSpec {
+    TransformerConfig model;
+    WorkloadPhase phase = WorkloadPhase::Prefill;
+    unsigned batch = 1;
+    unsigned seqLen = 128;    ///< prefill: sequence length; decode: prompt
+    unsigned steps = 1;       ///< decode steps (ignored for prefill)
+
+    /** Prefill of @p batch sequences of @p seqLen tokens. */
+    static WorkloadSpec prefill(const TransformerConfig& model,
+                                unsigned batch, unsigned seqLen);
+
+    /** Decode of @p steps tokens against a @p promptLen-token context. */
+    static WorkloadSpec decode(const TransformerConfig& model,
+                               unsigned batch, unsigned promptLen,
+                               unsigned steps);
+};
+
+/** One distinct PIM GEMM shape of a workload, with its repeat count. */
+struct WorkloadGemm {
+    std::size_t m = 0, k = 0, n = 0;
+    double count = 1;        ///< executions across layers (and steps)
+    const char* role = "";   ///< "qkv", "out_proj", "ffn_up", "ffn_down"
+};
+
+/** The PIM GEMM shapes of @p spec (paper Fig. 8: QKV, out proj, FFN). */
+std::vector<WorkloadGemm> workloadGemms(const WorkloadSpec& spec);
+
+/**
+ * Scalar-equivalent host operations of @p spec: attention score/value
+ * products, softmax, layer norms, GELU, residual adds — everything the
+ * PIM offload leaves on the host.
+ */
+double workloadHostOps(const WorkloadSpec& spec);
+
+/** Aggregated end-to-end execution report. */
+struct InferenceReport {
+    TimingReport timing;
+    EnergyReport energy;
+    double gemmSeconds = 0;  ///< PIM GEMM portion (kernel + its host/link)
+    double hostOpSeconds = 0;///< non-GEMM host work
+};
+
+/** A workload GEMM bound to its resolved execution plan. */
+struct PlannedGemm {
+    WorkloadGemm gemm;
+    GemmPlan plan;
+};
+
+/**
+ * Executes planned GEMMs (timing-only) plus @p hostOps host work on
+ * @p backend and aggregates the report.  The single execution path
+ * behind both TransformerRunner and InferenceSession workloads.
+ */
+InferenceReport executeWorkload(const Backend& backend,
+                                const std::vector<PlannedGemm>& nodes,
+                                const QuantConfig& quant, double hostOps);
+
+} // namespace localut
+
+#endif // LOCALUT_NN_WORKLOAD_H_

@@ -32,6 +32,8 @@ struct QuantConfig {
     unsigned bw() const { return weightCodec.bits(); }
     unsigned ba() const { return actCodec.bits(); }
 
+    bool operator==(const QuantConfig&) const = default;
+
     /** "W1A3", "W1A4", "W2A2", "W4A4", "W1A8", "W1A16" ... */
     std::string name() const;
 

@@ -1,0 +1,113 @@
+#include "serving/plan_cache.h"
+
+namespace localut {
+
+PlanKey
+PlanKey::of(const Backend& backend, const GemmProblem& problem,
+            DesignPoint design, const PlanOverrides& overrides)
+{
+    PlanKey key;
+    key.m = problem.m();
+    key.k = problem.k();
+    key.n = problem.n();
+    key.config = problem.config();
+    key.design = design;
+    key.overrides = overrides;
+    key.backend = backend.name();
+    key.fingerprint = backend.configFingerprint();
+    return key;
+}
+
+namespace {
+
+void
+hashCombine(std::size_t& seed, std::size_t value)
+{
+    seed ^= value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+} // namespace
+
+std::size_t
+PlanKeyHash::operator()(const PlanKey& key) const
+{
+    std::size_t seed = 0;
+    hashCombine(seed, key.m);
+    hashCombine(seed, key.k);
+    hashCombine(seed, key.n);
+    hashCombine(seed,
+                static_cast<std::size_t>(key.config.weightCodec.kind()));
+    hashCombine(seed, key.config.weightCodec.bits());
+    hashCombine(seed,
+                static_cast<std::size_t>(key.config.actCodec.kind()));
+    hashCombine(seed, key.config.actCodec.bits());
+    hashCombine(seed, static_cast<std::size_t>(key.design));
+    hashCombine(seed, key.overrides.p);
+    hashCombine(seed, key.overrides.kSlices);
+    hashCombine(seed, static_cast<std::size_t>(key.overrides.streaming + 1));
+    hashCombine(seed, key.overrides.gM);
+    hashCombine(seed, key.overrides.gN);
+    hashCombine(seed, std::hash<std::string>{}(key.backend));
+    hashCombine(seed, static_cast<std::size_t>(key.fingerprint));
+    return seed;
+}
+
+GemmPlan
+PlanCache::planFor(const Backend& backend, const GemmProblem& problem,
+                   DesignPoint design, const PlanOverrides& overrides)
+{
+    const PlanKey key = PlanKey::of(backend, problem, design, overrides);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = plans_.find(key);
+        if (it != plans_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Plan outside the lock: planning is the expensive part, and two
+    // threads racing on the same key deterministically produce the same
+    // plan, so last-insert-wins is harmless.
+    const GemmPlan plan = backend.plan(problem, design, overrides);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++misses_;
+        plans_.insert_or_assign(key, plan);
+    }
+    return plan;
+}
+
+PlanCache::Stats
+PlanCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.entries = plans_.size();
+    return s;
+}
+
+std::size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return plans_.size();
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    plans_.clear();
+}
+
+void
+PlanCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace localut

@@ -1,0 +1,96 @@
+#ifndef LOCALUT_SERVING_PLAN_CACHE_H_
+#define LOCALUT_SERVING_PLAN_CACHE_H_
+
+/**
+ * @file
+ * Memoization of GemmPlans.  Planning a LoCaLUT GEMM walks the packing /
+ * placement / slice-window / partition-grid space with the full event
+ * model, which costs far more than "executing" the plan on the system
+ * model — and a transformer serving loop re-plans the same handful of
+ * shapes on every decode step.  The PlanCache keys plans by everything
+ * that determines them: (M, K, N), quantization config, design point,
+ * planner overrides, and the backend that produced the plan.  Hit/miss
+ * counters are exposed so serving code (and tests) can verify reuse.
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "backend/backend.h"
+
+namespace localut {
+
+/** Everything that determines a plan.  Equality-comparable and hashable. */
+struct PlanKey {
+    std::size_t m = 0, k = 0, n = 0;
+    QuantConfig config{ValueCodec::signedBinary(),
+                       ValueCodec::signedBinary()};
+    DesignPoint design = DesignPoint::LoCaLut;
+    PlanOverrides overrides;
+    std::string backend;           ///< plans are device-specific...
+    std::uint64_t fingerprint = 0; ///< ...including the device config
+
+    bool operator==(const PlanKey&) const = default;
+
+    static PlanKey of(const Backend& backend, const GemmProblem& problem,
+                      DesignPoint design, const PlanOverrides& overrides);
+};
+
+/** Hash over every PlanKey field. */
+struct PlanKeyHash {
+    std::size_t operator()(const PlanKey& key) const;
+};
+
+/**
+ * A thread-safe (shape, config, design, overrides, backend) -> GemmPlan
+ * memo.  Safe to share across InferenceSession worker threads.
+ */
+class PlanCache
+{
+  public:
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::size_t entries = 0;
+
+        double
+        hitRate() const
+        {
+            const std::uint64_t lookups = hits + misses;
+            return lookups == 0
+                       ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(lookups);
+        }
+    };
+
+    /**
+     * Returns the cached plan for (@p backend, @p problem, @p design,
+     * @p overrides), planning and inserting on a miss.
+     */
+    GemmPlan planFor(const Backend& backend, const GemmProblem& problem,
+                     DesignPoint design,
+                     const PlanOverrides& overrides = {});
+
+    Stats stats() const;
+
+    std::size_t size() const;
+
+    /** Drops all entries (counters are kept; see resetStats()). */
+    void clear();
+
+    /** Zeroes the hit/miss counters. */
+    void resetStats();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<PlanKey, GemmPlan, PlanKeyHash> plans_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_SERVING_PLAN_CACHE_H_

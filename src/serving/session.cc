@@ -1,0 +1,283 @@
+#include "serving/session.h"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace localut {
+
+double
+InferenceSession::CompiledWorkload::predictedGemmSeconds() const
+{
+    double seconds = 0;
+    for (const PlanNode& node : nodes) {
+        seconds += node.plan.predictedSeconds * node.gemm.count;
+    }
+    return seconds;
+}
+
+/** One queued unit of work (a GEMM or a compiled workload). */
+struct InferenceSession::Request {
+    RequestId id = 0;
+    bool isWorkload = false;
+
+    // GEMM request inputs / output.
+    GemmProblem problem;
+    DesignPoint design = DesignPoint::LoCaLut;
+    PlanOverrides overrides;
+    bool computeValues = false;
+    GemmResult result;
+
+    // Workload request input / output.
+    CompiledWorkload workload;
+    InferenceReport report;
+
+    bool done = false;
+    bool claimed = false; ///< a waiter owns this request's result
+    std::exception_ptr error;
+};
+
+InferenceSession::InferenceSession(BackendPtr backend,
+                                   const SessionOptions& options)
+    : backend_(std::move(backend)), options_(options)
+{
+    LOCALUT_REQUIRE(backend_ != nullptr, "InferenceSession needs a backend");
+    unsigned workers = options_.workers;
+    if (workers == 0) {
+        workers = std::max(1u, std::min(8u,
+                                        std::thread::hardware_concurrency()));
+    }
+    workers_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+InferenceSession::InferenceSession(const std::string& backendName,
+                                   const SessionOptions& options)
+    : InferenceSession(makeBackend(backendName), options)
+{}
+
+InferenceSession::~InferenceSession()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    queueCv_.notify_all();
+    for (std::thread& worker : workers_) {
+        worker.join();
+    }
+}
+
+unsigned
+InferenceSession::workerCount() const
+{
+    return static_cast<unsigned>(workers_.size());
+}
+
+GemmPlan
+InferenceSession::plan(const GemmProblem& problem, DesignPoint design,
+                       const PlanOverrides& overrides)
+{
+    return cache_.planFor(*backend_, problem, design, overrides);
+}
+
+InferenceSession::RequestId
+InferenceSession::enqueue(std::unique_ptr<Request> request)
+{
+    Request* raw = request.get();
+    RequestId id;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        LOCALUT_REQUIRE(!stopping_, "session is shutting down");
+        id = nextId_++;
+        raw->id = id;
+        requests_.emplace(id, std::move(request));
+        queue_.push_back(raw);
+    }
+    queueCv_.notify_one();
+    return id;
+}
+
+InferenceSession::RequestId
+InferenceSession::submit(GemmProblem problem, DesignPoint design,
+                         const PlanOverrides& overrides)
+{
+    return submit(std::move(problem), design, options_.computeValues,
+                  overrides);
+}
+
+InferenceSession::RequestId
+InferenceSession::submit(GemmProblem problem, DesignPoint design,
+                         bool computeValues, const PlanOverrides& overrides)
+{
+    auto request = std::make_unique<Request>();
+    request->isWorkload = false;
+    request->problem = std::move(problem);
+    request->design = design;
+    request->overrides = overrides;
+    request->computeValues = computeValues;
+    return enqueue(std::move(request));
+}
+
+InferenceSession::RequestId
+InferenceSession::submit(CompiledWorkload workload)
+{
+    auto request = std::make_unique<Request>();
+    request->isWorkload = true;
+    request->workload = std::move(workload);
+    return enqueue(std::move(request));
+}
+
+InferenceSession::CompiledWorkload
+InferenceSession::compile(const WorkloadSpec& spec, const QuantConfig& quant,
+                          DesignPoint design, const PlanOverrides& overrides)
+{
+    CompiledWorkload workload;
+    workload.spec = spec;
+    workload.quant = quant;
+    workload.design = design;
+    workload.overrides = overrides;
+    workload.backendName = backend_->name();
+    workload.backendFingerprint = backend_->configFingerprint();
+    for (const WorkloadGemm& gemm : workloadGemms(spec)) {
+        const GemmProblem problem =
+            makeShapeOnlyProblem(gemm.m, gemm.k, gemm.n, quant);
+        workload.nodes.push_back(
+            {gemm, cache_.planFor(*backend_, problem, design, overrides)});
+    }
+    workload.hostOps = workloadHostOps(spec);
+    return workload;
+}
+
+InferenceReport
+InferenceSession::run(const CompiledWorkload& workload) const
+{
+    // Plans only make sense on the device model that produced them.
+    LOCALUT_REQUIRE(workload.backendName == backend_->name() &&
+                        workload.backendFingerprint ==
+                            backend_->configFingerprint(),
+                    "workload compiled for backend \"",
+                    workload.backendName,
+                    "\" submitted to a session on \"", backend_->name(),
+                    "\"");
+    return executeWorkload(*backend_, workload.nodes, workload.quant,
+                           workload.hostOps);
+}
+
+void
+InferenceSession::executeRequest(Request& request)
+{
+    if (request.isWorkload) {
+        request.report = run(request.workload);
+        return;
+    }
+    // Plans are memoized; identical shapes across requests hit the cache.
+    const GemmPlan plan = cache_.planFor(*backend_, request.problem,
+                                         request.design, request.overrides);
+    request.result =
+        backend_->execute(request.problem, plan, request.computeValues);
+}
+
+void
+InferenceSession::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        queueCv_.wait(lock,
+                      [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) {
+            if (stopping_) {
+                return;
+            }
+            continue;
+        }
+        Request* request = queue_.front();
+        queue_.pop_front();
+        lock.unlock();
+        try {
+            executeRequest(*request);
+        } catch (...) {
+            request->error = std::current_exception();
+        }
+        lock.lock();
+        request->done = true;
+        doneCv_.notify_all();
+    }
+}
+
+std::unique_ptr<InferenceSession::Request>
+InferenceSession::take(RequestId id, bool wantWorkload)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = requests_.find(id);
+    LOCALUT_REQUIRE(it != requests_.end(),
+                    "unknown (or already waited-on) request id ", id);
+    Request* request = it->second.get();
+    LOCALUT_REQUIRE(!request->claimed,
+                    "request ", id, " already has a waiter");
+    LOCALUT_REQUIRE(request->isWorkload == wantWorkload,
+                    wantWorkload ? "waitReport() on a GEMM request"
+                                 : "wait() on a workload request");
+    // The claim keeps concurrent waiters out; the pointer stays valid
+    // across the wait (node-based map), but `it` may not (rehash on
+    // concurrent submits), so re-find before erasing.
+    request->claimed = true;
+    doneCv_.wait(lock, [request] { return request->done; });
+    auto again = requests_.find(id);
+    LOCALUT_ASSERT(again != requests_.end(), "claimed request vanished");
+    std::unique_ptr<Request> owned = std::move(again->second);
+    requests_.erase(again);
+    return owned;
+}
+
+GemmResult
+InferenceSession::wait(RequestId id)
+{
+    std::unique_ptr<Request> request = take(id, /*wantWorkload=*/false);
+    if (request->error) {
+        std::rethrow_exception(request->error);
+    }
+    return std::move(request->result);
+}
+
+InferenceReport
+InferenceSession::waitReport(RequestId id)
+{
+    std::unique_ptr<Request> request = take(id, /*wantWorkload=*/true);
+    if (request->error) {
+        std::rethrow_exception(request->error);
+    }
+    return request->report;
+}
+
+void
+InferenceSession::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [this] {
+        if (!queue_.empty()) {
+            return false;
+        }
+        return std::all_of(requests_.begin(), requests_.end(),
+                           [](const auto& kv) { return kv.second->done; });
+    });
+}
+
+std::size_t
+InferenceSession::pendingRequests() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::size_t pending = 0;
+    for (const auto& [id, request] : requests_) {
+        if (!request->done) {
+            ++pending;
+        }
+    }
+    return pending;
+}
+
+} // namespace localut

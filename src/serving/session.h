@@ -1,0 +1,175 @@
+#ifndef LOCALUT_SERVING_SESSION_H_
+#define LOCALUT_SERVING_SESSION_H_
+
+/**
+ * @file
+ * The serving API: an InferenceSession binds a Backend to a PlanCache and
+ * a worker pool, so callers compile a workload (or an individual GEMM)
+ * once and then dispatch batched requests asynchronously:
+ *
+ *     InferenceSession session(makeBackend("upmem"));
+ *     auto workload = session.compile(
+ *         WorkloadSpec::decode(TransformerConfig::opt125m(), 32, 128, 16),
+ *         QuantConfig::preset("W4A4"), DesignPoint::LoCaLut);
+ *     auto id = session.submit(workload);
+ *     // ... submit more requests; they execute on the worker pool ...
+ *     InferenceReport report = session.waitReport(id);
+ *
+ * Plans are memoized in the session's PlanCache keyed by (shape,
+ * QuantConfig, DesignPoint, overrides, backend), so repeated decode steps
+ * — and repeated requests in a serving loop — stop paying planner cost.
+ * Every GemmProblem/workload submitted is executed exactly as the
+ * synchronous API would execute it; requests are independent, so results
+ * are deterministic regardless of completion order.
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/backend.h"
+#include "nn/inference.h"
+#include "nn/workload.h"
+#include "serving/plan_cache.h"
+
+namespace localut {
+
+/** Session-wide knobs. */
+struct SessionOptions {
+    /** Worker threads; 0 picks min(hardware_concurrency, 8). */
+    unsigned workers = 0;
+    /** Default functional pass for submitted GEMM requests. */
+    bool computeValues = false;
+};
+
+/**
+ * Compile-once / submit-many serving sessions on one backend.
+ *
+ * Thread-safety: all public methods are safe to call concurrently; the
+ * execution itself runs on the session's worker pool (backends are
+ * stateless and const, the PlanCache is internally locked).
+ */
+class InferenceSession
+{
+  public:
+    using RequestId = std::uint64_t;
+
+    /** A planned GEMM node of a compiled workload. */
+    using PlanNode = PlannedGemm;
+
+    /** A workload compiled into a plan graph (backend-specific). */
+    struct CompiledWorkload {
+        WorkloadSpec spec;
+        QuantConfig quant{ValueCodec::signedBinary(),
+                          ValueCodec::signedBinary()};
+        DesignPoint design = DesignPoint::LoCaLut;
+        PlanOverrides overrides;
+        std::vector<PlanNode> nodes; ///< one per distinct GEMM shape
+        double hostOps = 0;          ///< non-GEMM host work (scalar ops)
+        /** Identity of the backend that compiled the plans; a session
+         * refuses to execute another backend's workload. */
+        std::string backendName;
+        std::uint64_t backendFingerprint = 0;
+
+        /** Modeled seconds spent on the PIM GEMMs per request (sum of
+         * per-node predictions; for quick admission-control estimates). */
+        double predictedGemmSeconds() const;
+    };
+
+    explicit InferenceSession(BackendPtr backend,
+                              const SessionOptions& options = {});
+
+    /** Convenience: looks the backend up by registry name. */
+    explicit InferenceSession(const std::string& backendName,
+                              const SessionOptions& options = {});
+
+    /** Drains outstanding requests, then stops the workers. */
+    ~InferenceSession();
+
+    InferenceSession(const InferenceSession&) = delete;
+    InferenceSession& operator=(const InferenceSession&) = delete;
+
+    const Backend& backend() const { return *backend_; }
+    const SessionOptions& options() const { return options_; }
+    unsigned workerCount() const;
+
+    /** Plans one GEMM through the session cache (memoized). */
+    GemmPlan plan(const GemmProblem& problem, DesignPoint design,
+                  const PlanOverrides& overrides = {});
+
+    PlanCache& planCache() { return cache_; }
+    PlanCache::Stats planCacheStats() const { return cache_.stats(); }
+
+    // ------------------------------------------------- GEMM requests
+    /** Enqueues one GEMM; returns immediately. */
+    RequestId submit(GemmProblem problem, DesignPoint design,
+                     const PlanOverrides& overrides = {});
+
+    /** Same, overriding the session's computeValues default. */
+    RequestId submit(GemmProblem problem, DesignPoint design,
+                     bool computeValues,
+                     const PlanOverrides& overrides = {});
+
+    /**
+     * Blocks until the GEMM request @p id completes and returns its
+     * result (consuming it; a second wait on the same id fatals).
+     * Rethrows any error the request raised.
+     */
+    GemmResult wait(RequestId id);
+
+    // --------------------------------------------- workload requests
+    /**
+     * Compiles one workload phase into a plan graph: every distinct GEMM
+     * shape is planned once (through the cache) and bound to its repeat
+     * count; the non-GEMM host work is pre-aggregated.
+     */
+    CompiledWorkload compile(const WorkloadSpec& spec,
+                             const QuantConfig& quant, DesignPoint design,
+                             const PlanOverrides& overrides = {});
+
+    /** Enqueues one compiled-workload execution; returns immediately. */
+    RequestId submit(CompiledWorkload workload);
+
+    /** Blocks until workload request @p id completes (consuming it). */
+    InferenceReport waitReport(RequestId id);
+
+    /** Executes a compiled workload synchronously on the calling thread. */
+    InferenceReport run(const CompiledWorkload& workload) const;
+
+    // ------------------------------------------------------- control
+    /** Blocks until every outstanding request has executed. */
+    void drain();
+
+    /** Requests submitted but not yet executed or waited on. */
+    std::size_t pendingRequests() const;
+
+  private:
+    struct Request;
+
+    RequestId enqueue(std::unique_ptr<Request> request);
+    void workerLoop();
+    void executeRequest(Request& request);
+    std::unique_ptr<Request> take(RequestId id, bool wantWorkload);
+
+    BackendPtr backend_;
+    SessionOptions options_;
+    PlanCache cache_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable queueCv_; ///< wakes workers
+    std::condition_variable doneCv_;  ///< wakes waiters
+    std::deque<Request*> queue_;      ///< not-yet-executed requests
+    std::unordered_map<RequestId, std::unique_ptr<Request>> requests_;
+    RequestId nextId_ = 1;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_SERVING_SESSION_H_

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * PlanCache tests: a second plan() with an identical key returns the
+ * cached plan (hit counter increments), while any key-field change — the
+ * shape, the quantization config, the design point, the overrides, or the
+ * backend — misses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "backend/backend.h"
+#include "backend/upmem_backend.h"
+#include "nn/inference.h"
+#include "serving/plan_cache.h"
+
+namespace localut {
+namespace {
+
+/** Field-by-field plan equality (GemmPlan has no operator==). */
+void
+expectSamePlan(const GemmPlan& a, const GemmPlan& b)
+{
+    EXPECT_EQ(a.design, b.design);
+    EXPECT_EQ(a.p, b.p);
+    EXPECT_EQ(a.kSlices, b.kSlices);
+    EXPECT_EQ(a.streaming, b.streaming);
+    EXPECT_EQ(a.gM, b.gM);
+    EXPECT_EQ(a.gN, b.gN);
+    EXPECT_EQ(a.tileM, b.tileM);
+    EXPECT_EQ(a.tileN, b.tileN);
+    EXPECT_EQ(a.m, b.m);
+    EXPECT_EQ(a.k, b.k);
+    EXPECT_EQ(a.n, b.n);
+    EXPECT_EQ(a.groups, b.groups);
+    EXPECT_DOUBLE_EQ(a.predictedSeconds, b.predictedSeconds);
+    EXPECT_EQ(a.lutWramBytes, b.lutWramBytes);
+    EXPECT_EQ(a.lutMramBytes, b.lutMramBytes);
+}
+
+TEST(PlanCache, SecondIdenticalLookupHits)
+{
+    const BackendPtr backend = makeBackend("upmem");
+    PlanCache cache;
+    const GemmProblem problem = makeShapeOnlyProblem(
+        768, 768, 32, QuantConfig::preset("W1A3"));
+
+    const GemmPlan first =
+        cache.planFor(*backend, problem, DesignPoint::LoCaLut);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().entries, 1u);
+
+    const GemmPlan second =
+        cache.planFor(*backend, problem, DesignPoint::LoCaLut);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().entries, 1u);
+    expectSamePlan(first, second);
+
+    // The cached plan is what the backend would have planned.
+    expectSamePlan(second, backend->plan(problem, DesignPoint::LoCaLut));
+    EXPECT_DOUBLE_EQ(cache.stats().hitRate(), 0.5);
+}
+
+TEST(PlanCache, EveryKeyFieldDiscriminates)
+{
+    const BackendPtr upmem = makeBackend("upmem");
+    const BackendPtr host = makeBackend("host-cpu");
+    PlanCache cache;
+    const QuantConfig cfg = QuantConfig::preset("W1A3");
+    const GemmProblem base = makeShapeOnlyProblem(768, 768, 32, cfg);
+
+    cache.planFor(*upmem, base, DesignPoint::LoCaLut);
+
+    // Different shape.
+    cache.planFor(*upmem, makeShapeOnlyProblem(768, 768, 64, cfg),
+                  DesignPoint::LoCaLut);
+    // Different quantization config.
+    cache.planFor(*upmem,
+                  makeShapeOnlyProblem(768, 768, 32,
+                                       QuantConfig::preset("W4A4")),
+                  DesignPoint::LoCaLut);
+    // Different design point.
+    cache.planFor(*upmem, base, DesignPoint::OpLut);
+    // Different overrides.
+    PlanOverrides forced;
+    forced.p = 2;
+    cache.planFor(*upmem, base, DesignPoint::LoCaLut, forced);
+    // Different backend, same everything else.
+    cache.planFor(*host, base, DesignPoint::LoCaLut);
+
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 6u);
+    EXPECT_EQ(cache.stats().entries, 6u);
+
+    // And each of them hits on re-lookup.
+    cache.planFor(*upmem, base, DesignPoint::LoCaLut, forced);
+    cache.planFor(*host, base, DesignPoint::LoCaLut);
+    EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(PlanCache, ClearDropsEntriesAndResetStatsZeroesCounters)
+{
+    const BackendPtr backend = makeBackend("upmem");
+    PlanCache cache;
+    const GemmProblem problem = makeShapeOnlyProblem(
+        256, 256, 16, QuantConfig::preset("W2A2"));
+
+    cache.planFor(*backend, problem, DesignPoint::LoCaLut);
+    cache.planFor(*backend, problem, DesignPoint::LoCaLut);
+    EXPECT_EQ(cache.size(), 1u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits, 1u); // counters survive clear()
+
+    cache.resetStats();
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+
+    cache.planFor(*backend, problem, DesignPoint::LoCaLut);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(PlanCache, SameNameDifferentConfigDoesNotAlias)
+{
+    // Two backends named "upmem" with different device configurations
+    // must not share plans: the config fingerprint is part of the key.
+    PimSystemConfig small = PimSystemConfig::upmemServer();
+    small.ranks = 2;
+    const UpmemBackend server;
+    const UpmemBackend tiny(small);
+
+    PlanCache cache;
+    const GemmProblem problem = makeShapeOnlyProblem(
+        768, 768, 128, QuantConfig::preset("W1A3"));
+    const GemmPlan serverPlan =
+        cache.planFor(server, problem, DesignPoint::LoCaLut);
+    const GemmPlan tinyPlan =
+        cache.planFor(tiny, problem, DesignPoint::LoCaLut);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_LE(tinyPlan.dpusUsed(), small.totalDpus());
+    EXPECT_GT(serverPlan.dpusUsed(), small.totalDpus());
+}
+
+TEST(PlanKey, EqualityAndHashAgree)
+{
+    const BackendPtr backend = makeBackend("upmem");
+    const GemmProblem problem = makeShapeOnlyProblem(
+        64, 128, 8, QuantConfig::preset("W1A4"));
+    const PlanKey a =
+        PlanKey::of(*backend, problem, DesignPoint::LoCaLut, {});
+    const PlanKey b =
+        PlanKey::of(*backend, problem, DesignPoint::LoCaLut, {});
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(PlanKeyHash{}(a), PlanKeyHash{}(b));
+
+    PlanKey c = a;
+    c.design = DesignPoint::OpLut;
+    EXPECT_FALSE(a == c);
+}
+
+} // namespace
+} // namespace localut

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * InferenceSession tests: asynchronous submit/wait matches the
+ * synchronous engine bit-for-bit, compiled workloads match the
+ * TransformerRunner, decode steps reuse cached plans, and errors raised
+ * inside worker threads surface at wait().
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "backend/backend.h"
+#include "nn/inference.h"
+#include "serving/session.h"
+
+namespace localut {
+namespace {
+
+TEST(InferenceSession, AsyncGemmMatchesSynchronousEngine)
+{
+    const BackendPtr backend = makeBackend("upmem");
+    InferenceSession session(backend);
+    const QuantConfig cfg = QuantConfig::preset("W1A3");
+    const GemmProblem problem = makeRandomProblem(48, 96, 16, cfg, 5);
+
+    const auto id = session.submit(problem, DesignPoint::LoCaLut,
+                                   /*computeValues=*/true);
+    const GemmResult async = session.wait(id);
+    const GemmResult sync = backend->execute(problem, DesignPoint::LoCaLut);
+
+    EXPECT_EQ(async.outInt, sync.outInt);
+    EXPECT_DOUBLE_EQ(async.timing.total, sync.timing.total);
+    EXPECT_DOUBLE_EQ(async.energy.total, sync.energy.total);
+}
+
+TEST(InferenceSession, BatchedSubmissionsAllComplete)
+{
+    InferenceSession session(makeBackend("upmem"));
+    const QuantConfig cfg = QuantConfig::preset("W2A2");
+
+    std::vector<InferenceSession::RequestId> ids;
+    std::vector<std::vector<std::int32_t>> expected;
+    for (unsigned i = 0; i < 12; ++i) {
+        const GemmProblem problem =
+            makeRandomProblem(32, 64, 8, cfg, /*seed=*/100 + i);
+        expected.push_back(referenceGemmInt(problem.w, problem.a));
+        ids.push_back(session.submit(problem, DesignPoint::LoCaLut,
+                                     /*computeValues=*/true));
+    }
+    for (unsigned i = 0; i < ids.size(); ++i) {
+        EXPECT_EQ(session.wait(ids[i]).outInt, expected[i]) << i;
+    }
+    // All 12 requests share one shape/config/design, so they collapse to
+    // one cache entry.  planFor() deliberately plans outside the lock,
+    // so concurrent workers racing on a cold key may each count a miss —
+    // only the totals are deterministic.
+    const PlanCache::Stats stats = session.planCacheStats();
+    EXPECT_EQ(stats.hits + stats.misses, 12u);
+    EXPECT_GE(stats.misses, 1u);
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(session.pendingRequests(), 0u);
+}
+
+TEST(InferenceSession, CompiledWorkloadMatchesTransformerRunner)
+{
+    const BackendPtr backend = makeBackend("upmem");
+    const TransformerConfig model = TransformerConfig::opt125m();
+    const QuantConfig cfg = QuantConfig::preset("W4A4");
+
+    InferenceSession session(backend);
+    const auto workload =
+        session.compile(WorkloadSpec::decode(model, 8, 64, 4), cfg,
+                        DesignPoint::LoCaLut);
+    EXPECT_EQ(workload.nodes.size(), 4u); // qkv, out_proj, ffn_up, ffn_down
+    EXPECT_GT(workload.hostOps, 0.0);
+    EXPECT_GT(workload.predictedGemmSeconds(), 0.0);
+
+    const auto id = session.submit(workload);
+    const InferenceReport viaSession = session.waitReport(id);
+
+    const TransformerRunner runner(backend, cfg, DesignPoint::LoCaLut);
+    const InferenceReport viaRunner = runner.decode(model, 8, 64, 4);
+
+    EXPECT_DOUBLE_EQ(viaSession.timing.total, viaRunner.timing.total);
+    EXPECT_DOUBLE_EQ(viaSession.energy.total, viaRunner.energy.total);
+    EXPECT_DOUBLE_EQ(viaSession.gemmSeconds, viaRunner.gemmSeconds);
+    EXPECT_DOUBLE_EQ(viaSession.hostOpSeconds, viaRunner.hostOpSeconds);
+}
+
+TEST(InferenceSession, DecodeStepsReuseCachedPlans)
+{
+    InferenceSession session(makeBackend("upmem"));
+    const TransformerConfig model = TransformerConfig::opt125m();
+    const QuantConfig cfg = QuantConfig::preset("W4A4");
+
+    // Compile once; submitting more decode steps of the same shape must
+    // not re-plan.  OPT's qkv and out_proj share (h, h, batch), so the
+    // first compile already hits once.
+    const auto first = session.compile(
+        WorkloadSpec::decode(model, 32, 128, 1), cfg, DesignPoint::LoCaLut);
+    const auto missesAfterFirst = session.planCacheStats().misses;
+    EXPECT_EQ(missesAfterFirst, 3u); // (h,h,b), (f,h,b), (h,f,b)
+
+    const auto second = session.compile(
+        WorkloadSpec::decode(model, 32, 128, 7), cfg, DesignPoint::LoCaLut);
+    EXPECT_EQ(session.planCacheStats().misses, missesAfterFirst);
+    EXPECT_GT(session.planCacheStats().hits, 0u);
+
+    const auto idFirst = session.submit(first);
+    const auto idSecond = session.submit(second);
+    EXPECT_GT(session.waitReport(idFirst).timing.total, 0.0);
+    EXPECT_GT(session.waitReport(idSecond).timing.total, 0.0);
+}
+
+TEST(InferenceSession, RunsOnEveryRegisteredBackend)
+{
+    const TransformerConfig model = TransformerConfig::bertBase();
+    const QuantConfig cfg = QuantConfig::preset("W1A3");
+    for (const char* name : {"upmem", "bankpim", "host-cpu", "host-gpu"}) {
+        InferenceSession session{std::string(name)};
+        const auto workload = session.compile(
+            WorkloadSpec::prefill(model, 4, 32), cfg, DesignPoint::LoCaLut);
+        const auto id = session.submit(workload);
+        const InferenceReport report = session.waitReport(id);
+        EXPECT_GT(report.timing.total, 0.0) << name;
+        EXPECT_GT(report.energy.total, 0.0) << name;
+        EXPECT_GT(report.gemmSeconds, 0.0) << name;
+        EXPECT_GT(report.hostOpSeconds, 0.0) << name;
+    }
+}
+
+TEST(InferenceSession, RejectsWorkloadCompiledOnAnotherBackend)
+{
+    InferenceSession upmem(makeBackend("upmem"));
+    InferenceSession host(makeBackend("host-cpu"));
+    const auto workload = upmem.compile(
+        WorkloadSpec::prefill(TransformerConfig::bertBase(), 2, 16),
+        QuantConfig::preset("W1A3"), DesignPoint::LoCaLut);
+    EXPECT_THROW(host.run(workload), std::runtime_error);
+    const auto id = host.submit(workload);
+    EXPECT_THROW(host.waitReport(id), std::runtime_error);
+}
+
+TEST(InferenceSession, WorkerErrorsSurfaceAtWait)
+{
+    InferenceSession session(makeBackend("bankpim"));
+    const GemmProblem problem = makeShapeOnlyProblem(
+        64, 64, 8, QuantConfig::preset("W1A3"));
+    // bankpim cannot plan LTC; the failure must arrive at wait(), not
+    // tear down the worker.
+    const auto id = session.submit(problem, DesignPoint::Ltc);
+    EXPECT_THROW(session.wait(id), std::runtime_error);
+
+    // The session is still usable afterwards.
+    const auto ok = session.submit(problem, DesignPoint::LoCaLut);
+    EXPECT_GT(session.wait(ok).timing.total, 0.0);
+}
+
+TEST(InferenceSession, DrainCompletesOutstandingWork)
+{
+    InferenceSession session(makeBackend("host-cpu"));
+    const QuantConfig cfg = QuantConfig::preset("W1A4");
+    std::vector<InferenceSession::RequestId> ids;
+    for (unsigned i = 0; i < 8; ++i) {
+        ids.push_back(session.submit(
+            makeShapeOnlyProblem(128, 128, 16, cfg), DesignPoint::LoCaLut));
+    }
+    session.drain();
+    EXPECT_EQ(session.pendingRequests(), 0u);
+    for (const auto id : ids) {
+        EXPECT_GT(session.wait(id).timing.total, 0.0);
+    }
+}
+
+TEST(InferenceSession, WaitConsumesTheRequest)
+{
+    InferenceSession session(makeBackend("host-cpu"));
+    const auto id = session.submit(
+        makeShapeOnlyProblem(32, 32, 4, QuantConfig::preset("W1A3")),
+        DesignPoint::LoCaLut);
+    session.wait(id);
+    EXPECT_THROW(session.wait(id), std::runtime_error);
+}
+
+} // namespace
+} // namespace localut
