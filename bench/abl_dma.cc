@@ -15,8 +15,9 @@
 using namespace localut;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Ablation", "DMA-rate sensitivity of slice streaming");
     const QuantConfig cfg = QuantConfig::preset("W2A2");
 

@@ -15,8 +15,9 @@
 using namespace localut;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Ablation", "partition-grid optimizer");
     const PimSystemConfig sys = PimSystemConfig::upmemServer();
     const GemmEngine engine(sys);

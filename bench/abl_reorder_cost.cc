@@ -15,8 +15,9 @@
 using namespace localut;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Ablation", "runtime reordering vs reordering LUT");
     const GemmEngine engine(PimSystemConfig::upmemServer());
     const QuantConfig cfg = QuantConfig::preset("W1A3");

@@ -2,11 +2,39 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
+#include "common/logging.h"
 #include "common/stats.h"
 
 namespace localut {
 namespace bench {
+
+namespace {
+bool gSmoke = false;
+} // namespace
+
+void
+init(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            gSmoke = true;
+        } else {
+            LOCALUT_FATAL("unknown bench flag \"", argv[i],
+                          "\" (supported: --smoke)");
+        }
+    }
+    if (gSmoke) {
+        std::printf("[smoke mode: reduced case lists]\n");
+    }
+}
+
+bool
+smoke()
+{
+    return gSmoke;
+}
 
 void
 header(const std::string& figure, const std::string& description)

@@ -17,6 +17,25 @@
 namespace localut {
 namespace bench {
 
+/**
+ * Parses the bench CLI flags.  Every bench calls this first thing in
+ * main(); the only flag is --smoke, which marks a reduced run for the
+ * `ctest -L smoke` registration (heavy sweeps trim their case lists via
+ * smoke()), so the per-figure harnesses cannot bit-rot unnoticed.
+ */
+void init(int argc, char** argv);
+
+/** True when running as a ctest smoke test. */
+bool smoke();
+
+/** @p full normally, @p reduced under --smoke. */
+template <typename T>
+T
+smokeTrim(T full, T reduced)
+{
+    return smoke() ? reduced : full;
+}
+
 /** Prints the figure banner. */
 void header(const std::string& figure, const std::string& description);
 

@@ -14,8 +14,9 @@
 using namespace localut;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 3(c)", "operation-packed LUT placement candidates");
     const PimSystemConfig sys = PimSystemConfig::upmemServer();
     const GemmEngine engine(sys);

@@ -13,8 +13,9 @@
 using namespace localut;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 6", "LUT capacity vs packing degree (W1A3)");
     const QuantConfig cfg = QuantConfig::preset("W1A3");
     bench::note("Paper reference: total reduction rate 1.68x (p=2) to "

@@ -16,8 +16,9 @@
 using namespace localut;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 9", "GEMM speedup over Naive PIM per design point");
     const GemmEngine engine(PimSystemConfig::upmemServer());
 

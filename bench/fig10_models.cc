@@ -33,8 +33,9 @@ endToEndSeconds(const TransformerConfig& model, const char* preset,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 10", "end-to-end DNN model speedup over Naive PIM");
     struct Case {
         TransformerConfig model;

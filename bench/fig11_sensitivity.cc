@@ -15,8 +15,9 @@
 using namespace localut;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 11", "matrix-size sensitivity heatmap (N = 128)");
     const GemmEngine engine(PimSystemConfig::upmemServer());
     const std::vector<std::size_t> dims = {128, 256, 384, 512,

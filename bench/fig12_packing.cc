@@ -14,8 +14,9 @@
 using namespace localut;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 12", "packing degree sensitivity (W2A2, K=768, N=128)");
     const PimSystemConfig sys = PimSystemConfig::upmemServer();
     const GemmEngine engine(sys);

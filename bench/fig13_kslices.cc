@@ -15,8 +15,9 @@
 using namespace localut;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 13", "k-slice sensitivity (speedup normalized to k=1)");
     const PimSystemConfig sys = PimSystemConfig::upmemServer();
 

@@ -33,8 +33,9 @@ endToEndJoules(const TransformerConfig& model, const char* preset,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 14", "end-to-end energy comparison");
     struct Case {
         TransformerConfig model;

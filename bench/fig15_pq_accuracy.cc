@@ -53,8 +53,9 @@ bertPqSeconds(const PqParams& params)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 15",
                   "speedup vs accuracy against PQ-based LUT methods");
     bench::note("Accuracy axis: synthetic ridge-readout proxy task "

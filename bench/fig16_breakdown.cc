@@ -40,8 +40,9 @@ printShares(const Breakdown& seconds,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 16", "execution time breakdowns");
     const PimSystemConfig sys = PimSystemConfig::upmemServer();
 

@@ -17,8 +17,9 @@
 using namespace localut;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 17", "CPU / GPU / LoCaLUT comparison "
                              "(M,K,N) = (12288, 192, 65536)");
     const std::size_t m = 12288, k = 192, n = 65536;

@@ -73,8 +73,9 @@ runCase(const GemmEngine& engine, const char* preset, unsigned pLo,
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 18", "cost-model validation (Eq. 2-6 vs simulation)");
     const GemmEngine engine(PimSystemConfig::upmemServer());
     const PerfModelConstants c = PerfModelConstants::profile(

@@ -15,8 +15,9 @@
 using namespace localut;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 19", "real-world inference scenarios");
     const PimSystemConfig sys = PimSystemConfig::upmemServer();
 

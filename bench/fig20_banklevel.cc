@@ -14,8 +14,9 @@
 using namespace localut;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 20(b)",
                   "bank-level PIM: LoCaLUT redesign vs HBM-PIM SIMD");
     const BankLevelPim pim((BankPimConfig()));

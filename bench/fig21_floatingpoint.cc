@@ -17,8 +17,9 @@
 using namespace localut;
 
 int
-main()
+main(int argc, char** argv)
 {
+    bench::init(argc, argv);
     bench::header("Fig. 21", "floating-point support");
 
     bench::section("(a) bank-level FP GEMM speedup vs HBM-PIM");
@@ -36,11 +37,19 @@ main()
              "0.62x geomean (native fp16 wins)"},
             {"W4A4 (fp4)", QuantConfig::fpPreset(4, 4), "up to 1.17x"},
         };
-        Table table({"config", "p", "1K", "2K", "4K", "paper"});
+        const std::vector<std::size_t> dims =
+            bench::smokeTrim<std::vector<std::size_t>>({1024, 2048, 4096},
+                                                       {1024});
+        std::vector<std::string> columns = {"config", "p"};
+        for (const std::size_t dim : dims) {
+            columns.push_back(std::to_string(dim / 1024) + "K");
+        }
+        columns.push_back("paper");
+        Table table(std::move(columns));
         for (const Case& c : cases) {
             std::vector<std::string> row = {c.label};
             row.push_back(std::to_string(pim.choosePackingDegree(c.cfg)));
-            for (std::size_t dim : {1024u, 2048u, 4096u}) {
+            for (std::size_t dim : dims) {
                 const double s =
                     pim.simdGemm(dim, dim, dim).seconds /
                     pim.lutGemm(dim, dim, dim, c.cfg).seconds;
@@ -66,7 +75,8 @@ main()
         const QuantConfig fpCfg = QuantConfig::fpPreset(4, 4);
         Table table({"p", "FP32", "OP (no reorder)", "LoCaLUT (reorder)",
                      "delta"});
-        for (unsigned p = 1; p <= 5; ++p) {
+        const unsigned maxP = bench::smokeTrim(5u, 2u);
+        for (unsigned p = 1; p <= maxP; ++p) {
             const double op = proxy.evaluateFpLut(fpCfg, p, false).accuracy;
             const double lc = proxy.evaluateFpLut(fpCfg, p, true).accuracy;
             table.addRow({std::to_string(p), Table::fmt(fp32, 4) + "%",

@@ -39,6 +39,15 @@ Backend::chargeHostOps(double ops, TimingReport& timing,
     chargeHostOpsWith(HostComputeParams{}, ops, timing, energy);
 }
 
+CollectiveLinkProfile
+Backend::collectiveProfile() const
+{
+    CollectiveLinkProfile profile;
+    profile.dram = DramTimingParams::upmemDdr4();
+    profile.dramEnergy = DramEnergyParams::ddr4();
+    return profile;
+}
+
 Backend::FingerprintBuilder&
 Backend::FingerprintBuilder::add(std::uint64_t value)
 {

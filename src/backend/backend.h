@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "dram/timing.h"
 #include "kernels/gemm.h"
 
 namespace localut {
@@ -39,6 +40,23 @@ struct BackendCapabilities {
     std::vector<DesignPoint> designPoints; ///< accepted by plan()
 
     bool supports(DesignPoint dp) const;
+};
+
+/**
+ * Link + DRAM-stream parameters behind a multi-rank collective (the
+ * all-gather / reduce hop of a sharded execution, serving/sharding.h).
+ * Each rank drains its output slice out of its DRAM banks (bounded by
+ * collectiveDrainCost() over @p dram), then the host link moves the
+ * aggregated bytes (bounded by @p link); the slower of the two paces the
+ * collective.  Backends override collectiveProfile() to expose their own
+ * device's numbers; the defaults model the UPMEM-class platform.
+ */
+struct CollectiveLinkProfile {
+    HostLinkParams link;      ///< host<->device bulk-transfer model
+    DramTimingParams dram;    ///< per-bank stream timing for the drain
+    DramEnergyParams dramEnergy;
+    unsigned banksPerRank = 64;   ///< banks streaming concurrently per rank
+    double pjPerLinkByte = 150.0; ///< host link + channel I/O per byte
 };
 
 /**
@@ -78,6 +96,13 @@ class Backend
      */
     virtual void chargeHostOps(double ops, TimingReport& timing,
                                EnergyReport& energy) const;
+
+    /**
+     * Parameters the sharding layer (serving/sharding.h) uses to charge
+     * the all-gather / reduce transfer of a multi-rank execution.  The
+     * base implementation returns the UPMEM-class defaults.
+     */
+    virtual CollectiveLinkProfile collectiveProfile() const;
 
     /**
      * Hash of the device configuration behind this backend.  Two

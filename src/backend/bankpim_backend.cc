@@ -61,6 +61,17 @@ BankPimBackend::plan(const GemmProblem& problem, DesignPoint design,
     return plan;
 }
 
+CollectiveLinkProfile
+BankPimBackend::collectiveProfile() const
+{
+    const BankPimConfig& cfg = model_.config();
+    CollectiveLinkProfile profile;
+    profile.dram = cfg.dram;
+    profile.dramEnergy = cfg.dramEnergy;
+    profile.banksPerRank = cfg.banksPerChannel;
+    return profile;
+}
+
 std::uint64_t
 BankPimBackend::configFingerprint() const
 {

@@ -33,6 +33,8 @@ class BankPimBackend : public Backend
     GemmResult execute(const GemmProblem& problem, const GemmPlan& plan,
                        bool computeValues = true) const override;
 
+    CollectiveLinkProfile collectiveProfile() const override;
+
     std::uint64_t configFingerprint() const override;
 
     const BankLevelPim& model() const { return model_; }

@@ -126,6 +126,24 @@ HostBackend::chargeHostOps(double ops, TimingReport& timing,
     chargeHostOpsWith(hostOps_, ops, timing, energy);
 }
 
+CollectiveLinkProfile
+HostBackend::collectiveProfile() const
+{
+    CollectiveLinkProfile profile;
+    // Shards gather over the device's own link (PCIe) when it has one;
+    // host-resident devices gather at memory bandwidth with a cheap
+    // launch.  The DRAM drain bound of the default profile is far above
+    // either, so the link is what paces these devices' collectives.
+    const bool hasPcie = device_.pcieBytesPerSec > 0;
+    const double bytesPerSec =
+        hasPcie ? device_.pcieBytesPerSec : device_.memBytesPerSec;
+    profile.link.hostToPimGBs = bytesPerSec / 1e9;
+    profile.link.pimToHostGBs = bytesPerSec / 1e9;
+    profile.link.launchLatencyUs = hasPcie ? 10.0 : 1.0;
+    profile.pjPerLinkByte = 20.0; // DDR/PCIe-class per-byte energy
+    return profile;
+}
+
 std::uint64_t
 HostBackend::configFingerprint() const
 {

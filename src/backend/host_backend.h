@@ -46,6 +46,8 @@ class HostBackend : public Backend
     void chargeHostOps(double ops, TimingReport& timing,
                        EnergyReport& energy) const override;
 
+    CollectiveLinkProfile collectiveProfile() const override;
+
     std::uint64_t configFingerprint() const override;
 
     const RooflineDevice& device() const { return device_; }

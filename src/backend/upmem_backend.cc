@@ -65,6 +65,19 @@ UpmemBackend::configFingerprint() const
         .value();
 }
 
+CollectiveLinkProfile
+UpmemBackend::collectiveProfile() const
+{
+    const PimSystemConfig& sys = engine_.system();
+    CollectiveLinkProfile profile;
+    profile.link = sys.link;
+    profile.dram = DramTimingParams::upmemDdr4();
+    profile.dramEnergy = DramEnergyParams::ddr4();
+    profile.banksPerRank = sys.dpusPerRank;
+    profile.pjPerLinkByte = sys.energy.pjPerLinkByte;
+    return profile;
+}
+
 void
 UpmemBackend::chargeHostOps(double ops, TimingReport& timing,
                             EnergyReport& energy) const

@@ -34,6 +34,8 @@ class UpmemBackend : public Backend
     void chargeHostOps(double ops, TimingReport& timing,
                        EnergyReport& energy) const override;
 
+    CollectiveLinkProfile collectiveProfile() const override;
+
     std::uint64_t configFingerprint() const override;
 
     /** The wrapped engine (for callers migrating from the old API). */

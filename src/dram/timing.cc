@@ -59,6 +59,33 @@ DramEnergyParams::hbm2()
     return e;
 }
 
+double
+bankStreamBytesPerSec(const DramTimingParams& t)
+{
+    const double burstsPerRow =
+        static_cast<double>(t.rowBytes) / t.burstBytes;
+    const double burstCycles =
+        static_cast<double>(std::max(t.tCCD, t.burstCycles));
+    const double rowCycles =
+        t.tRP + t.tRCD + burstsPerRow * burstCycles;
+    return static_cast<double>(t.rowBytes) / (rowCycles * t.tCkNs * 1e-9);
+}
+
+CollectiveCost
+collectiveDrainCost(const DramTimingParams& t, const DramEnergyParams& e,
+                    unsigned banks, double bytes)
+{
+    LOCALUT_REQUIRE(banks >= 1 && bytes >= 0,
+                    "degenerate collective drain");
+    CollectiveCost cost;
+    cost.seconds = bytes / (static_cast<double>(banks) *
+                            bankStreamBytesPerSec(t));
+    const double bursts = bytes / t.burstBytes;
+    const double rows = bytes / t.rowBytes;
+    cost.joules = (bursts * e.pjPerRdBurst + rows * e.pjPerAct) * 1e-12;
+    return cost;
+}
+
 DramBank::DramBank(const DramTimingParams& timing) : timing_(timing) {}
 
 std::uint64_t

@@ -49,6 +49,31 @@ struct DramEnergyParams {
 enum class DramCommand { Act, Pre, Rd, Wr };
 
 /**
+ * Sustained bytes/s one bank streams in sequential bursts: a full row of
+ * bursts at the column-command rate, with the PRE+ACT row turnaround
+ * amortized over the row.  This closed form bounds the per-rank drain
+ * rate of a sharded all-gather (serving/sharding.h), where every rank
+ * streams its output slice out of its banks before the host link hop.
+ */
+double bankStreamBytesPerSec(const DramTimingParams& t);
+
+/** Time/energy of draining bytes out of a rank's DRAM banks. */
+struct CollectiveCost {
+    double seconds = 0;
+    double joules = 0;
+};
+
+/**
+ * Cost for @p banks banks of one rank to stream @p bytes (total across
+ * the banks) in sequential bursts: time is the per-bank stream rate
+ * aggregated over the banks; energy charges one RD burst per burstBytes
+ * and one ACT+PRE pair per rowBytes.
+ */
+CollectiveCost collectiveDrainCost(const DramTimingParams& t,
+                                   const DramEnergyParams& e,
+                                   unsigned banks, double bytes);
+
+/**
  * Single-bank command scheduler: accepts commands at the earliest legal
  * cycle and tracks activation/read/write counts for the energy model.
  *

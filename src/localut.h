@@ -47,6 +47,7 @@
 #include "quant/quantizer.h"          // IWYU pragma: export
 #include "serving/plan_cache.h"       // IWYU pragma: export
 #include "serving/session.h"          // IWYU pragma: export
+#include "serving/sharding.h"         // IWYU pragma: export
 #include "upmem/cost_model.h"         // IWYU pragma: export
 #include "upmem/params.h"             // IWYU pragma: export
 

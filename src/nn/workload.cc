@@ -68,11 +68,13 @@ workloadGemms(const WorkloadSpec& spec)
         n = spec.batch;
         repeats = layers * spec.steps;
     }
+    // QKV output rows group into attention heads, so sharded executions
+    // align their boundaries to headDim (head-parallel attention).
     return {
-        {h, h, n, 3.0 * repeats, "qkv"},
-        {h, h, n, repeats, "out_proj"},
-        {f, h, n, repeats, "ffn_up"},
-        {h, f, n, repeats, "ffn_down"},
+        {h, h, n, 3.0 * repeats, "qkv", spec.model.headDim()},
+        {h, h, n, repeats, "out_proj", 1},
+        {f, h, n, repeats, "ffn_up", 1},
+        {h, f, n, repeats, "ffn_down", 1},
     };
 }
 

@@ -48,6 +48,13 @@ struct WorkloadGemm {
     std::size_t m = 0, k = 0, n = 0;
     double count = 1;        ///< executions across layers (and steps)
     const char* role = "";   ///< "qkv", "out_proj", "ffn_up", "ffn_down"
+    /**
+     * Output rows group into units this wide (the attention head size for
+     * QKV projections, 1 elsewhere).  A sharded execution must not split
+     * a group across ranks: aligning QKV shard boundaries to heads is
+     * what makes column-parallel sharding head-parallel for attention.
+     */
+    std::size_t rowAlign = 1;
 };
 
 /** The PIM GEMM shapes of @p spec (paper Fig. 8: QKV, out proj, FFN). */
@@ -66,6 +73,7 @@ struct InferenceReport {
     EnergyReport energy;
     double gemmSeconds = 0;  ///< PIM GEMM portion (kernel + its host/link)
     double hostOpSeconds = 0;///< non-GEMM host work
+    double collectiveSeconds = 0; ///< sharded all-gather/reduce transfers
 };
 
 /** A workload GEMM bound to its resolved execution plan. */

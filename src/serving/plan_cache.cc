@@ -4,7 +4,8 @@ namespace localut {
 
 PlanKey
 PlanKey::of(const Backend& backend, const GemmProblem& problem,
-            DesignPoint design, const PlanOverrides& overrides)
+            DesignPoint design, const PlanOverrides& overrides,
+            const ShardSpec& shard)
 {
     PlanKey key;
     key.m = problem.m();
@@ -13,6 +14,7 @@ PlanKey::of(const Backend& backend, const GemmProblem& problem,
     key.config = problem.config();
     key.design = design;
     key.overrides = overrides;
+    key.shard = shard;
     key.backend = backend.name();
     key.fingerprint = backend.configFingerprint();
     return key;
@@ -47,6 +49,9 @@ PlanKeyHash::operator()(const PlanKey& key) const
     hashCombine(seed, static_cast<std::size_t>(key.overrides.streaming + 1));
     hashCombine(seed, key.overrides.gM);
     hashCombine(seed, key.overrides.gN);
+    hashCombine(seed, key.shard.numRanks);
+    hashCombine(seed, static_cast<std::size_t>(key.shard.strategy));
+    hashCombine(seed, key.shard.align);
     hashCombine(seed, std::hash<std::string>{}(key.backend));
     hashCombine(seed, static_cast<std::size_t>(key.fingerprint));
     return seed;
@@ -77,6 +82,34 @@ PlanCache::planFor(const Backend& backend, const GemmProblem& problem,
     return plan;
 }
 
+ShardPlan
+PlanCache::shardPlanFor(const Backend& backend, const GemmProblem& problem,
+                        DesignPoint design, const ShardSpec& spec,
+                        const PlanOverrides& overrides)
+{
+    const PlanKey key =
+        PlanKey::of(backend, problem, design, overrides, spec);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = shardPlans_.find(key);
+        if (it != shardPlans_.end()) {
+            ++hits_;
+            return it->second;
+        }
+    }
+    // Cut and plan outside the lock (makeShardPlan re-enters this cache
+    // for the per-shard sub-plans); racing threads produce the same
+    // ShardPlan deterministically, so last-insert-wins is harmless.
+    const ShardPlan plan =
+        makeShardPlan(backend, problem, design, spec, overrides, this);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++misses_;
+        shardPlans_.insert_or_assign(key, plan);
+    }
+    return plan;
+}
+
 PlanCache::Stats
 PlanCache::stats() const
 {
@@ -84,7 +117,7 @@ PlanCache::stats() const
     Stats s;
     s.hits = hits_;
     s.misses = misses_;
-    s.entries = plans_.size();
+    s.entries = plans_.size() + shardPlans_.size();
     return s;
 }
 
@@ -92,7 +125,7 @@ std::size_t
 PlanCache::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return plans_.size();
+    return plans_.size() + shardPlans_.size();
 }
 
 void
@@ -100,6 +133,7 @@ PlanCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     plans_.clear();
+    shardPlans_.clear();
 }
 
 void

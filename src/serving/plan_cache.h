@@ -9,7 +9,12 @@
  * model — and a transformer serving loop re-plans the same handful of
  * shapes on every decode step.  The PlanCache keys plans by everything
  * that determines them: (M, K, N), quantization config, design point,
- * planner overrides, and the backend that produced the plan.  Hit/miss
+ * planner overrides, the shard configuration, and the backend that
+ * produced the plan.  Sharded plans (ShardPlan, serving/sharding.h) are
+ * memoized alongside the per-shape GemmPlans — a sharded decode loop
+ * re-cuts the same handful of shapes every step — and their per-shard
+ * sub-plans flow through the same GemmPlan memo, so two shard configs
+ * that produce the same slice shapes share the planning work.  Hit/miss
  * counters are exposed so serving code (and tests) can verify reuse.
  */
 
@@ -19,6 +24,7 @@
 #include <unordered_map>
 
 #include "backend/backend.h"
+#include "serving/sharding.h"
 
 namespace localut {
 
@@ -29,13 +35,15 @@ struct PlanKey {
                        ValueCodec::signedBinary()};
     DesignPoint design = DesignPoint::LoCaLut;
     PlanOverrides overrides;
+    ShardSpec shard;               ///< default (numRanks 1) = unsharded
     std::string backend;           ///< plans are device-specific...
     std::uint64_t fingerprint = 0; ///< ...including the device config
 
     bool operator==(const PlanKey&) const = default;
 
     static PlanKey of(const Backend& backend, const GemmProblem& problem,
-                      DesignPoint design, const PlanOverrides& overrides);
+                      DesignPoint design, const PlanOverrides& overrides,
+                      const ShardSpec& shard = {});
 };
 
 /** Hash over every PlanKey field. */
@@ -74,6 +82,17 @@ class PlanCache
                      DesignPoint design,
                      const PlanOverrides& overrides = {});
 
+    /**
+     * Returns the cached ShardPlan for (@p backend, @p problem, @p design,
+     * @p spec, @p overrides), cutting and planning on a miss.  The
+     * per-shard sub-plans are resolved through this cache too (counted in
+     * the same hit/miss stats).
+     */
+    ShardPlan shardPlanFor(const Backend& backend,
+                           const GemmProblem& problem, DesignPoint design,
+                           const ShardSpec& spec,
+                           const PlanOverrides& overrides = {});
+
     Stats stats() const;
 
     std::size_t size() const;
@@ -87,6 +106,7 @@ class PlanCache
   private:
     mutable std::mutex mutex_;
     std::unordered_map<PlanKey, GemmPlan, PlanKeyHash> plans_;
+    std::unordered_map<PlanKey, ShardPlan, PlanKeyHash> shardPlans_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

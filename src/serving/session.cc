@@ -15,6 +15,9 @@ InferenceSession::CompiledWorkload::predictedGemmSeconds() const
     for (const PlanNode& node : nodes) {
         seconds += node.plan.predictedSeconds * node.gemm.count;
     }
+    for (const ShardedGemm& node : shardedNodes) {
+        seconds += node.plan.predictedSeconds() * node.gemm.count;
+    }
     return seconds;
 }
 
@@ -30,6 +33,12 @@ struct InferenceSession::Request {
     bool computeValues = false;
     GemmResult result;
 
+    // Sharded GEMM state (numRanks > 1): the plan stage fills these and
+    // fans one shard task per rank; the last shard to finish reduces.
+    ShardPlan shardPlan;
+    std::vector<GemmResult> shardResults;
+    unsigned remainingShards = 0; ///< guarded by the session mutex
+
     // Workload request input / output.
     CompiledWorkload workload;
     InferenceReport report;
@@ -44,14 +53,20 @@ InferenceSession::InferenceSession(BackendPtr backend,
     : backend_(std::move(backend)), options_(options)
 {
     LOCALUT_REQUIRE(backend_ != nullptr, "InferenceSession needs a backend");
+    LOCALUT_REQUIRE(options_.numRanks >= 1,
+                    "a session needs at least one rank");
+    rankQueues_.resize(options_.numRanks);
     unsigned workers = options_.workers;
     if (workers == 0) {
-        workers = std::max(1u, std::min(8u,
-                                        std::thread::hardware_concurrency()));
+        const unsigned base = std::max(
+            1u, std::min(8u, std::thread::hardware_concurrency()));
+        // Enough workers that every rank's shard of a sharded GEMM can
+        // be in flight at once.
+        workers = std::max(base, std::min(options_.numRanks, 8u));
     }
     workers_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i) {
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
     }
 }
 
@@ -85,6 +100,54 @@ InferenceSession::plan(const GemmProblem& problem, DesignPoint design,
     return cache_.planFor(*backend_, problem, design, overrides);
 }
 
+ShardPlan
+InferenceSession::shardPlan(const GemmProblem& problem, DesignPoint design,
+                            const PlanOverrides& overrides,
+                            std::size_t align)
+{
+    const ShardSpec spec{options_.numRanks, options_.shardStrategy, align};
+    return cache_.shardPlanFor(*backend_, problem, design, spec, overrides);
+}
+
+bool
+InferenceSession::anyQueuedLocked() const
+{
+    return std::any_of(rankQueues_.begin(), rankQueues_.end(),
+                       [](const auto& queue) { return !queue.empty(); });
+}
+
+unsigned
+InferenceSession::pickRankLocked()
+{
+    // Continuous batching: park the task on the least-loaded rank queue,
+    // rotating the starting rank so equally-loaded ranks share work.
+    const unsigned ranks = static_cast<unsigned>(rankQueues_.size());
+    const unsigned start = nextRank_++ % ranks;
+    unsigned best = start;
+    for (unsigned i = 1; i < ranks; ++i) {
+        const unsigned rank = (start + i) % ranks;
+        if (rankQueues_[rank].size() < rankQueues_[best].size()) {
+            best = rank;
+        }
+    }
+    return best;
+}
+
+InferenceSession::Task
+InferenceSession::popTaskLocked(unsigned preferredRank)
+{
+    const unsigned ranks = static_cast<unsigned>(rankQueues_.size());
+    for (unsigned i = 0; i < ranks; ++i) {
+        auto& queue = rankQueues_[(preferredRank + i) % ranks];
+        if (!queue.empty()) {
+            const Task task = queue.front();
+            queue.pop_front();
+            return task;
+        }
+    }
+    LOCALUT_PANIC("popTaskLocked on empty queues");
+}
+
 InferenceSession::RequestId
 InferenceSession::enqueue(std::unique_ptr<Request> request)
 {
@@ -96,7 +159,10 @@ InferenceSession::enqueue(std::unique_ptr<Request> request)
         id = nextId_++;
         raw->id = id;
         requests_.emplace(id, std::move(request));
-        queue_.push_back(raw);
+        const bool shardedGemm =
+            !raw->isWorkload && options_.numRanks > 1;
+        rankQueues_[pickRankLocked()].push_back(
+            {raw, shardedGemm ? kPlanTask : kWholeTask});
     }
     queueCv_.notify_one();
     return id;
@@ -141,13 +207,25 @@ InferenceSession::compile(const WorkloadSpec& spec, const QuantConfig& quant,
     workload.quant = quant;
     workload.design = design;
     workload.overrides = overrides;
+    workload.numRanks = options_.numRanks;
     workload.backendName = backend_->name();
     workload.backendFingerprint = backend_->configFingerprint();
     for (const WorkloadGemm& gemm : workloadGemms(spec)) {
         const GemmProblem problem =
             makeShapeOnlyProblem(gemm.m, gemm.k, gemm.n, quant);
-        workload.nodes.push_back(
-            {gemm, cache_.planFor(*backend_, problem, design, overrides)});
+        if (options_.numRanks > 1) {
+            // Column-parallel cut, aligned to the GEMM's row grouping —
+            // attention heads for QKV (head-parallel), 1 elsewhere.
+            const ShardSpec shard{options_.numRanks,
+                                  options_.shardStrategy, gemm.rowAlign};
+            workload.shardedNodes.push_back(
+                {gemm, cache_.shardPlanFor(*backend_, problem, design,
+                                           shard, overrides)});
+        } else {
+            workload.nodes.push_back(
+                {gemm,
+                 cache_.planFor(*backend_, problem, design, overrides)});
+        }
     }
     workload.hostOps = workloadHostOps(spec);
     return workload;
@@ -164,12 +242,21 @@ InferenceSession::run(const CompiledWorkload& workload) const
                     workload.backendName,
                     "\" submitted to a session on \"", backend_->name(),
                     "\"");
+    LOCALUT_REQUIRE(workload.numRanks == options_.numRanks,
+                    "workload compiled for ", workload.numRanks,
+                    " rank(s) submitted to a session with ",
+                    options_.numRanks,
+                    " (recompile on this session to re-cut the shards)");
+    if (workload.sharded()) {
+        return executeShardedWorkload(*backend_, workload.shardedNodes,
+                                      workload.quant, workload.hostOps);
+    }
     return executeWorkload(*backend_, workload.nodes, workload.quant,
                            workload.hostOps);
 }
 
 void
-InferenceSession::executeRequest(Request& request)
+InferenceSession::runWhole(Request& request)
 {
     if (request.isWorkload) {
         request.report = run(request.workload);
@@ -183,29 +270,117 @@ InferenceSession::executeRequest(Request& request)
 }
 
 void
-InferenceSession::workerLoop()
+InferenceSession::runPlanStage(Request& request)
+{
+    // Cut the GEMM (memoized) and fan one shard task onto each rank's
+    // queue; the submitting thread never pays the planning cost.
+    const ShardSpec spec{options_.numRanks, options_.shardStrategy, 1};
+    request.shardPlan = cache_.shardPlanFor(
+        *backend_, request.problem, request.design, spec,
+        request.overrides);
+    request.shardResults.resize(request.shardPlan.shards.size());
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        request.remainingShards =
+            static_cast<unsigned>(request.shardPlan.shards.size());
+        for (unsigned i = 0; i < request.shardPlan.shards.size(); ++i) {
+            const unsigned rank =
+                request.shardPlan.shards[i].rank %
+                static_cast<unsigned>(rankQueues_.size());
+            rankQueues_[rank].push_back({&request, static_cast<int>(i)});
+        }
+    }
+    queueCv_.notify_all();
+}
+
+void
+InferenceSession::runShard(Request& request, unsigned shardIndex)
+{
+    request.shardResults[shardIndex] = backend_->execute(
+        shardProblem(request.problem, request.shardPlan, shardIndex),
+        request.shardPlan.shards[shardIndex].plan, request.computeValues);
+}
+
+void
+InferenceSession::finishRequest(Request& request)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    request.done = true;
+    doneCv_.notify_all();
+}
+
+void
+InferenceSession::runTask(const Task& task)
+{
+    Request& request = *task.request;
+    if (task.shard == kPlanTask) {
+        try {
+            runPlanStage(request);
+        } catch (...) {
+            request.error = std::current_exception();
+            finishRequest(request);
+        }
+        return;
+    }
+    if (task.shard == kWholeTask) {
+        try {
+            runWhole(request);
+        } catch (...) {
+            request.error = std::current_exception();
+        }
+        finishRequest(request);
+        return;
+    }
+    // One shard of a sharded GEMM.  The last shard to finish reduces in
+    // shard-index order, so the result is deterministic regardless of
+    // which workers ran which shards in what order.
+    try {
+        runShard(request, static_cast<unsigned>(task.shard));
+    } catch (...) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!request.error) {
+            request.error = std::current_exception();
+        }
+    }
+    bool last = false;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        LOCALUT_ASSERT(request.remainingShards > 0,
+                       "shard finished on a settled request");
+        last = --request.remainingShards == 0;
+    }
+    if (!last) {
+        return;
+    }
+    if (!request.error) {
+        try {
+            request.result =
+                reduceShardResults(*backend_, request.shardPlan,
+                                   std::move(request.shardResults));
+        } catch (...) {
+            request.error = std::current_exception();
+        }
+    }
+    finishRequest(request);
+}
+
+void
+InferenceSession::workerLoop(unsigned workerIndex)
 {
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        queueCv_.wait(lock,
-                      [this] { return stopping_ || !queue_.empty(); });
-        if (queue_.empty()) {
+        queueCv_.wait(
+            lock, [this] { return stopping_ || anyQueuedLocked(); });
+        if (!anyQueuedLocked()) {
             if (stopping_) {
                 return;
             }
             continue;
         }
-        Request* request = queue_.front();
-        queue_.pop_front();
+        const Task task = popTaskLocked(workerIndex);
         lock.unlock();
-        try {
-            executeRequest(*request);
-        } catch (...) {
-            request->error = std::current_exception();
-        }
+        runTask(task);
         lock.lock();
-        request->done = true;
-        doneCv_.notify_all();
     }
 }
 
@@ -259,7 +434,7 @@ InferenceSession::drain()
 {
     std::unique_lock<std::mutex> lock(mutex_);
     doneCv_.wait(lock, [this] {
-        if (!queue_.empty()) {
+        if (anyQueuedLocked()) {
             return false;
         }
         return std::all_of(requests_.begin(), requests_.end(),

@@ -16,11 +16,21 @@
  *     InferenceReport report = session.waitReport(id);
  *
  * Plans are memoized in the session's PlanCache keyed by (shape,
- * QuantConfig, DesignPoint, overrides, backend), so repeated decode steps
- * — and repeated requests in a serving loop — stop paying planner cost.
- * Every GemmProblem/workload submitted is executed exactly as the
- * synchronous API would execute it; requests are independent, so results
- * are deterministic regardless of completion order.
+ * QuantConfig, DesignPoint, overrides, shard config, backend), so
+ * repeated decode steps — and repeated requests in a serving loop — stop
+ * paying planner cost.  Every GemmProblem/workload submitted is executed
+ * exactly as the synchronous API would execute it; requests are
+ * independent, so results are deterministic regardless of completion
+ * order.
+ *
+ * Sharding: with SessionOptions::numRanks > 1 the session models that
+ * many logical PIM ranks.  Submitted GEMMs are cut by a ShardPlan
+ * (serving/sharding.h) and their shards execute concurrently — the
+ * scheduler packs queued work into per-rank work queues (continuous
+ * batching) instead of dispatching one request at a time — with a
+ * deterministic reduction, so results stay bit-exact with numRanks = 1.
+ * Compiled workloads shard every GEMM node the same way (column-parallel
+ * for FFN/QKV, head-aligned — i.e. head-parallel — for QKV).
  */
 
 #include <condition_variable>
@@ -36,6 +46,7 @@
 #include "nn/inference.h"
 #include "nn/workload.h"
 #include "serving/plan_cache.h"
+#include "serving/sharding.h"
 
 namespace localut {
 
@@ -45,6 +56,14 @@ struct SessionOptions {
     unsigned workers = 0;
     /** Default functional pass for submitted GEMM requests. */
     bool computeValues = false;
+    /**
+     * Logical PIM ranks (num_ranks).  1 executes exactly as before; > 1
+     * shards every GEMM across the ranks and executes the shards
+     * concurrently on per-rank work queues, bit-exact with 1.
+     */
+    unsigned numRanks = 1;
+    /** How GEMMs are cut across ranks when numRanks > 1. */
+    ShardStrategy shardStrategy = ShardStrategy::ColumnParallel;
 };
 
 /**
@@ -70,11 +89,17 @@ class InferenceSession
         DesignPoint design = DesignPoint::LoCaLut;
         PlanOverrides overrides;
         std::vector<PlanNode> nodes; ///< one per distinct GEMM shape
+        /** Sharded plan graph; populated instead of `nodes` when the
+         * session compiles with numRanks > 1. */
+        std::vector<ShardedGemm> shardedNodes;
+        unsigned numRanks = 1;       ///< ranks the nodes were cut for
         double hostOps = 0;          ///< non-GEMM host work (scalar ops)
         /** Identity of the backend that compiled the plans; a session
          * refuses to execute another backend's workload. */
         std::string backendName;
         std::uint64_t backendFingerprint = 0;
+
+        bool sharded() const { return !shardedNodes.empty(); }
 
         /** Modeled seconds spent on the PIM GEMMs per request (sum of
          * per-node predictions; for quick admission-control estimates). */
@@ -101,6 +126,14 @@ class InferenceSession
     /** Plans one GEMM through the session cache (memoized). */
     GemmPlan plan(const GemmProblem& problem, DesignPoint design,
                   const PlanOverrides& overrides = {});
+
+    /**
+     * Cuts and plans one GEMM across the session's ranks (memoized);
+     * @p align forces shard boundaries onto multiples (head-parallel).
+     */
+    ShardPlan shardPlan(const GemmProblem& problem, DesignPoint design,
+                        const PlanOverrides& overrides = {},
+                        std::size_t align = 1);
 
     PlanCache& planCache() { return cache_; }
     PlanCache::Stats planCacheStats() const { return cache_.stats(); }
@@ -151,9 +184,29 @@ class InferenceSession
   private:
     struct Request;
 
+    /**
+     * One schedulable unit on a rank queue: a whole request (unsharded
+     * GEMM or compiled workload), the plan stage of a sharded GEMM
+     * (cuts the problem and fans the shards out across the rank
+     * queues), or one shard of a sharded GEMM.
+     */
+    struct Task {
+        Request* request = nullptr;
+        int shard = kWholeTask; ///< kWholeTask / kPlanTask / shard index
+    };
+    static constexpr int kWholeTask = -1;
+    static constexpr int kPlanTask = -2;
+
     RequestId enqueue(std::unique_ptr<Request> request);
-    void workerLoop();
-    void executeRequest(Request& request);
+    bool anyQueuedLocked() const;
+    unsigned pickRankLocked();
+    Task popTaskLocked(unsigned preferredRank);
+    void workerLoop(unsigned workerIndex);
+    void runTask(const Task& task);
+    void runPlanStage(Request& request);
+    void runShard(Request& request, unsigned shardIndex);
+    void runWhole(Request& request);
+    void finishRequest(Request& request);
     std::unique_ptr<Request> take(RequestId id, bool wantWorkload);
 
     BackendPtr backend_;
@@ -163,7 +216,12 @@ class InferenceSession
     mutable std::mutex mutex_;
     std::condition_variable queueCv_; ///< wakes workers
     std::condition_variable doneCv_;  ///< wakes waiters
-    std::deque<Request*> queue_;      ///< not-yet-executed requests
+    /** Per-rank work queues; the scheduler packs queued requests into
+     * them (continuous batching) and sharded GEMMs fan one shard task
+     * onto each rank's queue.  Workers prefer their own rank's queue and
+     * steal from the others when it runs dry. */
+    std::vector<std::deque<Task>> rankQueues_;
+    unsigned nextRank_ = 0; ///< rotates whole-task placement on ties
     std::unordered_map<RequestId, std::unique_ptr<Request>> requests_;
     RequestId nextId_ = 1;
     bool stopping_ = false;

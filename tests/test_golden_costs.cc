@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Golden cost-model regression tests: the modeled time and energy of a
+ * small matrix of design points — the fig09-class GEMM shapes, a
+ * bank-level and host comparison point, sharded executions, and the
+ * fig10-class end-to-end workloads — are frozen against checked-in
+ * values, so a refactor that silently shifts the paper's numbers fails
+ * here instead of surfacing as a quiet drift in the bench output.
+ *
+ * The golden values were produced by this very model (commit that
+ * introduced this file); they are not paper numbers.  If a change
+ * intentionally alters the cost model, re-generate the table and say so
+ * in the commit message.
+ */
+
+#include <gtest/gtest.h>
+
+#include "backend/backend.h"
+#include "nn/inference.h"
+#include "serving/sharding.h"
+
+namespace localut {
+namespace {
+
+/** Tight relative tolerance: catches any real model change while
+ * allowing float summation differences across optimizers. */
+constexpr double kRelTol = 1e-6;
+
+struct GoldenGemm {
+    const char* backend;
+    const char* preset;
+    DesignPoint design;
+    std::size_t m, k, n;
+    unsigned ranks; ///< 1 = unsharded; > 1 = column-parallel sharded
+    double seconds;
+    double joules;
+};
+
+const GoldenGemm kGoldenGemms[] = {
+    {"upmem", "W1A3", DesignPoint::NaivePim, 768, 768, 128, 1,
+     9.607323428571e-04, 7.435332017006e-02},
+    {"upmem", "W1A3", DesignPoint::NaivePim, 3072, 768, 32, 1,
+     9.484443428571e-04, 7.300685028206e-02},
+    {"upmem", "W1A3", DesignPoint::Ltc, 768, 768, 128, 1,
+     4.779894857143e-04, 3.480702531291e-02},
+    {"upmem", "W1A3", DesignPoint::Ltc, 3072, 768, 32, 1,
+     4.657014857143e-04, 3.346055542491e-02},
+    {"upmem", "W1A3", DesignPoint::OpLut, 768, 768, 128, 1,
+     4.366192761905e-04, 3.054907524632e-02},
+    {"upmem", "W1A3", DesignPoint::OpLut, 3072, 768, 32, 1,
+     4.161392761905e-04, 2.830495876632e-02},
+    {"upmem", "W1A3", DesignPoint::LoCaLut, 768, 768, 128, 1,
+     3.642930541832e-04, 2.623380510861e-02},
+    {"upmem", "W1A3", DesignPoint::LoCaLut, 3072, 768, 32, 1,
+     3.156330349744e-04, 2.090183484378e-02},
+    {"upmem", "W4A4", DesignPoint::NaivePim, 768, 768, 128, 1,
+     9.771913142857e-04, 7.530045393189e-02},
+    {"upmem", "W4A4", DesignPoint::NaivePim, 3072, 768, 32, 1,
+     9.649033142857e-04, 7.395398404389e-02},
+    {"upmem", "W4A4", DesignPoint::Ltc, 768, 768, 128, 1,
+     1.442379885714e-03, 1.134087017033e-01},
+    {"upmem", "W4A4", DesignPoint::Ltc, 3072, 768, 32, 1,
+     1.430091885714e-03, 1.120622318153e-01},
+    {"upmem", "W4A4", DesignPoint::OpLut, 768, 768, 128, 1,
+     1.041856914286e-03, 7.909391354149e-02},
+    {"upmem", "W4A4", DesignPoint::OpLut, 3072, 768, 32, 1,
+     1.017280914286e-03, 7.640097376549e-02},
+    {"upmem", "W4A4", DesignPoint::LoCaLut, 768, 768, 128, 1,
+     9.669232128059e-04, 7.320967127842e-02},
+    {"upmem", "W4A4", DesignPoint::LoCaLut, 3072, 768, 32, 1,
+     9.233932032015e-04, 6.843982694601e-02},
+    {"bankpim", "W1A3", DesignPoint::NaivePim, 768, 768, 128, 1,
+     2.230637500000e-05, 1.394492864000e-03},
+    {"bankpim", "W1A3", DesignPoint::LoCaLut, 768, 768, 128, 1,
+     1.139575000000e-05, 6.643720228571e-04},
+    {"host-cpu", "W4A4", DesignPoint::LoCaLut, 768, 768, 128, 1,
+     1.348169142857e-03, 1.145943771429e-01},
+    {"host-gpu", "W4A4", DesignPoint::LoCaLut, 768, 768, 128, 1,
+     1.524791716120e-04, 3.811979290301e-02},
+    // Sharded (column-parallel) decode-shape GEMMs: time drops with
+    // ranks, energy grows (more devices + the collective hop).
+    {"upmem", "W4A4", DesignPoint::LoCaLut, 768, 768, 32, 2,
+     2.464009142857e-04, 2.698280356297e-02},
+    {"upmem", "W4A4", DesignPoint::LoCaLut, 768, 768, 32, 4,
+     1.895266285714e-04, 3.574844063909e-02},
+};
+
+TEST(GoldenCosts, GemmDesignPointsMatchFrozenValues)
+{
+    for (const GoldenGemm& g : kGoldenGemms) {
+        SCOPED_TRACE(std::string(g.backend) + " " + g.preset + " " +
+                     designPointName(g.design) + " m=" +
+                     std::to_string(g.m) + " n=" + std::to_string(g.n) +
+                     " ranks=" + std::to_string(g.ranks));
+        const BackendPtr backend = makeBackend(g.backend);
+        const GemmProblem problem = makeShapeOnlyProblem(
+            g.m, g.k, g.n, QuantConfig::preset(g.preset));
+        double seconds, joules;
+        if (g.ranks > 1) {
+            ShardSpec spec;
+            spec.numRanks = g.ranks;
+            const ShardPlan plan =
+                makeShardPlan(*backend, problem, g.design, spec);
+            const GemmResult r = executeSharded(*backend, problem, plan,
+                                                /*computeValues=*/false);
+            seconds = r.timing.total;
+            joules = r.energy.total;
+        } else {
+            const GemmResult r =
+                backend->execute(problem, backend->plan(problem, g.design),
+                                 /*computeValues=*/false);
+            seconds = r.timing.total;
+            joules = r.energy.total;
+        }
+        EXPECT_NEAR(seconds, g.seconds, g.seconds * kRelTol);
+        EXPECT_NEAR(joules, g.joules, g.joules * kRelTol);
+    }
+}
+
+struct GoldenWorkload {
+    DesignPoint design;
+    double prefillSeconds, prefillJoules; ///< BERT-base, batch 32, seq 128
+    double decodeSeconds, decodeJoules;   ///< OPT-125M, batch 32, 8 steps
+};
+
+/** The fig10-class end-to-end numbers (upmem server, W4A4). */
+const GoldenWorkload kGoldenWorkloads[] = {
+    {DesignPoint::NaivePim, 4.427408201143e+00, 3.584439612492e+02,
+     3.251803721143e-01, 2.388990306790e+01},
+    {DesignPoint::LoCaLut, 2.857068156343e+00, 2.418699077307e+02,
+     3.618707879645e-01, 2.532742443946e+01},
+};
+
+TEST(GoldenCosts, Fig10WorkloadsMatchFrozenValues)
+{
+    const PimSystemConfig sys = PimSystemConfig::upmemServer();
+    for (const GoldenWorkload& g : kGoldenWorkloads) {
+        SCOPED_TRACE(designPointName(g.design));
+        const TransformerRunner runner(sys, QuantConfig::preset("W4A4"),
+                                       g.design);
+        const InferenceReport pre =
+            runner.prefill(TransformerConfig::bertBase(), 32, 128);
+        EXPECT_NEAR(pre.timing.total, g.prefillSeconds,
+                    g.prefillSeconds * kRelTol);
+        EXPECT_NEAR(pre.energy.total, g.prefillJoules,
+                    g.prefillJoules * kRelTol);
+        const InferenceReport dec =
+            runner.decode(TransformerConfig::opt125m(), 32, 128, 8);
+        EXPECT_NEAR(dec.timing.total, g.decodeSeconds,
+                    g.decodeSeconds * kRelTol);
+        EXPECT_NEAR(dec.energy.total, g.decodeJoules,
+                    g.decodeJoules * kRelTol);
+    }
+}
+
+} // namespace
+} // namespace localut

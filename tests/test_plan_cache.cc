@@ -2,16 +2,23 @@
  * @file
  * PlanCache tests: a second plan() with an identical key returns the
  * cached plan (hit counter increments), while any key-field change — the
- * shape, the quantization config, the design point, the overrides, or the
- * backend — misses.
+ * shape, the quantization config, the design point, the overrides, the
+ * shard configuration, or the backend — misses.  The concurrency stress
+ * tests hammer a shared cache (and a shared session) from many threads;
+ * run them under -fsanitize=thread locally to verify lock discipline.
  */
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
 
 #include "backend/backend.h"
 #include "backend/upmem_backend.h"
 #include "nn/inference.h"
 #include "serving/plan_cache.h"
+#include "serving/session.h"
 
 namespace localut {
 namespace {
@@ -142,6 +149,127 @@ TEST(PlanCache, SameNameDifferentConfigDoesNotAlias)
     EXPECT_EQ(cache.stats().hits, 0u);
     EXPECT_LE(tinyPlan.dpusUsed(), small.totalDpus());
     EXPECT_GT(serverPlan.dpusUsed(), small.totalDpus());
+}
+
+TEST(PlanCache, ShardConfigIsPartOfTheKey)
+{
+    const BackendPtr backend = makeBackend("upmem");
+    PlanCache cache;
+    const GemmProblem problem = makeShapeOnlyProblem(
+        256, 256, 16, QuantConfig::preset("W1A3"));
+
+    ShardSpec two;
+    two.numRanks = 2;
+    ShardSpec four;
+    four.numRanks = 4;
+    ShardSpec fourAligned = four;
+    fourAligned.align = 64;
+    ShardSpec fourRow = four;
+    fourRow.strategy = ShardStrategy::RowParallel;
+
+    cache.shardPlanFor(*backend, problem, DesignPoint::LoCaLut, two);
+    cache.shardPlanFor(*backend, problem, DesignPoint::LoCaLut, four);
+    cache.shardPlanFor(*backend, problem, DesignPoint::LoCaLut,
+                       fourAligned);
+    cache.shardPlanFor(*backend, problem, DesignPoint::LoCaLut, fourRow);
+    const auto cold = cache.stats();
+
+    // Re-lookups of each distinct shard config hit.
+    cache.shardPlanFor(*backend, problem, DesignPoint::LoCaLut, two);
+    cache.shardPlanFor(*backend, problem, DesignPoint::LoCaLut, fourRow);
+    EXPECT_EQ(cache.stats().misses, cold.misses);
+    EXPECT_EQ(cache.stats().hits, cold.hits + 2);
+}
+
+TEST(PlanCacheStress, ManyThreadsHammeringSharedShapes)
+{
+    const BackendPtr backend = makeBackend("upmem");
+    PlanCache cache;
+    const QuantConfig cfg = QuantConfig::preset("W1A3");
+    // Six distinct keys (three shapes, sharded and unsharded).
+    const std::size_t shapes[3][3] = {
+        {96, 96, 8}, {192, 96, 8}, {96, 192, 16}};
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kIters = 120;
+
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            while (!go.load()) {
+            }
+            for (unsigned i = 0; i < kIters; ++i) {
+                const auto& s = shapes[(t + i) % 3];
+                const GemmProblem problem =
+                    makeShapeOnlyProblem(s[0], s[1], s[2], cfg);
+                if ((t + i) % 2 == 0) {
+                    cache.planFor(*backend, problem, DesignPoint::LoCaLut);
+                } else {
+                    ShardSpec spec;
+                    spec.numRanks = 4;
+                    cache.shardPlanFor(*backend, problem,
+                                       DesignPoint::LoCaLut, spec);
+                }
+            }
+        });
+    }
+    go.store(true);
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+
+    const PlanCache::Stats stats = cache.stats();
+    // planFor() deliberately plans outside the lock, so concurrent
+    // workers racing on a cold key may each count a miss — but never
+    // more than one per (thread, key), and every other lookup hits.
+    // Sharded lookups also resolve sub-plans through the cache, so
+    // lookups exceed the kThreads * kIters top-level calls.
+    EXPECT_GE(stats.hits + stats.misses, kThreads * kIters);
+    // Each sharded shape cuts into equal slices, so it adds one slice
+    // sub-plan key; 3*2 is a safe upper bound either way.
+    const std::uint64_t distinctKeys = 3 /*plain*/ + 3 /*sharded*/ +
+                                       3 * 2 /*shard slice sub-plans*/;
+    EXPECT_LE(stats.misses, kThreads * distinctKeys);
+    EXPECT_GE(stats.entries, 6u);
+    EXPECT_LE(stats.entries, distinctKeys);
+    EXPECT_GT(stats.hits, 0u);
+}
+
+TEST(PlanCacheStress, SharedSessionCompileAndSubmit)
+{
+    SessionOptions options;
+    options.numRanks = 2;
+    InferenceSession session(makeBackend("upmem"), options);
+    const TransformerConfig model = TransformerConfig::opt125m();
+    const QuantConfig cfg = QuantConfig::preset("W4A4");
+
+    constexpr unsigned kThreads = 6;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            while (!go.load()) {
+            }
+            for (unsigned i = 0; i < 8; ++i) {
+                const auto workload = session.compile(
+                    WorkloadSpec::decode(model, 8, 32, 1 + (t + i) % 3),
+                    cfg, DesignPoint::LoCaLut);
+                const auto id = session.submit(workload);
+                EXPECT_GT(session.waitReport(id).timing.total, 0.0);
+            }
+        });
+    }
+    go.store(true);
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    session.drain();
+    EXPECT_EQ(session.pendingRequests(), 0u);
+    // All threads share three decode-step shard configs over four GEMM
+    // shapes; after the cold misses everything hits.
+    EXPECT_GT(session.planCacheStats().hitRate(), 0.5);
 }
 
 TEST(PlanKey, EqualityAndHashAgree)
