@@ -8,9 +8,37 @@
 
 #include "bench_util.h"
 
+#include <cmath>
+
 #include "common/table.h"
 
 using namespace localut;
+
+namespace {
+
+/** Bytes, or "saturated" when the count overflowed 64 bits. */
+std::string
+fmtLutBytes(std::uint64_t bytes)
+{
+    return lutBytesSaturated(bytes) ? "saturated (>2^64)"
+                                    : bench::fmtBytes(
+                                          static_cast<double>(bytes));
+}
+
+/** Reduction rate, or "inf (saturated)" past the overflow boundary. */
+std::string
+fmtReduction(double reduction)
+{
+    if (std::isinf(reduction)) {
+        return "inf (saturated)";
+    }
+    if (std::isnan(reduction)) {
+        return "saturated/saturated";
+    }
+    return Table::fmt(reduction, 4) + "x";
+}
+
+} // namespace
 
 int
 main(int argc, char** argv)
@@ -31,14 +59,29 @@ main(int argc, char** argv)
         reductions.push_back(reduction);
         table.addRow({
             std::to_string(p),
-            bench::fmtBytes(static_cast<double>(opPackedLutBytes(shape))),
-            bench::fmtBytes(static_cast<double>(canonicalLutBytes(shape))),
-            bench::fmtBytes(static_cast<double>(reorderingLutBytes(shape))),
-            bench::fmtBytes(static_cast<double>(localutBytes(shape))),
-            Table::fmt(reduction, 4) + "x",
+            fmtLutBytes(opPackedLutBytes(shape)),
+            fmtLutBytes(canonicalLutBytes(shape)),
+            fmtLutBytes(reorderingLutBytes(shape)),
+            fmtLutBytes(localutBytes(shape)),
+            fmtReduction(reduction),
         });
     }
     table.print();
+
+    // The op-packed LUT grows as 2^((bw+ba)*p): at W4A4, p = 8 crosses
+    // 2^64 bytes and the count saturates.  The reduction rate reports
+    // +inf there (the true ratio is unrepresentably large) instead of
+    // the bogus finite UINT64_MAX / localutBytes quotient.
+    bench::section("saturation boundary (W4A4: (bw+ba)*p hits 64 bits)");
+    Table sat({"p", "op-packed", "canonical+reordering", "reduction"});
+    const QuantConfig w4a4 = QuantConfig::preset("W4A4");
+    for (unsigned p : {7u, 8u}) {
+        const LutShape shape(w4a4, p);
+        sat.addRow({std::to_string(p), fmtLutBytes(opPackedLutBytes(shape)),
+                    fmtLutBytes(localutBytes(shape)),
+                    fmtReduction(totalReductionRate(shape))});
+    }
+    sat.print();
 
     bench::section("canonical column reduction (paper Section IV-A)");
     Table cols({"p", "op columns", "canonical columns", "ratio"});

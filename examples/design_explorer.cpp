@@ -34,12 +34,19 @@ main(int argc, char** argv)
     std::printf("capacity model (paper Eq. 1 / Fig. 6):\n");
     std::printf("%-3s %-14s %-14s %-14s %-10s\n", "p", "op-packed",
                 "canonical", "reordering", "reduction");
+    const auto fmtBytes = [](std::uint64_t bytes) {
+        // A saturated count is a floor on a size that overflowed 64
+        // bits, not a value; never print the sentinel as if it were one.
+        return lutBytesSaturated(bytes)
+                   ? std::string(">2^64")
+                   : std::to_string(bytes);
+    };
     for (unsigned p = 1; p <= 8; ++p) {
         const LutShape shape(config, p);
-        std::printf("%-3u %-14.4g %-14.4g %-14.4g %-10.3f\n", p,
-                    static_cast<double>(opPackedLutBytes(shape)),
-                    static_cast<double>(canonicalLutBytes(shape)),
-                    static_cast<double>(reorderingLutBytes(shape)),
+        std::printf("%-3u %-14s %-14s %-14s %-10.3f\n", p,
+                    fmtBytes(opPackedLutBytes(shape)).c_str(),
+                    fmtBytes(canonicalLutBytes(shape)).c_str(),
+                    fmtBytes(reorderingLutBytes(shape)).c_str(),
                     totalReductionRate(shape));
     }
 

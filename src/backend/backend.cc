@@ -48,6 +48,19 @@ Backend::collectiveProfile() const
     return profile;
 }
 
+MemoryProfile
+Backend::memoryProfile() const
+{
+    MemoryProfile profile;
+    const DpuParams dpu;
+    const HostLinkParams link;
+    profile.lutBytesPerUnit = dpu.mramLutBudget();
+    profile.unitsPerRank = 64;
+    profile.broadcastGBs = link.hostToPimGBs;
+    profile.broadcastLatencyUs = link.launchLatencyUs;
+    return profile;
+}
+
 Backend::FingerprintBuilder&
 Backend::FingerprintBuilder::add(std::uint64_t value)
 {

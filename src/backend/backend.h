@@ -60,6 +60,42 @@ struct CollectiveLinkProfile {
 };
 
 /**
+ * Table-memory parameters behind the serving layer's LUT residency
+ * manager (serving/residency.h).  Every compute unit (DPU / bank) of a
+ * logical rank holds its own copy of each resident table set, so
+ * residency is tracked in per-copy bytes against @p lutBytesPerUnit —
+ * the same per-unit budget the planner sizes LUTs against
+ * (DpuParams::mramLutBudget() on the UPMEM platform).  A table set that
+ * is not resident must be broadcast host -> PIM before its GEMM runs;
+ * the broadcast fields price that transfer: each table byte crosses the
+ * host link ONCE per rank — the on-DIMM broadcast hardware replicates
+ * it to every unit of the rank at no extra link cost (the same
+ * rank-parallel broadcast path HostLinkParams::hostToPimGBs models) —
+ * plus one launch per table set.  Backends override memoryProfile() to
+ * expose their own numbers; the defaults model the UPMEM-class
+ * platform.
+ */
+struct MemoryProfile {
+    /** MRAM bytes each unit devotes to LUT table sets (the residency
+     * budget, in per-copy bytes). */
+    std::uint64_t lutBytesPerUnit = 0;
+    /** DPUs / banks per logical rank; each holds its own replica, so
+     * the physical footprint of b resident bytes is b * unitsPerRank
+     * (see lutBytesPerRank()) while link traffic stays per-copy. */
+    unsigned unitsPerRank = 1;
+    double broadcastGBs = 20.0;      ///< host -> PIM table broadcast rate
+    double broadcastLatencyUs = 10.0;///< fixed launch per table broadcast
+    double pjPerBroadcastByte = 150.0;
+
+    /** Physical MRAM devoted to tables across one rank's replicas. */
+    std::uint64_t
+    lutBytesPerRank() const
+    {
+        return lutBytesPerUnit * unitsPerRank;
+    }
+};
+
+/**
  * A device model that plans and executes quantized GEMMs.
  *
  * The contract mirrors GemmEngine: plan() resolves a full execution plan,
@@ -103,6 +139,15 @@ class Backend
      * base implementation returns the UPMEM-class defaults.
      */
     virtual CollectiveLinkProfile collectiveProfile() const;
+
+    /**
+     * Table-memory budget and broadcast-link parameters the residency
+     * manager (serving/residency.h) uses to track which LUT table sets
+     * are MRAM-resident per rank and to charge the host -> PIM broadcast
+     * of a missing set.  The base implementation returns the UPMEM-class
+     * defaults.
+     */
+    virtual MemoryProfile memoryProfile() const;
 
     /**
      * Hash of the device configuration behind this backend.  Two

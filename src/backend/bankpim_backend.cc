@@ -72,6 +72,22 @@ BankPimBackend::collectiveProfile() const
     return profile;
 }
 
+MemoryProfile
+BankPimBackend::memoryProfile() const
+{
+    const BankPimConfig& cfg = model_.config();
+    MemoryProfile profile;
+    profile.lutBytesPerUnit = static_cast<std::uint64_t>(
+        cfg.bankLutFraction * static_cast<double>(cfg.bankBytes));
+    profile.unitsPerRank = cfg.banksPerChannel;
+    // Tables broadcast over the same bulk host link the collective uses
+    // (the bank-level study keeps the UPMEM-class host interface).
+    const HostLinkParams link;
+    profile.broadcastGBs = link.hostToPimGBs;
+    profile.broadcastLatencyUs = link.launchLatencyUs;
+    return profile;
+}
+
 std::uint64_t
 BankPimBackend::configFingerprint() const
 {

@@ -35,6 +35,8 @@ class BankPimBackend : public Backend
 
     CollectiveLinkProfile collectiveProfile() const override;
 
+    MemoryProfile memoryProfile() const override;
+
     std::uint64_t configFingerprint() const override;
 
     const BankLevelPim& model() const { return model_; }

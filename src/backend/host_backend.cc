@@ -144,6 +144,25 @@ HostBackend::collectiveProfile() const
     return profile;
 }
 
+MemoryProfile
+HostBackend::memoryProfile() const
+{
+    // Tables live in the device's own memory: host DRAM for the CPU,
+    // GDDR behind PCIe for the GPU.  Budgets are generous (table working
+    // sets are tiny next to either), and the "broadcast" is a memcpy
+    // (CPU) or a PCIe upload (GPU) priced like the collective link.
+    const bool hasPcie = device_.pcieBytesPerSec > 0;
+    MemoryProfile profile;
+    profile.lutBytesPerUnit = hasPcie ? (std::uint64_t{11} << 30)
+                                      : (std::uint64_t{16} << 30);
+    profile.unitsPerRank = 1;
+    profile.broadcastGBs =
+        (hasPcie ? device_.pcieBytesPerSec : device_.memBytesPerSec) / 1e9;
+    profile.broadcastLatencyUs = hasPcie ? 10.0 : 1.0;
+    profile.pjPerBroadcastByte = 20.0;
+    return profile;
+}
+
 std::uint64_t
 HostBackend::configFingerprint() const
 {

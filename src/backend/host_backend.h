@@ -48,6 +48,8 @@ class HostBackend : public Backend
 
     CollectiveLinkProfile collectiveProfile() const override;
 
+    MemoryProfile memoryProfile() const override;
+
     std::uint64_t configFingerprint() const override;
 
     const RooflineDevice& device() const { return device_; }

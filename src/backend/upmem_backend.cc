@@ -78,6 +78,19 @@ UpmemBackend::collectiveProfile() const
     return profile;
 }
 
+MemoryProfile
+UpmemBackend::memoryProfile() const
+{
+    const PimSystemConfig& sys = engine_.system();
+    MemoryProfile profile;
+    profile.lutBytesPerUnit = sys.dpu.mramLutBudget();
+    profile.unitsPerRank = sys.dpusPerRank;
+    profile.broadcastGBs = sys.link.hostToPimGBs;
+    profile.broadcastLatencyUs = sys.link.launchLatencyUs;
+    profile.pjPerBroadcastByte = sys.energy.pjPerLinkByte;
+    return profile;
+}
+
 void
 UpmemBackend::chargeHostOps(double ops, TimingReport& timing,
                             EnergyReport& energy) const

@@ -36,6 +36,8 @@ class UpmemBackend : public Backend
 
     CollectiveLinkProfile collectiveProfile() const override;
 
+    MemoryProfile memoryProfile() const override;
+
     std::uint64_t configFingerprint() const override;
 
     /** The wrapped engine (for callers migrating from the old API). */

@@ -1,0 +1,23 @@
+#ifndef LOCALUT_COMMON_HASH_H_
+#define LOCALUT_COMMON_HASH_H_
+
+/**
+ * @file
+ * Shared hash mixing for composite cache keys (PlanKeyHash,
+ * TableSetKeyHash).
+ */
+
+#include <cstddef>
+
+namespace localut {
+
+/** Boost-style golden-ratio mixer: folds @p value into @p seed. */
+inline void
+hashCombine(std::size_t& seed, std::size_t value)
+{
+    seed ^= value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
+}
+
+} // namespace localut
+
+#endif // LOCALUT_COMMON_HASH_H_

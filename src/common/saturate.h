@@ -1,0 +1,39 @@
+#ifndef LOCALUT_COMMON_SATURATE_H_
+#define LOCALUT_COMMON_SATURATE_H_
+
+/**
+ * @file
+ * Saturating 64-bit arithmetic shared by the byte-count models
+ * (lut/capacity.cc sizing, serving/residency.cc budget ledgers).
+ * UINT64_MAX is the saturation sentinel: a count that large overflowed
+ * and must be treated as "does not fit", never as an exact size.
+ */
+
+#include <cstdint>
+#include <limits>
+
+namespace localut {
+
+inline constexpr std::uint64_t kSatU64Max =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** a * b saturating at UINT64_MAX. */
+inline std::uint64_t
+satMulU64(std::uint64_t a, std::uint64_t b)
+{
+    const unsigned __int128 wide =
+        static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
+    return wide > kSatU64Max ? kSatU64Max
+                             : static_cast<std::uint64_t>(wide);
+}
+
+/** a + b saturating at UINT64_MAX. */
+inline std::uint64_t
+satAddU64(std::uint64_t a, std::uint64_t b)
+{
+    return a > kSatU64Max - b ? kSatU64Max : a + b;
+}
+
+} // namespace localut
+
+#endif // LOCALUT_COMMON_SATURATE_H_

@@ -46,6 +46,7 @@
 #include "quant/codec.h"              // IWYU pragma: export
 #include "quant/quantizer.h"          // IWYU pragma: export
 #include "serving/plan_cache.h"       // IWYU pragma: export
+#include "serving/residency.h"        // IWYU pragma: export
 #include "serving/session.h"          // IWYU pragma: export
 #include "serving/sharding.h"         // IWYU pragma: export
 #include "upmem/cost_model.h"         // IWYU pragma: export

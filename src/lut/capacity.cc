@@ -4,27 +4,13 @@
 #include <limits>
 
 #include "common/bitops.h"
+#include "common/saturate.h"
 
 namespace localut {
 
 namespace {
 
-constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
-
-/** a * b saturating at UINT64_MAX. */
-std::uint64_t
-satMul(std::uint64_t a, std::uint64_t b)
-{
-    const unsigned __int128 wide =
-        static_cast<unsigned __int128>(a) * static_cast<unsigned __int128>(b);
-    return wide > kU64Max ? kU64Max : static_cast<std::uint64_t>(wide);
-}
-
-std::uint64_t
-satAdd(std::uint64_t a, std::uint64_t b)
-{
-    return a > kU64Max - b ? kU64Max : a + b;
-}
+constexpr std::uint64_t kU64Max = kSatU64Max;
 
 /** 2^bits saturating. */
 std::uint64_t
@@ -40,14 +26,14 @@ opPackedLutBytes(const LutShape& shape)
 {
     const std::uint64_t idxBits =
         static_cast<std::uint64_t>(shape.bw() + shape.ba()) * shape.p;
-    return satMul(shape.outBytes, satPow2(idxBits));
+    return satMulU64(shape.outBytes, satPow2(idxBits));
 }
 
 std::uint64_t
 canonicalLutBytes(const LutShape& shape)
 {
-    return satMul(shape.outBytes,
-                  satMul(shape.weightRows(), shape.canonicalColumns()));
+    return satMulU64(shape.outBytes, satMulU64(shape.weightRows(),
+                                               shape.canonicalColumns()));
 }
 
 std::uint64_t
@@ -60,21 +46,35 @@ reorderEntryBytes(const LutShape& shape)
 std::uint64_t
 reorderingLutBytes(const LutShape& shape)
 {
-    return satMul(reorderEntryBytes(shape),
-                  satMul(shape.weightRows(), shape.reorderColumns()));
+    return satMulU64(reorderEntryBytes(shape),
+                     satMulU64(shape.weightRows(), shape.reorderColumns()));
 }
 
 std::uint64_t
 localutBytes(const LutShape& shape)
 {
-    return satAdd(canonicalLutBytes(shape), reorderingLutBytes(shape));
+    return satAddU64(canonicalLutBytes(shape), reorderingLutBytes(shape));
+}
+
+bool
+lutBytesSaturated(std::uint64_t bytes)
+{
+    return bytes == kU64Max;
 }
 
 double
 totalReductionRate(const LutShape& shape)
 {
-    return static_cast<double>(opPackedLutBytes(shape)) /
-           static_cast<double>(localutBytes(shape));
+    const std::uint64_t op = opPackedLutBytes(shape);
+    const std::uint64_t pair = localutBytes(shape);
+    if (lutBytesSaturated(op)) {
+        // The true numerator overflowed 64 bits; dividing the sentinel by
+        // real LoCaLUT bytes would report a huge-but-finite bogus ratio.
+        return lutBytesSaturated(pair)
+                   ? std::numeric_limits<double>::quiet_NaN()
+                   : std::numeric_limits<double>::infinity();
+    }
+    return static_cast<double>(op) / static_cast<double>(pair);
 }
 
 unsigned
@@ -82,6 +82,9 @@ maxPackingDegree(std::uint64_t budgetBytes, const QuantConfig& cfg,
                  bool canonicalized, bool withReorderLut, unsigned outBytes,
                  unsigned pMax)
 {
+    if (budgetBytes == 0) {
+        return 0;
+    }
     unsigned best = 0;
     for (unsigned p = 1; p <= pMax; ++p) {
         const LutShape shape(cfg, p, outBytes);
@@ -93,7 +96,9 @@ maxPackingDegree(std::uint64_t budgetBytes, const QuantConfig& cfg,
         } else {
             bytes = canonicalLutBytes(shape);
         }
-        if (bytes <= budgetBytes) {
+        // A saturated count is a floor on a size that overflowed 64 bits:
+        // it can never fit, even when the budget is saturated too.
+        if (!lutBytesSaturated(bytes) && bytes <= budgetBytes) {
             best = p;
         }
     }

@@ -36,14 +36,32 @@ std::uint64_t reorderingLutBytes(const LutShape& shape);
 /** Canonical + reordering (the LoCaLUT pair). */
 std::uint64_t localutBytes(const LutShape& shape);
 
-/** Fig. 6's red line: opPacked / (canonical + reordering). */
+/**
+ * True when @p bytes is the saturation sentinel (UINT64_MAX): the real
+ * count overflowed 64 bits, so the value is a floor, not a size.  Byte
+ * counts this large must never be used in ratios or budget arithmetic as
+ * if they were exact.
+ */
+bool lutBytesSaturated(std::uint64_t bytes);
+
+/**
+ * Fig. 6's red line: opPacked / (canonical + reordering).  When the
+ * op-packed byte count saturates (it grows as 2^((bw+ba)*p)) while the
+ * LoCaLUT pair does not, the true ratio is unrepresentably large and the
+ * function returns +infinity rather than the bogus finite
+ * UINT64_MAX / localutBytes quotient; when both sides saturate the ratio
+ * is unknown and the function returns NaN.
+ */
 double totalReductionRate(const LutShape& shape);
 
 /**
  * Largest p in [1, pMax] whose LUT(s) fit @p budgetBytes.  When
  * @p canonicalized, counts canonical (+ reordering when @p withReorderLut)
  * bytes; otherwise the plain operation-packed LUT.  Returns 0 when even
- * p = 1 does not fit.
+ * p = 1 does not fit — including a budget of 0.  Saturated byte counts
+ * (lutBytesSaturated()) never "fit", even against a saturated budget:
+ * comparing two UINT64_MAX sentinels would otherwise admit a LUT whose
+ * real size overflowed 64 bits.
  */
 unsigned maxPackingDegree(std::uint64_t budgetBytes, const QuantConfig& cfg,
                           bool canonicalized, bool withReorderLut,

@@ -74,6 +74,20 @@ struct InferenceReport {
     double gemmSeconds = 0;  ///< PIM GEMM portion (kernel + its host/link)
     double hostOpSeconds = 0;///< non-GEMM host work
     double collectiveSeconds = 0; ///< sharded all-gather/reduce transfers
+    /** Host -> PIM LUT table broadcasts charged by the residency manager
+     * (serving/residency.h); 0 when every table set was already resident
+     * (steady state) or residency is disabled. */
+    double lutBroadcastSeconds = 0;
+
+    /** True when this request paid any first-touch table broadcast. */
+    bool coldStart() const { return lutBroadcastSeconds > 0; }
+
+    /** End-to-end seconds excluding the one-time table broadcasts — the
+     * steady-state (warm) cost of re-running the same request. */
+    double steadySeconds() const
+    {
+        return timing.total - lutBroadcastSeconds;
+    }
 };
 
 /** A workload GEMM bound to its resolved execution plan. */

@@ -1,5 +1,7 @@
 #include "serving/plan_cache.h"
 
+#include "common/hash.h"
+
 namespace localut {
 
 PlanKey
@@ -19,16 +21,6 @@ PlanKey::of(const Backend& backend, const GemmProblem& problem,
     key.fingerprint = backend.configFingerprint();
     return key;
 }
-
-namespace {
-
-void
-hashCombine(std::size_t& seed, std::size_t value)
-{
-    seed ^= value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2);
-}
-
-} // namespace
 
 std::size_t
 PlanKeyHash::operator()(const PlanKey& key) const
@@ -58,15 +50,17 @@ PlanKeyHash::operator()(const PlanKey& key) const
 }
 
 GemmPlan
-PlanCache::planFor(const Backend& backend, const GemmProblem& problem,
-                   DesignPoint design, const PlanOverrides& overrides)
+PlanCache::planForCounted(const Backend& backend,
+                          const GemmProblem& problem, DesignPoint design,
+                          const PlanOverrides& overrides,
+                          std::uint64_t& hits, std::uint64_t& misses)
 {
     const PlanKey key = PlanKey::of(backend, problem, design, overrides);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = plans_.find(key);
         if (it != plans_.end()) {
-            ++hits_;
+            ++hits;
             return it->second;
         }
     }
@@ -76,10 +70,27 @@ PlanCache::planFor(const Backend& backend, const GemmProblem& problem,
     const GemmPlan plan = backend.plan(problem, design, overrides);
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        ++misses_;
+        ++misses;
         plans_.insert_or_assign(key, plan);
     }
     return plan;
+}
+
+GemmPlan
+PlanCache::planFor(const Backend& backend, const GemmProblem& problem,
+                   DesignPoint design, const PlanOverrides& overrides)
+{
+    return planForCounted(backend, problem, design, overrides, hits_,
+                          misses_);
+}
+
+GemmPlan
+PlanCache::shardSubPlanFor(const Backend& backend,
+                           const GemmProblem& problem, DesignPoint design,
+                           const PlanOverrides& overrides)
+{
+    return planForCounted(backend, problem, design, overrides, shardHits_,
+                          shardMisses_);
 }
 
 ShardPlan
@@ -117,6 +128,8 @@ PlanCache::stats() const
     Stats s;
     s.hits = hits_;
     s.misses = misses_;
+    s.shardHits = shardHits_;
+    s.shardMisses = shardMisses_;
     s.entries = plans_.size() + shardPlans_.size();
     return s;
 }
@@ -142,6 +155,8 @@ PlanCache::resetStats()
     std::lock_guard<std::mutex> lock(mutex_);
     hits_ = 0;
     misses_ = 0;
+    shardHits_ = 0;
+    shardMisses_ = 0;
 }
 
 } // namespace localut

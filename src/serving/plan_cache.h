@@ -58,11 +58,24 @@ struct PlanKeyHash {
 class PlanCache
 {
   public:
+    /**
+     * Hit/miss accounting at two granularities.  `hits`/`misses` count
+     * *logical* lookups — one per planFor() or shardPlanFor() call, i.e.
+     * one per logical GEMM — while `shardHits`/`shardMisses` count the
+     * per-shard sub-plan lookups a shard-plan cut resolves internally.
+     * Keeping them separate stops one sharded GEMM from being
+     * double-counted as N rank hits: a cold 4-rank cut whose slices
+     * share a shape is exactly 1 logical miss + 1 shard miss + 3 shard
+     * hits, never "3 hits".
+     */
     struct Stats {
-        std::uint64_t hits = 0;
-        std::uint64_t misses = 0;
+        std::uint64_t hits = 0;        ///< logical lookups served cached
+        std::uint64_t misses = 0;      ///< logical lookups that planned
+        std::uint64_t shardHits = 0;   ///< per-shard sub-plan lookups
+        std::uint64_t shardMisses = 0;
         std::size_t entries = 0;
 
+        /** Logical (per-GEMM) hit rate. */
         double
         hitRate() const
         {
@@ -70,6 +83,17 @@ class PlanCache
             return lookups == 0
                        ? 0.0
                        : static_cast<double>(hits) /
+                             static_cast<double>(lookups);
+        }
+
+        /** Per-shard sub-plan hit rate. */
+        double
+        shardHitRate() const
+        {
+            const std::uint64_t lookups = shardHits + shardMisses;
+            return lookups == 0
+                       ? 0.0
+                       : static_cast<double>(shardHits) /
                              static_cast<double>(lookups);
         }
     };
@@ -84,14 +108,25 @@ class PlanCache
 
     /**
      * Returns the cached ShardPlan for (@p backend, @p problem, @p design,
-     * @p spec, @p overrides), cutting and planning on a miss.  The
-     * per-shard sub-plans are resolved through this cache too (counted in
-     * the same hit/miss stats).
+     * @p spec, @p overrides), cutting and planning on a miss.  Counts as
+     * ONE logical lookup; the per-shard sub-plans a cold cut resolves go
+     * through shardSubPlanFor() and count in the separate shard
+     * counters.
      */
     ShardPlan shardPlanFor(const Backend& backend,
                            const GemmProblem& problem, DesignPoint design,
                            const ShardSpec& spec,
                            const PlanOverrides& overrides = {});
+
+    /**
+     * planFor() for the per-shard slice sub-plans of a shard-plan cut
+     * (called by makeShardPlan()): shares the GemmPlan memo but counts
+     * in Stats::shardHits/shardMisses so a sharded logical GEMM is not
+     * double-counted as N rank lookups.
+     */
+    GemmPlan shardSubPlanFor(const Backend& backend,
+                             const GemmProblem& problem, DesignPoint design,
+                             const PlanOverrides& overrides = {});
 
     Stats stats() const;
 
@@ -104,11 +139,18 @@ class PlanCache
     void resetStats();
 
   private:
+    GemmPlan planForCounted(const Backend& backend,
+                            const GemmProblem& problem, DesignPoint design,
+                            const PlanOverrides& overrides,
+                            std::uint64_t& hits, std::uint64_t& misses);
+
     mutable std::mutex mutex_;
     std::unordered_map<PlanKey, GemmPlan, PlanKeyHash> plans_;
     std::unordered_map<PlanKey, ShardPlan, PlanKeyHash> shardPlans_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t shardHits_ = 0;
+    std::uint64_t shardMisses_ = 0;
 };
 
 } // namespace localut

@@ -1,0 +1,351 @@
+#include "serving/residency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/saturate.h"
+#include "lut/capacity.h"
+
+namespace localut {
+
+const char*
+residencyPolicyName(ResidencyPolicy policy)
+{
+    switch (policy) {
+      case ResidencyPolicy::Disabled:  return "disabled";
+      case ResidencyPolicy::CostAware: return "cost-aware";
+      case ResidencyPolicy::Lru:       return "lru";
+    }
+    LOCALUT_PANIC("invalid residency policy");
+}
+
+namespace {
+
+std::uint64_t
+roundInstances(double instances)
+{
+    return static_cast<std::uint64_t>(
+        std::llround(std::max(1.0, instances)));
+}
+
+} // namespace
+
+std::size_t
+TableSetKeyHash::operator()(const TableSetKey& key) const
+{
+    std::size_t seed = 0;
+    hashCombine(seed, std::hash<std::string>{}(key.scope));
+    hashCombine(seed, key.m);
+    hashCombine(seed, key.k);
+    hashCombine(seed, key.n);
+    hashCombine(seed,
+                static_cast<std::size_t>(key.config.weightCodec.kind()));
+    hashCombine(seed, key.config.weightCodec.bits());
+    hashCombine(seed, static_cast<std::size_t>(key.config.actCodec.kind()));
+    hashCombine(seed, key.config.actCodec.bits());
+    hashCombine(seed, static_cast<std::size_t>(key.design));
+    hashCombine(seed, key.p);
+    hashCombine(seed, key.shard.numRanks);
+    hashCombine(seed, static_cast<std::size_t>(key.shard.strategy));
+    hashCombine(seed, key.shard.align);
+    hashCombine(seed, static_cast<std::size_t>(key.instances));
+    return seed;
+}
+
+std::uint64_t
+tableSetBytes(const GemmPlan& plan)
+{
+    const LutShape shape(plan.config, std::max(1u, plan.p));
+    switch (plan.design) {
+      case DesignPoint::NaivePim:
+        return 0; // arithmetic MACs: no tables at all
+      case DesignPoint::Ltc:
+        return 0; // tables are built on-device at run time (TableBuild)
+      case DesignPoint::OpLutDram:
+      case DesignPoint::OpLut:
+        return opPackedLutBytes(shape);
+      case DesignPoint::OpLc:
+        return canonicalLutBytes(shape);
+      case DesignPoint::OpLcRc:
+      case DesignPoint::LoCaLut:
+        return localutBytes(shape);
+    }
+    LOCALUT_PANIC("invalid design point");
+}
+
+void
+ResidencyCharge::apply(TimingReport& timing, EnergyReport& energy,
+                       KernelCost* cost) const
+{
+    if (hit || (bytes <= 0 && seconds <= 0)) {
+        return;
+    }
+    timing.linkSeconds += seconds;
+    timing.total += seconds;
+    timing.seconds.add(phaseName(Phase::LutBroadcast), seconds);
+    energy.total += joules;
+    energy.joules.add(phaseName(Phase::LutBroadcast), joules);
+    if (cost != nullptr) {
+        cost->addLinkBytes(Phase::LutBroadcast, bytes);
+    }
+}
+
+ResidencyManager::ResidencyManager(BackendPtr backend, unsigned numRanks,
+                                   std::uint64_t budgetBytesPerUnit,
+                                   ResidencyPolicy policy)
+    : backend_(std::move(backend)), policy_(policy)
+{
+    LOCALUT_REQUIRE(backend_ != nullptr,
+                    "ResidencyManager needs a backend");
+    LOCALUT_REQUIRE(numRanks >= 1,
+                    "ResidencyManager needs at least one rank");
+    profile_ = backend_->memoryProfile();
+    budget_ = budgetBytesPerUnit != 0 ? budgetBytesPerUnit
+                                      : profile_.lutBytesPerUnit;
+    residentBytes_.assign(numRanks, 0);
+}
+
+unsigned
+ResidencyManager::numRanks() const
+{
+    return static_cast<unsigned>(residentBytes_.size());
+}
+
+ResidencyCharge
+ResidencyManager::acquire(const GemmPlan& plan, const std::string& scope,
+                          double instances)
+{
+    const std::uint64_t perCopy = tableSetBytes(plan);
+    if (policy_ == ResidencyPolicy::Disabled || perCopy == 0) {
+        return {}; // nothing to place; nothing charged
+    }
+    const std::uint64_t inst = roundInstances(instances);
+    const std::uint64_t bytes = satMulU64(perCopy, inst);
+    if (lutBytesSaturated(bytes)) {
+        // The real byte count overflowed 64 bits: such a plan is not
+        // physically executable, and charging the sentinel as a size
+        // would report a nonsense multi-year broadcast.  Leave it
+        // untracked (the capacity.h contract: saturated counts must
+        // never enter budget arithmetic).
+        return {};
+    }
+    TableSetKey key;
+    key.scope = scope;
+    key.m = plan.m;
+    key.k = plan.k;
+    key.n = plan.n;
+    key.config = plan.config;
+    key.design = plan.design;
+    key.p = std::max(1u, plan.p);
+    key.instances = inst;
+    std::lock_guard<std::mutex> lock(mutex_);
+    return acquireLocked(std::move(key), {{0u, bytes}});
+}
+
+ResidencyCharge
+ResidencyManager::acquire(const ShardPlan& plan, const std::string& scope,
+                          double instances)
+{
+    if (policy_ == ResidencyPolicy::Disabled || plan.shards.empty()) {
+        return {};
+    }
+    TableSetKey key;
+    key.scope = scope;
+    key.m = plan.m;
+    key.k = plan.k;
+    key.n = plan.n;
+    key.config = plan.config;
+    key.design = plan.design;
+    key.p = std::max(1u, plan.shards.front().plan.p);
+    key.shard = plan.spec;
+    const std::uint64_t inst = roundInstances(instances);
+    key.instances = inst;
+    // Coalesce per rank: when the plan carries more shards than this
+    // manager has ranks, the wrapped entries must be budget-checked as
+    // one aggregate — per-entry checks would admit a rank over budget.
+    std::vector<std::uint64_t> perRank(numRanks(), 0);
+    double total = 0;
+    for (const GemmShard& shard : plan.shards) {
+        const std::uint64_t bytes =
+            satMulU64(tableSetBytes(shard.plan), inst);
+        if (lutBytesSaturated(bytes)) {
+            return {}; // unrepresentably large: untracked (see above)
+        }
+        const unsigned rank = shard.rank % numRanks();
+        perRank[rank] = satAddU64(perRank[rank], bytes);
+        total += static_cast<double>(bytes);
+    }
+    if (total == 0) {
+        return {}; // design without host-built tables
+    }
+    std::vector<std::pair<unsigned, std::uint64_t>> rankBytes;
+    rankBytes.reserve(perRank.size());
+    for (unsigned rank = 0; rank < perRank.size(); ++rank) {
+        if (perRank[rank] > 0) {
+            rankBytes.emplace_back(rank, perRank[rank]);
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    return acquireLocked(std::move(key), std::move(rankBytes));
+}
+
+ResidencyCharge
+ResidencyManager::acquireLocked(
+    TableSetKey key,
+    std::vector<std::pair<unsigned, std::uint64_t>> rankBytes)
+{
+    ++clock_;
+    auto [it, inserted] = sets_.try_emplace(std::move(key));
+    TableSet& set = it->second;
+    if (inserted) {
+        set.rankBytes = std::move(rankBytes);
+        double totalBytes = 0;
+        for (const auto& [rank, bytes] : set.rankBytes) {
+            totalBytes += static_cast<double>(bytes);
+        }
+        set.broadcastBytes = totalBytes;
+        set.broadcastSeconds =
+            profile_.broadcastLatencyUs * 1e-6 +
+            totalBytes / (profile_.broadcastGBs * 1e9);
+        set.broadcastJoules =
+            profile_.pjPerBroadcastByte * totalBytes * 1e-12;
+    }
+    set.lastUse = clock_;
+    ++set.uses;
+    if (set.resident) {
+        ++stats_.hits;
+        return {};
+    }
+
+    // Miss: broadcast the tables, then try to admit them (an oversized
+    // set streams through without ever becoming resident — every access
+    // pays the transfer).
+    ++stats_.misses;
+    if (set.everResident) {
+        ++stats_.rebroadcasts;
+    }
+    if (makeRoomLocked(set)) {
+        set.resident = true;
+        set.everResident = true;
+        set.admitOrder = ++admissions_;
+        for (const auto& [rank, bytes] : set.rankBytes) {
+            residentBytes_[rank] += bytes;
+        }
+        ++stats_.tableSets;
+    }
+    stats_.broadcastBytes += set.broadcastBytes;
+    stats_.broadcastSeconds += set.broadcastSeconds;
+    ResidencyCharge charge;
+    charge.hit = false;
+    charge.bytes = set.broadcastBytes;
+    charge.seconds = set.broadcastSeconds;
+    charge.joules = set.broadcastJoules;
+    return charge;
+}
+
+double
+ResidencyManager::scoreLocked(const TableSet& set) const
+{
+    if (policy_ == ResidencyPolicy::Lru) {
+        return static_cast<double>(set.lastUse);
+    }
+    // Cost-aware: what re-fetching this set would cost, weighted by how
+    // often it has actually been used — the expected rebroadcast debt.
+    return set.broadcastSeconds * static_cast<double>(set.uses);
+}
+
+bool
+ResidencyManager::makeRoomLocked(const TableSet& incoming)
+{
+    for (const auto& [rank, bytes] : incoming.rankBytes) {
+        LOCALUT_REQUIRE(rank < residentBytes_.size(),
+                        "table-set rank out of range");
+        if (bytes > budget_) {
+            return false; // can never fit, even on an empty rank
+        }
+    }
+    for (const auto& [rank, bytes] : incoming.rankBytes) {
+        while (residentBytes_[rank] + bytes > budget_) {
+            // Victim: lowest score among resident sets occupying this
+            // rank; ties break toward least-recent, then oldest
+            // admission, so eviction is deterministic.
+            TableSet* victim = nullptr;
+            for (auto& [key, candidate] : sets_) {
+                if (!candidate.resident || &candidate == &incoming) {
+                    continue;
+                }
+                const bool onRank = std::any_of(
+                    candidate.rankBytes.begin(), candidate.rankBytes.end(),
+                    [rank](const auto& rb) { return rb.first == rank; });
+                if (!onRank) {
+                    continue;
+                }
+                if (victim == nullptr ||
+                    std::make_tuple(scoreLocked(candidate),
+                                    candidate.lastUse,
+                                    candidate.admitOrder) <
+                        std::make_tuple(scoreLocked(*victim),
+                                        victim->lastUse,
+                                        victim->admitOrder)) {
+                    victim = &candidate;
+                }
+            }
+            if (victim == nullptr) {
+                return false; // nothing left to evict on this rank
+            }
+            evictLocked(*victim);
+        }
+    }
+    return true;
+}
+
+void
+ResidencyManager::evictLocked(TableSet& victim)
+{
+    LOCALUT_ASSERT(victim.resident, "evicting a non-resident table set");
+    for (const auto& [rank, bytes] : victim.rankBytes) {
+        LOCALUT_ASSERT(residentBytes_[rank] >= bytes,
+                       "resident-byte ledger underflow");
+        residentBytes_[rank] -= bytes;
+    }
+    victim.resident = false;
+    ++stats_.evictions;
+    LOCALUT_ASSERT(stats_.tableSets > 0, "eviction with no resident sets");
+    --stats_.tableSets;
+}
+
+ResidencyStats
+ResidencyManager::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::uint64_t
+ResidencyManager::residentBytes(unsigned rank) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    LOCALUT_REQUIRE(rank < residentBytes_.size(), "rank out of range");
+    return residentBytes_[rank];
+}
+
+void
+ResidencyManager::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Keep the entries (usage and everResident history) so post-reset
+    // misses on previously-broadcast sets still count as re-broadcasts;
+    // only the residency itself is dropped.
+    for (auto& [key, set] : sets_) {
+        set.resident = false;
+    }
+    std::fill(residentBytes_.begin(), residentBytes_.end(), 0);
+    stats_.tableSets = 0;
+}
+
+} // namespace localut

@@ -1,0 +1,230 @@
+#ifndef LOCALUT_SERVING_RESIDENCY_H_
+#define LOCALUT_SERVING_RESIDENCY_H_
+
+/**
+ * @file
+ * The LUT residency manager: MRAM table capacity as a first-class,
+ * cost-charged serving resource.
+ *
+ * The paper's whole thesis trades LUT *capacity* for *computation*, but a
+ * serving loop that re-dispatches the same GEMMs every decode step only
+ * enjoys that tradeoff if the tables are actually resident: the first
+ * execution of a (layer, LutShape, DesignPoint) table set must broadcast
+ * the canonical + reordering (or op-packed) tables host -> PIM, and every
+ * later execution should find them already in MRAM and skip the transfer.
+ * The ResidencyManager models exactly that:
+ *
+ *  - Per logical rank it tracks an MRAM byte budget — from
+ *    Backend::memoryProfile() (per-unit LUT bytes; every DPU/bank of a
+ *    rank holds its own copy of each resident set, so residency is
+ *    tracked in per-copy bytes) or overridden by
+ *    SessionOptions::mramBudgetBytes — and the table sets currently
+ *    resident against it, sized by the capacity model
+ *    (localutBytes() / opPackedLutBytes() in lut/capacity.h).
+ *  - acquire() on a missing set charges an explicit host -> PIM broadcast
+ *    (Phase::LutBroadcast; seconds/Joules from the backend's memory
+ *    profile, analogous to the sharded collective charging) and admits
+ *    the set; on a hit it charges nothing.  A 32-step decode loop thus
+ *    pays table transfer once per layer instead of 32x.
+ *  - When a rank's budget is full, eviction is cost-model-driven: the
+ *    resident set with the lowest (rebroadcast cost x observed reuse)
+ *    score goes first (ResidencyPolicy::CostAware); an LRU policy exists
+ *    as a comparison baseline.
+ *  - Sharded executions compose naturally: each shard's table set
+ *    consumes its own rank's budget, and the ShardSpec is part of the
+ *    table-set key so re-cut tables never alias.
+ *
+ * Residency only ever affects *costs* (timing, energy, link bytes) —
+ * never functional values: a session with residency enabled is bit-exact
+ * with one where it is disabled, on every backend (the differential
+ * invariant tests/test_residency.cc pins).
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/backend.h"
+#include "serving/sharding.h"
+
+namespace localut {
+
+/** How the manager behaves when a table set must be admitted. */
+enum class ResidencyPolicy {
+    /** No tracking: nothing is charged and nothing is resident (the
+     * pre-residency cost model; the serving default for back-compat). */
+    Disabled,
+    /** Evict the resident set with the lowest
+     * (rebroadcast cost x observed reuse) score. */
+    CostAware,
+    /** Evict the least-recently-used set (comparison baseline). */
+    Lru,
+};
+
+const char* residencyPolicyName(ResidencyPolicy policy);
+
+/**
+ * Identity of one table set: the owning GEMM (shape + role scope), its
+ * quantization config, design point, resolved packing degree, and the
+ * shard cut.  Two GEMMs with the same shape but different roles (e.g. the
+ * QKV and output projections of a transformer layer) keep distinct table
+ * sets — tables are stored interleaved with each owner's weight
+ * partitions, the way a real deployment fuses them.
+ */
+struct TableSetKey {
+    std::string scope;             ///< owner id ("qkv", "ffn_up", ...)
+    std::size_t m = 0, k = 0, n = 0;
+    QuantConfig config{ValueCodec::signedBinary(),
+                       ValueCodec::signedBinary()};
+    DesignPoint design = DesignPoint::LoCaLut;
+    unsigned p = 1;                ///< resolved packing degree (sizing)
+    ShardSpec shard;               ///< default = unsharded
+    /** Per-layer instance count the set aggregates: two owner groups
+     * that agree on everything else but span different layer counts are
+     * different table sets (different bytes, different broadcast). */
+    std::uint64_t instances = 1;
+
+    bool operator==(const TableSetKey&) const = default;
+};
+
+struct TableSetKeyHash {
+    std::size_t operator()(const TableSetKey& key) const;
+};
+
+/**
+ * Bytes of the table set @p plan executes from, per unit copy: the
+ * capacity model's count for the plan's LUT variant (canonical +
+ * reordering for LoCaLUT / OP+LC+RC, canonical for OP+LC, op-packed for
+ * OP).  Zero for designs without host-built tables (NaivePIM computes,
+ * LTC builds its tables on-device).
+ */
+std::uint64_t tableSetBytes(const GemmPlan& plan);
+
+/** The cost acquire() charged for one table-set access. */
+struct ResidencyCharge {
+    bool hit = true;   ///< tables were resident; nothing was transferred
+    double bytes = 0;  ///< host -> PIM broadcast bytes (0 on a hit)
+    double seconds = 0;
+    double joules = 0;
+
+    /** Folds the broadcast into a result's reports (and, when @p cost is
+     * given, its Phase::LutBroadcast link-byte accounting). */
+    void apply(TimingReport& timing, EnergyReport& energy,
+               KernelCost* cost = nullptr) const;
+};
+
+/** Counters for serving code and tests. */
+struct ResidencyStats {
+    std::uint64_t hits = 0;          ///< acquires that found tables resident
+    std::uint64_t misses = 0;        ///< acquires that broadcast
+    std::uint64_t evictions = 0;     ///< table sets pushed out of MRAM
+    std::uint64_t rebroadcasts = 0;  ///< misses on previously-evicted sets
+    std::uint64_t tableSets = 0;     ///< currently resident sets
+    double broadcastBytes = 0;       ///< total host -> PIM table bytes
+    double broadcastSeconds = 0;     ///< total modeled broadcast time
+
+    double
+    hitRate() const
+    {
+        const std::uint64_t lookups = hits + misses;
+        return lookups == 0 ? 0.0
+                            : static_cast<double>(hits) /
+                                  static_cast<double>(lookups);
+    }
+};
+
+/**
+ * Tracks which LUT table sets are MRAM-resident on each logical rank and
+ * charges host -> PIM broadcasts for the ones that are not.
+ *
+ * Thread-safety: acquire() and the accessors are internally locked; the
+ * InferenceSession's worker pool calls them concurrently.  Under
+ * concurrent acquisition of a *tight* budget the eviction order depends
+ * on arrival order — costs may differ run to run — but functional values
+ * never do (the manager never touches them).
+ */
+class ResidencyManager
+{
+  public:
+    /**
+     * @p budgetBytesPerUnit overrides the backend memory profile's
+     * per-unit LUT budget when non-zero.  @p numRanks mirrors the
+     * session's logical ranks (each gets its own ledger).
+     */
+    ResidencyManager(BackendPtr backend, unsigned numRanks,
+                     std::uint64_t budgetBytesPerUnit,
+                     ResidencyPolicy policy);
+
+    ResidencyPolicy policy() const { return policy_; }
+    std::uint64_t budgetBytesPerUnit() const { return budget_; }
+    unsigned numRanks() const;
+
+    /**
+     * Ensures the table set of @p plan (scoped by @p scope; @p instances
+     * per-layer copies, e.g. one per transformer layer the owning
+     * workload node aggregates) is resident on rank 0, charging a
+     * broadcast when it is not.  With ResidencyPolicy::Disabled this
+     * returns a zero charge every time (the pre-residency model: tables
+     * are neither charged nor retained).
+     */
+    ResidencyCharge acquire(const GemmPlan& plan,
+                            const std::string& scope = "",
+                            double instances = 1.0);
+
+    /** Sharded counterpart: shard i's table set consumes rank i's
+     * budget; the broadcast moves every rank's tables (scatter over the
+     * rank-parallel broadcast link, one launch). */
+    ResidencyCharge acquire(const ShardPlan& plan,
+                            const std::string& scope = "",
+                            double instances = 1.0);
+
+    ResidencyStats stats() const;
+
+    /** Per-copy bytes currently resident on @p rank. */
+    std::uint64_t residentBytes(unsigned rank) const;
+
+    /** Drops all residency (a device reset).  Counters and per-set
+     * history survive, so post-reset misses on previously-broadcast
+     * sets still count as re-broadcasts. */
+    void clear();
+
+  private:
+    struct TableSet {
+        /** (rank, per-copy bytes x instances) this set occupies. */
+        std::vector<std::pair<unsigned, std::uint64_t>> rankBytes;
+        double broadcastBytes = 0;   ///< rebroadcast size (all ranks)
+        double broadcastSeconds = 0; ///< rebroadcast cost (the score input)
+        double broadcastJoules = 0;
+        std::uint64_t uses = 0;      ///< touches while resident (reuse)
+        std::uint64_t lastUse = 0;   ///< logical clock (LRU)
+        std::uint64_t admitOrder = 0;///< deterministic tie-break
+        bool resident = false;
+        bool everResident = false;   ///< a later miss is a re-broadcast
+    };
+
+    ResidencyCharge acquireLocked(TableSetKey key,
+                                  std::vector<std::pair<unsigned,
+                                                        std::uint64_t>>
+                                      rankBytes);
+    bool makeRoomLocked(const TableSet& incoming);
+    void evictLocked(TableSet& victim);
+    double scoreLocked(const TableSet& set) const;
+
+    BackendPtr backend_;
+    MemoryProfile profile_;
+    std::uint64_t budget_ = 0; ///< per-unit bytes each rank may hold
+    ResidencyPolicy policy_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<TableSetKey, TableSet, TableSetKeyHash> sets_;
+    std::vector<std::uint64_t> residentBytes_; ///< per-rank ledgers
+    std::uint64_t clock_ = 0;
+    std::uint64_t admissions_ = 0;
+    ResidencyStats stats_;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_SERVING_RESIDENCY_H_

@@ -55,6 +55,11 @@ InferenceSession::InferenceSession(BackendPtr backend,
     LOCALUT_REQUIRE(backend_ != nullptr, "InferenceSession needs a backend");
     LOCALUT_REQUIRE(options_.numRanks >= 1,
                     "a session needs at least one rank");
+    if (options_.residencyPolicy != ResidencyPolicy::Disabled) {
+        residency_ = std::make_unique<ResidencyManager>(
+            backend_, options_.numRanks, options_.mramBudgetBytes,
+            options_.residencyPolicy);
+    }
     rankQueues_.resize(options_.numRanks);
     unsigned workers = options_.workers;
     if (workers == 0) {
@@ -247,12 +252,38 @@ InferenceSession::run(const CompiledWorkload& workload) const
                     " rank(s) submitted to a session with ",
                     options_.numRanks,
                     " (recompile on this session to re-cut the shards)");
-    if (workload.sharded()) {
-        return executeShardedWorkload(*backend_, workload.shardedNodes,
-                                      workload.quant, workload.hostOps);
+    InferenceReport report =
+        workload.sharded()
+            ? executeShardedWorkload(*backend_, workload.shardedNodes,
+                                     workload.quant, workload.hostOps)
+            : executeWorkload(*backend_, workload.nodes, workload.quant,
+                              workload.hostOps);
+    if (residency_ == nullptr) {
+        return report;
     }
-    return executeWorkload(*backend_, workload.nodes, workload.quant,
-                           workload.hostOps);
+    // Thread every GEMM node through the residency manager: each
+    // distinct (layer, shape, design) table set broadcasts host -> PIM
+    // on first touch and is free while it stays MRAM-resident, so a
+    // repeated decode request pays table transfer once per layer
+    // instead of once per step.
+    const double steps = workload.spec.phase == WorkloadPhase::Decode
+                             ? std::max(1u, workload.spec.steps)
+                             : 1.0;
+    auto chargeNode = [&](const WorkloadGemm& gemm, const auto& plan) {
+        // count aggregates layers (and decode steps); the per-layer
+        // table instances are count / steps.
+        const ResidencyCharge charge =
+            residency_->acquire(plan, gemm.role, gemm.count / steps);
+        charge.apply(report.timing, report.energy);
+        report.lutBroadcastSeconds += charge.seconds;
+    };
+    for (const PlanNode& node : workload.nodes) {
+        chargeNode(node.gemm, node.plan);
+    }
+    for (const ShardedGemm& node : workload.shardedNodes) {
+        chargeNode(node.gemm, node.plan);
+    }
+    return report;
 }
 
 void
@@ -267,6 +298,11 @@ InferenceSession::runWhole(Request& request)
                                          request.design, request.overrides);
     request.result =
         backend_->execute(request.problem, plan, request.computeValues);
+    if (residency_ != nullptr) {
+        residency_->acquire(plan).apply(request.result.timing,
+                                        request.result.energy,
+                                        &request.result.cost);
+    }
 }
 
 void
@@ -357,6 +393,12 @@ InferenceSession::runTask(const Task& task)
             request.result =
                 reduceShardResults(*backend_, request.shardPlan,
                                    std::move(request.shardResults));
+            if (residency_ != nullptr) {
+                // Each shard's table set consumes its own rank's budget.
+                residency_->acquire(request.shardPlan)
+                    .apply(request.result.timing, request.result.energy,
+                           &request.result.cost);
+            }
         } catch (...) {
             request.error = std::current_exception();
         }

@@ -46,6 +46,7 @@
 #include "nn/inference.h"
 #include "nn/workload.h"
 #include "serving/plan_cache.h"
+#include "serving/residency.h"
 #include "serving/sharding.h"
 
 namespace localut {
@@ -64,6 +65,23 @@ struct SessionOptions {
     unsigned numRanks = 1;
     /** How GEMMs are cut across ranks when numRanks > 1. */
     ShardStrategy shardStrategy = ShardStrategy::ColumnParallel;
+    /**
+     * LUT residency tracking (serving/residency.h).  Disabled (the
+     * default) reproduces the pre-residency cost model: tables are never
+     * charged nor retained.  Any other policy threads every submitted
+     * GEMM through the session's ResidencyManager: a first-touch GEMM
+     * pays an explicit host -> PIM table broadcast (Phase::LutBroadcast)
+     * and later requests find the tables MRAM-resident and pay nothing —
+     * so InferenceReport distinguishes cold-start from steady-state
+     * serving.  Functional values are identical either way.
+     */
+    ResidencyPolicy residencyPolicy = ResidencyPolicy::Disabled;
+    /**
+     * Per-unit (per DPU / bank) MRAM byte budget for resident table
+     * sets; 0 uses the backend's Backend::memoryProfile() default.
+     * Ignored while residencyPolicy is Disabled.
+     */
+    std::uint64_t mramBudgetBytes = 0;
 };
 
 /**
@@ -137,6 +155,16 @@ class InferenceSession
 
     PlanCache& planCache() { return cache_; }
     PlanCache::Stats planCacheStats() const { return cache_.stats(); }
+
+    /** The session's residency manager; nullptr while
+     * SessionOptions::residencyPolicy is Disabled. */
+    ResidencyManager* residency() const { return residency_.get(); }
+
+    /** Zero-valued stats while residency is disabled. */
+    ResidencyStats residencyStats() const
+    {
+        return residency_ ? residency_->stats() : ResidencyStats{};
+    }
 
     // ------------------------------------------------- GEMM requests
     /** Enqueues one GEMM; returns immediately. */
@@ -212,6 +240,9 @@ class InferenceSession
     BackendPtr backend_;
     SessionOptions options_;
     PlanCache cache_;
+    /** Created when options_.residencyPolicy != Disabled; internally
+     * locked, so const execution paths share it across workers. */
+    std::unique_ptr<ResidencyManager> residency_;
 
     mutable std::mutex mutex_;
     std::condition_variable queueCv_; ///< wakes workers

@@ -140,7 +140,8 @@ makeShardPlan(const Backend& backend, const GemmProblem& problem,
                    : makeShapeOnlyProblem(end - begin, plan.k, plan.n,
                                           plan.config);
         GemmPlan subPlan =
-            cache ? cache->planFor(backend, slice, design, overrides)
+            cache ? cache->shardSubPlanFor(backend, slice, design,
+                                           overrides)
                   : backend.plan(slice, design, overrides);
         plan.shards.push_back({r, begin, end, std::move(subPlan)});
     }

@@ -22,6 +22,7 @@ phaseName(Phase p)
       case Phase::LinkActIn:       return "link.act_in";
       case Phase::LinkWeightIn:    return "link.weight_in";
       case Phase::LinkOut:         return "link.out";
+      case Phase::LutBroadcast:    return "link.lut_broadcast";
       case Phase::LutLoadDma:      return "dpu.lut_load_dma";
       case Phase::OperandDma:      return "dpu.operand_dma";
       case Phase::TableBuild:      return "dpu.table_build";
@@ -59,6 +60,7 @@ isLinkPhase(Phase p)
       case Phase::LinkActIn:
       case Phase::LinkWeightIn:
       case Phase::LinkOut:
+      case Phase::LutBroadcast:
         return true;
       default:
         return false;

@@ -34,6 +34,7 @@ enum class Phase : unsigned {
     LinkActIn,       ///< host -> PIM activation (or index) transfer
     LinkWeightIn,    ///< host -> PIM weight transfer (init-time; reported)
     LinkOut,         ///< PIM -> host output gather
+    LutBroadcast,    ///< host -> PIM LUT table-set broadcast (cold start)
     LutLoadDma,      ///< MRAM -> WRAM LUT slice streaming
     OperandDma,      ///< MRAM -> WRAM weight/activation tile traffic
     TableBuild,      ///< runtime LUT construction (LTC-style baselines)

@@ -17,6 +17,7 @@
 
 #include "backend/backend.h"
 #include "nn/inference.h"
+#include "serving/session.h"
 #include "serving/sharding.h"
 
 namespace localut {
@@ -151,6 +152,51 @@ TEST(GoldenCosts, Fig10WorkloadsMatchFrozenValues)
         EXPECT_NEAR(dec.energy.total, g.decodeJoules,
                     g.decodeJoules * kRelTol);
     }
+}
+
+TEST(GoldenCosts, ColdVsWarmFig10DecodeMatchesFrozenValues)
+{
+    // The fig10-class OPT-125M 32-step decode (upmem server, W4A4)
+    // served through a residency-enabled session: the first run pays
+    // the per-layer table broadcast (cold start), the second finds
+    // every table set MRAM-resident (steady state).  Frozen by the
+    // commit introducing the residency manager; the warm run must also
+    // equal the residency-disabled model exactly.
+    const TransformerConfig model = TransformerConfig::opt125m();
+    const QuantConfig cfg = QuantConfig::preset("W4A4");
+    SessionOptions on;
+    on.residencyPolicy = ResidencyPolicy::CostAware;
+    InferenceSession session(makeBackend("upmem"), on);
+    const auto workload = session.compile(
+        WorkloadSpec::decode(model, 32, 128, 32), cfg,
+        DesignPoint::LoCaLut);
+    const InferenceReport coldRun = session.run(workload);
+    const InferenceReport warmRun = session.run(workload);
+
+    constexpr double kColdSeconds = 1.453023049458e+00;
+    constexpr double kColdBroadcastSeconds = 8.402560000000e-05;
+    constexpr double kColdJoules = 1.017736444251e+02;
+    constexpr double kWarmSeconds = 1.452939023858e+00;
+    constexpr double kWarmJoules = 1.017735123483e+02;
+
+    EXPECT_NEAR(coldRun.timing.total, kColdSeconds,
+                kColdSeconds * kRelTol);
+    EXPECT_NEAR(coldRun.lutBroadcastSeconds, kColdBroadcastSeconds,
+                kColdBroadcastSeconds * kRelTol);
+    EXPECT_NEAR(coldRun.energy.total, kColdJoules, kColdJoules * kRelTol);
+    EXPECT_NEAR(warmRun.timing.total, kWarmSeconds,
+                kWarmSeconds * kRelTol);
+    EXPECT_NEAR(warmRun.energy.total, kWarmJoules, kWarmJoules * kRelTol);
+    EXPECT_DOUBLE_EQ(warmRun.lutBroadcastSeconds, 0.0);
+    EXPECT_LT(warmRun.timing.total, coldRun.timing.total);
+
+    // Warm == the pre-residency model, bit for bit.
+    InferenceSession plain(makeBackend("upmem"));
+    const InferenceReport base = plain.run(plain.compile(
+        WorkloadSpec::decode(model, 32, 128, 32), cfg,
+        DesignPoint::LoCaLut));
+    EXPECT_DOUBLE_EQ(warmRun.timing.total, base.timing.total);
+    EXPECT_DOUBLE_EQ(warmRun.energy.total, base.energy.total);
 }
 
 } // namespace

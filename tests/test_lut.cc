@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/bitops.h"
@@ -249,6 +251,52 @@ TEST(Capacity, OverflowSaturates)
     const LutShape s(QuantConfig::preset("W4A4"), 12);
     EXPECT_EQ(opPackedLutBytes(s),
               std::numeric_limits<std::uint64_t>::max());
+    EXPECT_TRUE(lutBytesSaturated(opPackedLutBytes(s)));
+    EXPECT_FALSE(lutBytesSaturated(localutBytes(
+        LutShape(QuantConfig::preset("W1A3"), 8))));
+}
+
+TEST(Capacity, SaturatedReductionRateIsInfiniteNotBogusFinite)
+{
+    // W4A4 at p = 8: (bw+ba)*p = 64 bits, so opPackedLutBytes saturates
+    // at UINT64_MAX while the LoCaLUT pair stays real.  The reduction
+    // rate must report +inf — the old UINT64_MAX / localutBytes quotient
+    // was a huge-but-finite bogus ratio.
+    const LutShape sat(QuantConfig::preset("W4A4"), 8);
+    ASSERT_TRUE(lutBytesSaturated(opPackedLutBytes(sat)));
+    ASSERT_FALSE(lutBytesSaturated(localutBytes(sat)));
+    EXPECT_TRUE(std::isinf(totalReductionRate(sat)));
+    EXPECT_GT(totalReductionRate(sat), 0.0);
+
+    // Just below the boundary the ratio is still finite and real.
+    const LutShape below(QuantConfig::preset("W4A4"), 7);
+    ASSERT_FALSE(lutBytesSaturated(opPackedLutBytes(below)));
+    EXPECT_TRUE(std::isfinite(totalReductionRate(below)));
+}
+
+TEST(Capacity, MaxPackingDegreeSaturationGuards)
+{
+    const QuantConfig cfg = QuantConfig::preset("W4A4");
+
+    // A zero budget fits nothing.
+    EXPECT_EQ(maxPackingDegree(0, cfg, false, false), 0u);
+    EXPECT_EQ(maxPackingDegree(0, cfg, true, true), 0u);
+
+    // A saturated budget must not admit a saturated byte count: W4A4
+    // op-packed saturates at p = 8, so the best honest answer under an
+    // unbounded budget is p = 7 — not pMax picked by comparing two
+    // UINT64_MAX sentinels.
+    constexpr std::uint64_t kMaxBudget =
+        std::numeric_limits<std::uint64_t>::max();
+    EXPECT_EQ(maxPackingDegree(kMaxBudget, cfg, false, false), 7u);
+
+    // Exactly at the largest representable fit the degree is accepted...
+    const std::uint64_t p7Bytes =
+        opPackedLutBytes(LutShape(cfg, 7));
+    ASSERT_FALSE(lutBytesSaturated(p7Bytes));
+    EXPECT_EQ(maxPackingDegree(p7Bytes, cfg, false, false), 7u);
+    // ...and one byte less rolls back to the previous degree.
+    EXPECT_EQ(maxPackingDegree(p7Bytes - 1, cfg, false, false), 6u);
 }
 
 } // namespace

@@ -151,6 +151,40 @@ TEST(PlanCache, SameNameDifferentConfigDoesNotAlias)
     EXPECT_GT(serverPlan.dpusUsed(), small.totalDpus());
 }
 
+TEST(PlanCache, ShardedLookupCountsOneLogicalGemmNotNRankHits)
+{
+    // One sharded lookup is ONE logical GEMM.  A 4-rank column cut of
+    // M = 256 produces four equal 64-row slices that share a single
+    // sub-plan key, so the cold cut is 1 logical miss + 1 shard miss +
+    // 3 shard hits — the per-shard reuse must not inflate the logical
+    // hit counters (the pre-split accounting reported it as 3 hits).
+    const BackendPtr backend = makeBackend("upmem");
+    PlanCache cache;
+    const GemmProblem problem = makeShapeOnlyProblem(
+        256, 256, 16, QuantConfig::preset("W1A3"));
+    ShardSpec spec;
+    spec.numRanks = 4;
+
+    const ShardPlan plan =
+        cache.shardPlanFor(*backend, problem, DesignPoint::LoCaLut, spec);
+    ASSERT_EQ(plan.shards.size(), 4u);
+    PlanCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.shardMisses, 1u);
+    EXPECT_EQ(stats.shardHits, 3u);
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.shardHitRate(), 0.75);
+
+    // A warm logical lookup is one logical hit; no shard traffic at all.
+    cache.shardPlanFor(*backend, problem, DesignPoint::LoCaLut, spec);
+    stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.shardHits, 3u);
+    EXPECT_EQ(stats.shardMisses, 1u);
+}
+
 TEST(PlanCache, ShardConfigIsPartOfTheKey)
 {
     const BackendPtr backend = makeBackend("upmem");
@@ -223,14 +257,18 @@ TEST(PlanCacheStress, ManyThreadsHammeringSharedShapes)
     // planFor() deliberately plans outside the lock, so concurrent
     // workers racing on a cold key may each count a miss — but never
     // more than one per (thread, key), and every other lookup hits.
-    // Sharded lookups also resolve sub-plans through the cache, so
-    // lookups exceed the kThreads * kIters top-level calls.
-    EXPECT_GE(stats.hits + stats.misses, kThreads * kIters);
-    // Each sharded shape cuts into equal slices, so it adds one slice
-    // sub-plan key; 3*2 is a safe upper bound either way.
-    const std::uint64_t distinctKeys = 3 /*plain*/ + 3 /*sharded*/ +
-                                       3 * 2 /*shard slice sub-plans*/;
-    EXPECT_LE(stats.misses, kThreads * distinctKeys);
+    // Logical lookups count exactly the top-level calls; per-shard
+    // sub-plan traffic lands in the separate shard counters.
+    EXPECT_EQ(stats.hits + stats.misses, kThreads * kIters);
+    const std::uint64_t logicalKeys = 3 /*plain*/ + 3 /*sharded*/;
+    EXPECT_LE(stats.misses, kThreads * logicalKeys);
+    // Each sharded shape cuts into equal slices, so it adds at most one
+    // slice sub-plan key; sub-plan lookups happen only on cold cuts
+    // (at most one per thread per sharded shape, 4 slice lookups each).
+    EXPECT_LE(stats.shardMisses, kThreads * 3);
+    EXPECT_LE(stats.shardHits + stats.shardMisses, 4 * kThreads * 3);
+    const std::uint64_t distinctKeys = logicalKeys +
+                                       3 /*shard slice sub-plans*/;
     EXPECT_GE(stats.entries, 6u);
     EXPECT_LE(stats.entries, distinctKeys);
     EXPECT_GT(stats.hits, 0u);
