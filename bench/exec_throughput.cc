@@ -1,0 +1,414 @@
+/**
+ * @file
+ * Functional execution throughput: prepared-operand engine vs ad-hoc
+ * (unprepared) execution vs the frozen pre-engine kernels, on the
+ * fig09-class GEMM and an OPT-125M decode step, across 1/2/4/8 tile
+ * threads.  Emits BENCH_exec.json (the perf trajectory artifact the CI
+ * perf-smoke job archives) and, under --smoke, exits non-zero when
+ * prepared execution fails to keep up with unprepared execution.
+ *
+ * The "legacy" baseline is a frozen copy of the PR-3 canonical
+ * executor (per-call table construction, per-element LUT-object
+ * lookups, per-group allocating canonicalization).  It is kept here —
+ * not in the library — precisely so the engine's speedup stays
+ * measurable after the library kernels were rewritten.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "common/table.h"
+
+using namespace localut;
+
+namespace legacy {
+
+/** Frozen PR-3 packWeights: row-major packed weight vectors. */
+std::vector<std::uint64_t>
+packWeights(const QuantizedMatrix& w, unsigned p, unsigned groups)
+{
+    const unsigned bw = w.codec.bits();
+    std::vector<std::uint64_t> packed(w.rows * groups);
+    std::vector<std::uint16_t> codes(p);
+    for (std::size_t m = 0; m < w.rows; ++m) {
+        for (unsigned g = 0; g < groups; ++g) {
+            for (unsigned i = 0; i < p; ++i) {
+                const std::size_t kk = static_cast<std::size_t>(g) * p + i;
+                codes[i] = kk < w.cols ? w.at(m, kk) : std::uint16_t{0};
+            }
+            packed[m * groups + g] = packCodes(codes, bw);
+        }
+    }
+    return packed;
+}
+
+struct CanonicalPrep {
+    std::vector<std::uint64_t> msRank;
+    std::vector<std::uint32_t> permRank;
+};
+
+/** Frozen PR-3 per-call canonicalization (allocating, per group). */
+CanonicalPrep
+prepare(const QuantizedMatrix& a, unsigned p, unsigned groups)
+{
+    const std::size_t n = a.cols;
+    const LutShape probe(ValueCodec::signedBinary(), a.codec, p);
+    const ActivationCanonicalizer canon(probe);
+    CanonicalPrep prep;
+    prep.msRank.resize(groups * n);
+    prep.permRank.resize(groups * n);
+    std::vector<std::uint16_t> codes(p);
+    for (unsigned g = 0; g < groups; ++g) {
+        for (std::size_t nn = 0; nn < n; ++nn) {
+            for (unsigned i = 0; i < p; ++i) {
+                const std::size_t kk = static_cast<std::size_t>(g) * p + i;
+                codes[i] = kk < a.rows ? a.at(kk, nn) : std::uint16_t{0};
+            }
+            const CanonicalGroup cg = canon.canonicalize(codes);
+            prep.msRank[g * n + nn] = cg.multisetRank;
+            prep.permRank[g * n + nn] = cg.permRank;
+        }
+    }
+    return prep;
+}
+
+/** Frozen PR-3 canonical executor (ReorderLut and SliceStream modes),
+ * including per-call LUT construction. */
+std::vector<std::int32_t>
+canonicalInt(const GemmProblem& problem, unsigned p, bool sliceStream,
+             unsigned kSlices)
+{
+    const QuantizedMatrix& w = problem.w;
+    const QuantizedMatrix& a = problem.a;
+    const std::size_t m = w.rows, k = w.cols, n = a.cols;
+    const unsigned groups = static_cast<unsigned>(ceilDiv(k, std::size_t{p}));
+    const LutShape shape(problem.config(), p);
+    const CanonicalLut canon(shape);
+    const ReorderingLut reorderLut(shape);
+
+    const std::vector<std::uint64_t> wIdx = packWeights(w, p, groups);
+    const CanonicalPrep prep = prepare(a, p, groups);
+
+    std::vector<std::int32_t> out(m * n, 0);
+    if (!sliceStream) {
+        for (std::size_t mm = 0; mm < m; ++mm) {
+            for (std::size_t nn = 0; nn < n; ++nn) {
+                std::int32_t acc = 0;
+                for (unsigned g = 0; g < groups; ++g) {
+                    const std::size_t at = g * n + nn;
+                    const std::uint64_t wi = wIdx[mm * groups + g];
+                    const std::uint64_t reordered =
+                        reorderLut.lookup(prep.permRank[at], wi);
+                    acc += canon.lookupInt(prep.msRank[at], reordered);
+                }
+                out[mm * n + nn] = acc;
+            }
+        }
+        return out;
+    }
+
+    const std::uint64_t rows = shape.weightRows();
+    std::vector<std::int32_t> canonSlices;
+    std::vector<std::uint32_t> reorderSlices;
+    for (std::size_t nn = 0; nn < n; ++nn) {
+        for (unsigned g0 = 0; g0 < groups; g0 += kSlices) {
+            const unsigned batch = std::min(kSlices, groups - g0);
+            canonSlices.assign(static_cast<std::size_t>(batch) * rows, 0);
+            reorderSlices.assign(static_cast<std::size_t>(batch) * rows, 0);
+            for (unsigned b = 0; b < batch; ++b) {
+                const std::size_t at =
+                    static_cast<std::size_t>(g0 + b) * n + nn;
+                const auto col = canon.columnInt(prep.msRank[at]);
+                std::copy(col.begin(), col.end(),
+                          canonSlices.begin() +
+                              static_cast<std::ptrdiff_t>(b * rows));
+                for (std::uint64_t r = 0; r < rows; ++r) {
+                    reorderSlices[b * rows + r] =
+                        reorderLut.lookup(prep.permRank[at], r);
+                }
+            }
+            for (std::size_t mm = 0; mm < m; ++mm) {
+                std::int32_t acc = 0;
+                for (unsigned b = 0; b < batch; ++b) {
+                    const std::uint64_t wi = wIdx[mm * groups + (g0 + b)];
+                    const std::uint32_t reordered =
+                        reorderSlices[b * rows + wi];
+                    acc += canonSlices[b * rows + reordered];
+                }
+                out[mm * n + nn] += acc;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace legacy
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Median wall-clock seconds per call of @p fn. */
+template <typename Fn>
+double
+secondsPerCall(const Fn& fn, double minSeconds, unsigned maxReps)
+{
+    std::vector<double> reps;
+    double elapsed = 0;
+    while ((elapsed < minSeconds && reps.size() < maxReps) || reps.empty()) {
+        const double t0 = now();
+        fn();
+        const double dt = now() - t0;
+        reps.push_back(dt);
+        elapsed += dt;
+    }
+    std::sort(reps.begin(), reps.end());
+    return reps[reps.size() / 2];
+}
+
+struct CaseResult {
+    std::string label;
+    std::string mode;
+    unsigned threads = 1;
+    double seconds = 0;
+
+    double gemmPerSec() const { return seconds > 0 ? 1.0 / seconds : 0; }
+};
+
+std::vector<CaseResult> gResults;
+
+void
+record(const std::string& label, const std::string& mode, unsigned threads,
+       double seconds)
+{
+    gResults.push_back({label, mode, threads, seconds});
+}
+
+const CaseResult*
+find(const std::string& label, const std::string& mode, unsigned threads)
+{
+    for (const CaseResult& r : gResults) {
+        if (r.label == label && r.mode == mode && r.threads == threads) {
+            return &r;
+        }
+    }
+    return nullptr;
+}
+
+void
+writeJson(bool smoke, double vsLegacy, double vsUnprepared,
+          double decodePrepared, double decodeUnprepared)
+{
+    std::FILE* f = std::fopen("BENCH_exec.json", "w");
+    if (f == nullptr) {
+        bench::note("could not open BENCH_exec.json for writing");
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"exec_throughput\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"prepared_vs_legacy_1t\": %.3f,\n", vsLegacy);
+    std::fprintf(f, "  \"prepared_vs_unprepared_1t\": %.3f,\n",
+                 vsUnprepared);
+    std::fprintf(f, "  \"decode_step_prepared_ms\": %.3f,\n",
+                 decodePrepared * 1e3);
+    std::fprintf(f, "  \"decode_step_unprepared_ms\": %.3f,\n",
+                 decodeUnprepared * 1e3);
+    std::fprintf(f, "  \"cases\": [\n");
+    for (std::size_t i = 0; i < gResults.size(); ++i) {
+        const CaseResult& r = gResults[i];
+        std::fprintf(f,
+                     "    {\"case\": \"%s\", \"mode\": \"%s\", "
+                     "\"threads\": %u, \"seconds_per_gemm\": %.6e, "
+                     "\"gemm_per_sec\": %.3f}%s\n",
+                     r.label.c_str(), r.mode.c_str(), r.threads, r.seconds,
+                     r.gemmPerSec(), i + 1 < gResults.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    bench::note("wrote BENCH_exec.json");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::init(argc, argv);
+    bench::header("Exec", "prepared-operand engine throughput "
+                          "(GEMM/s, prepared vs unprepared vs legacy)");
+
+    const bool smoke = bench::smoke();
+    const double minSeconds = smoke ? 0.03 : 0.3;
+    const unsigned maxReps = smoke ? 5 : 25;
+
+    // The fig09-class GEMM (LoCaLUT plan) is the acceptance shape, in
+    // the paper's W1A4 and W4A4 configurations; smoke shrinks it so
+    // `ctest -L smoke` stays fast.
+    const std::size_t m = bench::smokeTrim<std::size_t>(3072, 512);
+    const std::size_t k = bench::smokeTrim<std::size_t>(768, 256);
+    const std::size_t n = bench::smokeTrim<std::size_t>(128, 32);
+    const GemmEngine engine(PimSystemConfig::upmemServer());
+    ExecArena arena;
+    double vsLegacy = 0, vsUnprepared = 0; // headline config (W4A4)
+
+    for (const char* preset : {"W1A4", "W4A4"}) {
+        const QuantConfig cfg = QuantConfig::preset(preset);
+        const GemmProblem problem = makeRandomProblem(m, k, n, cfg, 42);
+        // The reduced smoke shape would plan p = 1 (no tables, nothing
+        // to prepare, a knife-edge gate); force a LUT packing so the
+        // smoke gate measures the path the engine actually serves.
+        PlanOverrides overrides;
+        if (smoke) {
+            overrides.p = 2;
+        }
+        const GemmPlan plan =
+            engine.plan(problem, DesignPoint::LoCaLut, overrides);
+        const std::string label = "fig09_gemm_" + cfg.name();
+
+        bench::section("fig09-class GEMM " + std::to_string(m) + "x" +
+                       std::to_string(k) + "x" + std::to_string(n) + " " +
+                       cfg.name() + " (p=" + std::to_string(plan.p) +
+                       (plan.streaming ? ", streaming" : "") + ")");
+
+        // Reference output for bit-exactness checks across every mode.
+        const std::vector<std::int32_t> reference =
+            referenceGemmInt(problem.w, problem.a);
+
+        auto check = [&](const std::vector<std::int32_t>& out,
+                         const char* mode) {
+            if (out != reference) {
+                LOCALUT_FATAL("mode ", mode,
+                              " diverged from the reference GEMM");
+            }
+        };
+
+        // Legacy (frozen PR-3 kernels, per-call tables), single-thread.
+        {
+            std::vector<std::int32_t> out;
+            const double s = secondsPerCall(
+                [&] {
+                    out = legacy::canonicalInt(problem, plan.p,
+                                               plan.streaming,
+                                               plan.kSlices);
+                },
+                minSeconds, maxReps);
+            check(out, "legacy");
+            record(label, "legacy", 1, s);
+        }
+
+        // Unprepared engine (ad-hoc preparation each call), 1 thread.
+        {
+            std::vector<std::int32_t> out;
+            const double s = secondsPerCall(
+                [&] { executeGemmInt(problem, plan, {}, out); },
+                minSeconds, maxReps);
+            check(out, "unprepared");
+            record(label, "unprepared", 1, s);
+        }
+
+        // Prepared engine across tile-thread counts.
+        const std::shared_ptr<const PreparedGemm> prepared =
+            prepareGemm(problem, plan);
+        for (unsigned threads : {1u, 2u, 4u, 8u}) {
+            std::unique_ptr<TilePool> pool;
+            ExecOptions options;
+            options.prepared = prepared.get();
+            options.arena = &arena;
+            if (threads > 1) {
+                pool = std::make_unique<TilePool>(threads);
+                options.tiles = pool.get();
+            }
+            std::vector<std::int32_t> out;
+            const double s = secondsPerCall(
+                [&] { executeGemmInt(problem, plan, options, out); },
+                minSeconds, maxReps);
+            check(out, "prepared");
+            record(label, "prepared", threads, s);
+        }
+
+        Table table(
+            {"mode", "threads", "s/GEMM", "GEMM/s", "vs legacy 1t"});
+        const double legacySeconds = find(label, "legacy", 1)->seconds;
+        for (const CaseResult& r : gResults) {
+            if (r.label != label) {
+                continue;
+            }
+            table.addRow({r.mode, std::to_string(r.threads),
+                          bench::fmtSeconds(r.seconds),
+                          Table::fmt(r.gemmPerSec(), 1),
+                          Table::fmt(legacySeconds / r.seconds, 2) + "x"});
+        }
+        table.print();
+
+        vsLegacy = legacySeconds / find(label, "prepared", 1)->seconds;
+        vsUnprepared = find(label, "unprepared", 1)->seconds /
+                       find(label, "prepared", 1)->seconds;
+        bench::note("prepared 1t vs legacy:     " +
+                    Table::fmt(vsLegacy, 2) + "x   (target: >= 5x)");
+        bench::note("prepared 1t vs unprepared: " +
+                    Table::fmt(vsUnprepared, 2) + "x");
+    }
+
+    // OPT-125M decode step: every decode GEMM shape weighted by its
+    // per-step execution count, prepared vs unprepared.
+    bench::section("OPT-125M decode step (batch 8, prompt 128)");
+    const QuantConfig decodeCfg = QuantConfig::preset("W4A4");
+    const WorkloadSpec spec =
+        WorkloadSpec::decode(TransformerConfig::opt125m(), 8, 128, 1);
+    double decodePrepared = 0, decodeUnprepared = 0;
+    unsigned shapeIndex = 0;
+    for (const WorkloadGemm& gemm : workloadGemms(spec)) {
+        const GemmProblem p =
+            makeRandomProblem(gemm.m, gemm.k, gemm.n, decodeCfg,
+                              1000 + shapeIndex++);
+        const GemmPlan nodePlan = engine.plan(p, DesignPoint::LoCaLut);
+        std::vector<std::int32_t> out;
+        const double unprep = secondsPerCall(
+            [&] { executeGemmInt(p, nodePlan, {}, out); },
+            minSeconds / 4, maxReps);
+        const std::shared_ptr<const PreparedGemm> nodePrepared =
+            prepareGemm(p, nodePlan);
+        ExecOptions options;
+        options.prepared = nodePrepared.get();
+        options.arena = &arena;
+        const double prep = secondsPerCall(
+            [&] { executeGemmInt(p, nodePlan, options, out); },
+            minSeconds / 4, maxReps);
+        decodeUnprepared += unprep * gemm.count;
+        decodePrepared += prep * gemm.count;
+        record("opt125m_decode_" + std::string(gemm.role), "unprepared", 1,
+               unprep);
+        record("opt125m_decode_" + std::string(gemm.role), "prepared", 1,
+               prep);
+    }
+    bench::note("decode step, unprepared: " +
+                bench::fmtSeconds(decodeUnprepared));
+    bench::note("decode step, prepared:   " +
+                bench::fmtSeconds(decodePrepared));
+
+    writeJson(smoke, vsLegacy, vsUnprepared, decodePrepared,
+              decodeUnprepared);
+
+    // CI gate (perf-smoke job): prepared execution must keep up with
+    // unprepared execution on the smoke shape.  A 0.85 factor absorbs
+    // scheduler noise without letting a real regression through.
+    if (smoke && vsUnprepared < 0.85) {
+        bench::note("FAIL: prepared execution slower than unprepared (" +
+                    Table::fmt(vsUnprepared, 2) + "x < 0.85x)");
+        return 1;
+    }
+    return 0;
+}

@@ -9,6 +9,7 @@
 #include "backend/host_backend.h"
 #include "backend/upmem_backend.h"
 #include "common/logging.h"
+#include "kernels/exec_engine.h"
 
 namespace localut {
 
@@ -89,6 +90,21 @@ Backend::FingerprintBuilder::add(const std::string& value)
         state_ *= 0x100000001b3ull;
     }
     return add(std::uint64_t{value.size()});
+}
+
+GemmResult
+Backend::execute(const GemmProblem& problem, const GemmPlan& plan) const
+{
+    return execute(problem, plan, ExecOptions{});
+}
+
+GemmResult
+Backend::execute(const GemmProblem& problem, const GemmPlan& plan,
+                 bool computeValues) const
+{
+    ExecOptions options;
+    options.computeValues = computeValues;
+    return execute(problem, plan, options);
 }
 
 GemmResult

@@ -30,12 +30,21 @@
 
 namespace localut {
 
+struct ExecOptions; // kernels/exec_engine.h
+
 /** What a backend can and cannot do (queried by sessions and tests). */
 struct BackendCapabilities {
     std::string name;        ///< registry name, e.g. "upmem"
     std::string description; ///< one-line human-readable summary
     bool functionalValues = false; ///< execute() can compute real outputs
     bool honorsOverrides = false;  ///< plan() honors PlanOverrides
+    /**
+     * execute()'s functional pass is the design-independent reference
+     * MAC (host roofline devices): it reads only the decode codebooks
+     * of a PreparedGemm, so serving layers skip caching full LUT
+     * operands (packed indices, tables) for these backends.
+     */
+    bool referenceFunctionalOnly = false;
     unsigned parallelUnits = 0;    ///< DPUs / banks / devices
     std::vector<DesignPoint> designPoints; ///< accepted by plan()
 
@@ -119,10 +128,23 @@ class Backend
     /** Raw event accounting of executing @p plan (no values). */
     virtual KernelCost chargeCosts(const GemmPlan& plan) const = 0;
 
-    /** Executes a plan; @p computeValues controls the functional pass. */
+    /**
+     * Executes a plan.  ExecOptions (kernels/exec_engine.h) carries the
+     * functional-pass switch plus the prepared-operand execution knobs:
+     * a cached PreparedGemm, a scratch ExecArena, and a TileExecutor to
+     * fan the output tiles across threads.  Values are bit-exact
+     * regardless of the options (they only change where and how fast
+     * the functional pass runs).
+     */
     virtual GemmResult execute(const GemmProblem& problem,
                                const GemmPlan& plan,
-                               bool computeValues = true) const = 0;
+                               const ExecOptions& options) const = 0;
+
+    /** execute() with default options / a bare functional-pass switch. */
+    GemmResult execute(const GemmProblem& problem,
+                       const GemmPlan& plan) const;
+    GemmResult execute(const GemmProblem& problem, const GemmPlan& plan,
+                       bool computeValues) const;
 
     /**
      * Charges @p ops scalar-equivalent host operations (the non-GEMM

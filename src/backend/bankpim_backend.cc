@@ -4,7 +4,7 @@
 
 #include "common/bitops.h"
 #include "common/logging.h"
-#include "kernels/functional.h"
+#include "kernels/exec_engine.h"
 
 namespace localut {
 
@@ -136,7 +136,7 @@ BankPimBackend::chargeCosts(const GemmPlan& plan) const
 
 GemmResult
 BankPimBackend::execute(const GemmProblem& problem, const GemmPlan& plan,
-                        bool computeValues) const
+                        const ExecOptions& options) const
 {
     const BankPimResult r = modelRun(plan);
 
@@ -151,25 +151,22 @@ BankPimBackend::execute(const GemmProblem& problem, const GemmPlan& plan,
     result.energy.total = r.energyJ;
     result.energy.joules.add("bank.dynamic+background", r.energyJ);
 
-    if (!computeValues) {
+    if (!options.computeValues) {
         return result;
     }
     LOCALUT_REQUIRE(!problem.w.codes.empty() && !problem.a.codes.empty(),
                     "functional pass needs materialized codes");
+    // The bank model's LoCaLut plan carries streaming = true and the
+    // model's packing degree, so the engine picks the slice-streaming
+    // kernel exactly as the legacy functional executor did.
+    LOCALUT_ASSERT(plan.design == DesignPoint::NaivePim || plan.p == r.p,
+                   "bank-level plan packing degree diverged from model");
     const bool isInt = plan.config.weightCodec.isInteger() &&
                        plan.config.actCodec.isInteger();
-    if (plan.design == DesignPoint::NaivePim) {
-        if (isInt) {
-            result.outInt = functional::naiveInt(problem);
-        } else {
-            result.outFloat = functional::naiveFloat(problem);
-        }
-    } else if (isInt) {
-        result.outInt = functional::canonicalInt(
-            problem, r.p, functional::ReorderMode::SliceStream);
+    if (isInt) {
+        executeGemmInt(problem, plan, options, result.outInt);
     } else {
-        result.outFloat = functional::canonicalFloat(
-            problem, r.p, functional::ReorderMode::SliceStream);
+        executeGemmFloat(problem, plan, options, result.outFloat);
     }
     return result;
 }

@@ -30,8 +30,9 @@ class BankPimBackend : public Backend
 
     KernelCost chargeCosts(const GemmPlan& plan) const override;
 
+    using Backend::execute;
     GemmResult execute(const GemmProblem& problem, const GemmPlan& plan,
-                       bool computeValues = true) const override;
+                       const ExecOptions& options) const override;
 
     CollectiveLinkProfile collectiveProfile() const override;
 

@@ -4,6 +4,7 @@
 
 #include "common/bitops.h"
 #include "common/logging.h"
+#include "kernels/exec_engine.h"
 
 namespace localut {
 
@@ -15,6 +16,7 @@ HostBackend::HostBackend(std::string name, const RooflineDevice& device,
     caps_.description = device_.name + " roofline + reference kernels";
     caps_.functionalValues = true;
     caps_.honorsOverrides = false; // no LUT placement to override
+    caps_.referenceFunctionalOnly = true; // reference MAC, no LUT operands
     caps_.parallelUnits = 1;
     caps_.designPoints = {
         DesignPoint::NaivePim, DesignPoint::Ltc,  DesignPoint::OpLutDram,
@@ -86,7 +88,7 @@ HostBackend::chargeCosts(const GemmPlan& plan) const
 
 GemmResult
 HostBackend::execute(const GemmProblem& problem, const GemmPlan& plan,
-                     bool computeValues) const
+                     const ExecOptions& options) const
 {
     const RooflineResult r =
         rooflineGemm(device_, plan.m, plan.k, plan.n, plan.config.bw(),
@@ -105,16 +107,19 @@ HostBackend::execute(const GemmProblem& problem, const GemmPlan& plan,
     result.energy.total = r.energyJ;
     result.energy.joules.add("host." + device_.name, r.energyJ);
 
-    if (!computeValues) {
+    if (!options.computeValues) {
         return result;
     }
     LOCALUT_REQUIRE(!problem.w.codes.empty() && !problem.a.codes.empty(),
                     "functional pass needs materialized codes");
+    // Host devices always execute the reference MAC whatever the design
+    // point; the engine path adds prepared decode codebooks, arena
+    // scratch, and tiled execution, bit-exact vs referenceGemmInt().
     if (plan.config.weightCodec.isInteger() &&
         plan.config.actCodec.isInteger()) {
-        result.outInt = referenceGemmInt(problem.w, problem.a);
+        executeReferenceInt(problem, options, result.outInt);
     } else {
-        result.outFloat = referenceGemmFloat(problem.w, problem.a);
+        executeReferenceFloat(problem, options, result.outFloat);
     }
     return result;
 }

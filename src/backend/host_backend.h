@@ -40,8 +40,9 @@ class HostBackend : public Backend
 
     KernelCost chargeCosts(const GemmPlan& plan) const override;
 
+    using Backend::execute;
     GemmResult execute(const GemmProblem& problem, const GemmPlan& plan,
-                       bool computeValues = true) const override;
+                       const ExecOptions& options) const override;
 
     void chargeHostOps(double ops, TimingReport& timing,
                        EnergyReport& energy) const override;

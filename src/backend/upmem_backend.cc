@@ -1,5 +1,7 @@
 #include "backend/upmem_backend.h"
 
+#include "kernels/exec_engine.h"
+
 namespace localut {
 
 UpmemBackend::UpmemBackend(const PimSystemConfig& config) : engine_(config)
@@ -37,9 +39,9 @@ UpmemBackend::chargeCosts(const GemmPlan& plan) const
 
 GemmResult
 UpmemBackend::execute(const GemmProblem& problem, const GemmPlan& plan,
-                      bool computeValues) const
+                      const ExecOptions& options) const
 {
-    return engine_.run(problem, plan, computeValues);
+    return engine_.run(problem, plan, options);
 }
 
 std::uint64_t

@@ -1,5 +1,6 @@
 #include "baselines/kmeans.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -26,6 +27,61 @@ distance(const float* a, const float* b, std::size_t dim,
         }
     }
     return d;
+}
+
+/**
+ * Assigns every point to its nearest centroid.  The metric branch and
+ * per-point base pointers are hoisted out of the n x k x dim loop (the
+ * k-means hot loop); distances accumulate in registers, no scratch.
+ * Returns the summed distance of the assignment (the inertia under the
+ * final centroids).
+ */
+template <DistanceMetric kMetric>
+double
+assignPoints(const std::vector<float>& points, std::size_t n,
+             std::size_t dim, const std::vector<float>& centroids,
+             std::vector<std::uint32_t>& assignments)
+{
+    const std::size_t k = centroids.size() / dim;
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float* point = &points[i * dim];
+        double bestD = std::numeric_limits<double>::infinity();
+        std::uint32_t best = 0;
+        for (std::size_t c = 0; c < k; ++c) {
+            const float* centroid = &centroids[c * dim];
+            double d = 0.0;
+            if constexpr (kMetric == DistanceMetric::L2) {
+                for (std::size_t j = 0; j < dim; ++j) {
+                    const double diff = point[j] - centroid[j];
+                    d += diff * diff;
+                }
+            } else {
+                for (std::size_t j = 0; j < dim; ++j) {
+                    d += std::fabs(point[j] - centroid[j]);
+                }
+            }
+            if (d < bestD) {
+                bestD = d;
+                best = static_cast<std::uint32_t>(c);
+            }
+        }
+        assignments[i] = best;
+        total += bestD;
+    }
+    return total;
+}
+
+double
+assignPoints(const std::vector<float>& points, std::size_t n,
+             std::size_t dim, const std::vector<float>& centroids,
+             DistanceMetric metric, std::vector<std::uint32_t>& assignments)
+{
+    return metric == DistanceMetric::L2
+               ? assignPoints<DistanceMetric::L2>(points, n, dim, centroids,
+                                                  assignments)
+               : assignPoints<DistanceMetric::L1>(points, n, dim, centroids,
+                                                  assignments);
 }
 
 } // namespace
@@ -60,30 +116,34 @@ kmeans(const std::vector<float>& points, std::size_t n, std::size_t dim,
     result.centroids.resize(static_cast<std::size_t>(k) * dim);
     result.assignments.resize(n);
 
-    // k-means++ seeding.
+    // k-means++ seeding.  Each pick is O(n): one pass updates the
+    // nearest-centroid distances against the newest centroid while
+    // accumulating a running prefix sum, and the D^2 sample becomes a
+    // binary search over that prefix array instead of a rescan.
     std::vector<double> minDist(n, std::numeric_limits<double>::infinity());
-    std::size_t first = static_cast<std::size_t>(rng.nextBounded(n));
+    std::vector<double> cumDist(n);
+    const std::size_t first = static_cast<std::size_t>(rng.nextBounded(n));
     std::copy(points.begin() + static_cast<std::ptrdiff_t>(first * dim),
               points.begin() + static_cast<std::ptrdiff_t>((first + 1) * dim),
               result.centroids.begin());
     for (unsigned c = 1; c < k; ++c) {
+        const float* newest = &result.centroids[(c - 1) * dim];
         double total = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
-            const double d = distance(&points[i * dim],
-                                      &result.centroids[(c - 1) * dim], dim,
-                                      metric);
+            const double d = distance(&points[i * dim], newest, dim, metric);
             minDist[i] = std::min(minDist[i], d);
             total += minDist[i];
+            cumDist[i] = total;
         }
-        double target = rng.nextDouble() * total;
-        std::size_t chosen = n - 1;
-        for (std::size_t i = 0; i < n; ++i) {
-            target -= minDist[i];
-            if (target <= 0.0) {
-                chosen = i;
-                break;
-            }
-        }
+        const double target = rng.nextDouble() * total;
+        // First index whose cumulative mass reaches the target (the
+        // last point absorbs floating-point shortfall).
+        const auto it =
+            std::lower_bound(cumDist.begin(), cumDist.end(), target);
+        const std::size_t chosen =
+            it == cumDist.end()
+                ? n - 1
+                : static_cast<std::size_t>(it - cumDist.begin());
         std::copy(
             points.begin() + static_cast<std::ptrdiff_t>(chosen * dim),
             points.begin() + static_cast<std::ptrdiff_t>((chosen + 1) * dim),
@@ -91,19 +151,21 @@ kmeans(const std::vector<float>& points, std::size_t n, std::size_t dim,
                                            static_cast<std::size_t>(c) * dim));
     }
 
-    // Lloyd iterations.
+    // Lloyd iterations: assign (hoisted hot loop), then recenter.
     std::vector<double> sums(static_cast<std::size_t>(k) * dim);
     std::vector<std::size_t> counts(k);
     for (unsigned iter = 0; iter < iterations; ++iter) {
+        assignPoints(points, n, dim, result.centroids, metric,
+                     result.assignments);
         std::fill(sums.begin(), sums.end(), 0.0);
         std::fill(counts.begin(), counts.end(), std::size_t{0});
         for (std::size_t i = 0; i < n; ++i) {
-            const std::uint32_t c = nearestCentroid(
-                &points[i * dim], result.centroids, dim, metric);
-            result.assignments[i] = c;
+            const std::uint32_t c = result.assignments[i];
             ++counts[c];
+            const float* point = &points[i * dim];
+            double* sum = &sums[static_cast<std::size_t>(c) * dim];
             for (std::size_t d = 0; d < dim; ++d) {
-                sums[c * dim + d] += points[i * dim + d];
+                sum[d] += point[d];
             }
         }
         for (unsigned c = 0; c < k; ++c) {
@@ -117,14 +179,10 @@ kmeans(const std::vector<float>& points, std::size_t n, std::size_t dim,
         }
     }
 
-    result.inertia = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        result.assignments[i] = nearestCentroid(
-            &points[i * dim], result.centroids, dim, metric);
-        result.inertia += distance(
-            &points[i * dim],
-            &result.centroids[result.assignments[i] * dim], dim, metric);
-    }
+    // Final assignment against the updated centroids; its summed
+    // distance is the inertia (no second distance pass).
+    result.inertia = assignPoints(points, n, dim, result.centroids, metric,
+                                  result.assignments);
     return result;
 }
 

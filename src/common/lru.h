@@ -1,0 +1,49 @@
+#ifndef LOCALUT_COMMON_LRU_H_
+#define LOCALUT_COMMON_LRU_H_
+
+/**
+ * @file
+ * Shared bounded-LRU eviction for the clock-stamped caches
+ * (LutTableCache, PlanCache's prepared-operand memo).  Entries carry a
+ * monotonically-increasing `lastUse` stamp; eviction linearly scans
+ * for the minimum — these caches hold at most a few hundred entries,
+ * and eviction only runs on insert past the bound, so O(entries) per
+ * eviction beats maintaining an intrusive list.
+ */
+
+#include <cstddef>
+
+namespace localut {
+
+/**
+ * Erases lowest-`lastUse` entries of @p map (mapped values expose a
+ * `lastUse` member) while @p needEvict() holds (and the map is
+ * non-empty).  Callers hold their own lock.
+ */
+template <typename Map, typename NeedEvict>
+void
+evictLeastRecentlyUsedWhile(Map& map, const NeedEvict& needEvict)
+{
+    while (!map.empty() && needEvict()) {
+        auto victim = map.begin();
+        for (auto it = map.begin(); it != map.end(); ++it) {
+            if (it->second.lastUse < victim->second.lastUse) {
+                victim = it;
+            }
+        }
+        map.erase(victim);
+    }
+}
+
+/** Count-bounded convenience: evicts until at most @p maxEntries. */
+template <typename Map>
+void
+evictLeastRecentlyUsed(Map& map, std::size_t maxEntries)
+{
+    evictLeastRecentlyUsedWhile(
+        map, [&map, maxEntries] { return map.size() > maxEntries; });
+}
+
+} // namespace localut
+
+#endif // LOCALUT_COMMON_LRU_H_

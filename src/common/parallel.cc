@@ -1,0 +1,157 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace localut {
+
+namespace {
+
+class SerialTiles final : public TileExecutor
+{
+  public:
+    unsigned concurrency() const override { return 1; }
+
+    void
+    run(std::size_t tiles,
+        const std::function<void(std::size_t)>& fn) const override
+    {
+        for (std::size_t i = 0; i < tiles; ++i) {
+            fn(i);
+        }
+    }
+};
+
+} // namespace
+
+const TileExecutor&
+serialTiles()
+{
+    static const SerialTiles executor;
+    return executor;
+}
+
+bool
+TileBatch::drain()
+{
+    bool last = false;
+    for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) {
+            return last;
+        }
+        try {
+            (*fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errorMutex);
+            if (!error) {
+                error = std::current_exception();
+            }
+        }
+        last = done.fetch_add(1, std::memory_order_acq_rel) + 1 == count;
+    }
+}
+
+bool
+TileBatch::settled() const
+{
+    return done.load(std::memory_order_acquire) >= count;
+}
+
+TilePool::TilePool(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { workerLoop(); });
+    }
+}
+
+TilePool::~TilePool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workCv_.notify_all();
+    for (std::thread& worker : workers_) {
+        worker.join();
+    }
+}
+
+unsigned
+TilePool::concurrency() const
+{
+    return static_cast<unsigned>(workers_.size());
+}
+
+void
+TilePool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        workCv_.wait(lock,
+                     [this] { return stopping_ || batch_ != nullptr; });
+        if (batch_ == nullptr) {
+            if (stopping_) {
+                return;
+            }
+            continue;
+        }
+        const std::shared_ptr<TileBatch> batch = batch_;
+        lock.unlock();
+        if (batch->drain()) {
+            std::lock_guard<std::mutex> doneLock(mutex_);
+            doneCv_.notify_all();
+        }
+        lock.lock();
+        // Park until the submitter retires this batch; spinning back to
+        // workCv_ immediately would busy-claim the exhausted range.
+        doneCv_.wait(lock, [this, &batch] {
+            return stopping_ || batch_ != batch;
+        });
+    }
+}
+
+void
+TilePool::run(std::size_t tiles,
+              const std::function<void(std::size_t)>& fn) const
+{
+    if (tiles == 0) {
+        return;
+    }
+    if (tiles == 1 || workers_.empty()) {
+        serialTiles().run(tiles, fn);
+        return;
+    }
+    // One batch at a time; concurrent run() callers queue up here.
+    std::lock_guard<std::mutex> submitLock(submitMutex_);
+    auto batch = std::make_shared<TileBatch>();
+    batch->fn = &fn;
+    batch->count = tiles;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_ = batch;
+    }
+    workCv_.notify_all();
+    // The submitter participates: with no free worker the batch still
+    // completes on this thread alone.
+    if (batch->drain()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        doneCv_.notify_all();
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        doneCv_.wait(lock, [&batch] { return batch->settled(); });
+        batch_ = nullptr;
+    }
+    doneCv_.notify_all(); // release workers parked on batch retirement
+    if (batch->error) {
+        std::rethrow_exception(batch->error);
+    }
+}
+
+} // namespace localut

@@ -1,0 +1,116 @@
+#ifndef LOCALUT_COMMON_PARALLEL_H_
+#define LOCALUT_COMMON_PARALLEL_H_
+
+/**
+ * @file
+ * Tile-execution abstraction for the functional GEMM engine
+ * (kernels/exec_engine.h).  A kernel splits its output into disjoint
+ * tiles and hands the per-tile closure to a TileExecutor; where the
+ * tiles actually run is the executor's business:
+ *
+ *  - serialTiles() runs them inline on the calling thread (the default
+ *    and the zero-allocation steady-state path);
+ *  - TilePool owns a persistent worker pool (benches, tests);
+ *  - InferenceSession implements the interface on its own request
+ *    worker pool, so GEMM tiles and serving requests share threads
+ *    instead of oversubscribing the machine.
+ *
+ * Tiles write disjoint output ranges and read shared state only, so any
+ * executor yields bit-identical results regardless of scheduling; the
+ * contract is merely "invoke fn(0..tiles-1) exactly once each and
+ * return when all have finished".
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace localut {
+
+/**
+ * One tile batch: an atomic claim counter over [0, count).  Shared by
+ * every thread participating in the batch (heap-own it, so a
+ * late-waking worker can still probe an exhausted batch).  The closure
+ * pointer must stay valid until settled() — guaranteed because the
+ * submitter blocks on settlement before returning.
+ */
+struct TileBatch {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex errorMutex;
+    std::exception_ptr error;
+
+    /** Claims and runs tiles until the range is exhausted; returns true
+     * when this call retired the batch's last tile. */
+    bool drain();
+
+    /** Every tile has finished (not merely been claimed). */
+    bool settled() const;
+};
+
+/** Runs a batch of independent tile closures to completion. */
+class TileExecutor
+{
+  public:
+    virtual ~TileExecutor() = default;
+
+    /** Worker threads available to run() (1 = effectively serial). */
+    virtual unsigned concurrency() const = 0;
+
+    /**
+     * Invokes fn(0), ..., fn(tiles - 1), each exactly once, possibly
+     * concurrently, and returns once every invocation has finished.
+     * Rethrows (one of) the closure exceptions, if any, after the batch
+     * has settled.
+     */
+    virtual void run(std::size_t tiles,
+                     const std::function<void(std::size_t)>& fn) const = 0;
+};
+
+/** The inline executor: runs every tile on the calling thread. */
+const TileExecutor& serialTiles();
+
+/**
+ * A persistent worker pool implementing TileExecutor.  The calling
+ * thread participates in the batch (a TilePool(1) still uses 2 threads'
+ * worth of hands, its own plus the caller's claim loop), and run() is
+ * serialized internally so several threads may share one pool.
+ */
+class TilePool final : public TileExecutor
+{
+  public:
+    /** @p threads worker threads; 0 picks hardware_concurrency. */
+    explicit TilePool(unsigned threads);
+    ~TilePool() override;
+
+    TilePool(const TilePool&) = delete;
+    TilePool& operator=(const TilePool&) = delete;
+
+    unsigned concurrency() const override;
+    void run(std::size_t tiles,
+             const std::function<void(std::size_t)>& fn) const override;
+
+  private:
+    void workerLoop();
+
+    mutable std::mutex submitMutex_; ///< serializes run() callers
+    mutable std::mutex mutex_;
+    mutable std::condition_variable workCv_;
+    mutable std::condition_variable doneCv_;
+    /** Current batch (guarded by mutex_; null = idle). */
+    mutable std::shared_ptr<TileBatch> batch_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_COMMON_PARALLEL_H_

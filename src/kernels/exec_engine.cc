@@ -1,0 +1,1214 @@
+#include "kernels/exec_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "kernels/cost_tables.h"
+#include "lut/table_cache.h"
+
+namespace localut {
+
+// ---------------------------------------------------------------- arena
+
+ExecArena::Buffer::~Buffer()
+{
+    if (data != nullptr) {
+        ::operator delete(data, std::align_val_t{64});
+    }
+}
+
+void*
+ExecArena::raw(Buffer& buffer, std::size_t bytes)
+{
+    if (bytes <= buffer.bytes) {
+        return buffer.data;
+    }
+    // Round up to a page so repeated slightly-growing requests do not
+    // churn; buffers never shrink (that is the steady-state guarantee).
+    const std::size_t rounded = (bytes + 4095) & ~std::size_t{4095};
+    if (buffer.data != nullptr) {
+        ::operator delete(buffer.data, std::align_val_t{64});
+        bytesReserved_ -= buffer.bytes;
+        // Cleared before the new allocation: if it throws, the buffer
+        // must not keep a dangling pointer with a stale size.
+        buffer.data = nullptr;
+        buffer.bytes = 0;
+    }
+    buffer.data = ::operator new(rounded, std::align_val_t{64});
+    buffer.bytes = rounded;
+    ++allocations_;
+    bytesReserved_ += rounded;
+    return buffer.data;
+}
+
+std::int32_t*
+ExecArena::i32(unsigned slot, std::size_t n)
+{
+    LOCALUT_ASSERT(slot < kSlots, "arena slot out of range");
+    return typed<std::int32_t>(i32_, slot, n);
+}
+
+float*
+ExecArena::f32(unsigned slot, std::size_t n)
+{
+    LOCALUT_ASSERT(slot < kSlots, "arena slot out of range");
+    return typed<float>(f32_, slot, n);
+}
+
+std::uint64_t*
+ExecArena::u64(unsigned slot, std::size_t n)
+{
+    LOCALUT_ASSERT(slot < kSlots, "arena slot out of range");
+    return typed<std::uint64_t>(u64_, slot, n);
+}
+
+std::uint32_t*
+ExecArena::u32(unsigned slot, std::size_t n)
+{
+    LOCALUT_ASSERT(slot < kSlots, "arena slot out of range");
+    return typed<std::uint32_t>(u32_, slot, n);
+}
+
+std::uint16_t*
+ExecArena::u16(unsigned slot, std::size_t n)
+{
+    LOCALUT_ASSERT(slot < kSlots, "arena slot out of range");
+    return typed<std::uint16_t>(u16_, slot, n);
+}
+
+std::uint8_t*
+ExecArena::u8(unsigned slot, std::size_t n)
+{
+    LOCALUT_ASSERT(slot < kSlots, "arena slot out of range");
+    return typed<std::uint8_t>(u8_, slot, n);
+}
+
+const void**
+ExecArena::ptrs(unsigned slot, std::size_t n)
+{
+    LOCALUT_ASSERT(slot < kSlots, "arena slot out of range");
+    return typed<const void*>(ptrs_, slot, n);
+}
+
+ExecArena&
+ExecArena::threadLocal()
+{
+    static thread_local ExecArena arena;
+    return arena;
+}
+
+// ---------------------------------------------------------- fingerprint
+
+namespace {
+
+constexpr std::uint64_t kFpSeed = 0x51'7a'b1'e0'0c'a1'07'00ull;
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::uint64_t
+weightsFingerprint(const QuantizedMatrix& w)
+{
+    std::uint64_t h = splitmix64(kFpSeed ^ w.rows);
+    h = splitmix64(h ^ w.cols);
+    h = splitmix64(h ^ static_cast<std::uint64_t>(w.codec.kind()));
+    h = splitmix64(h ^ w.codec.bits());
+    const std::uint16_t* codes = w.codes.data();
+    const std::size_t count = w.codes.size();
+    std::size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+        std::uint64_t chunk;
+        std::memcpy(&chunk, codes + i, sizeof chunk);
+        h = splitmix64(h ^ chunk);
+    }
+    std::uint64_t tail = 0;
+    for (; i < count; ++i) {
+        tail = (tail << 16) | codes[i];
+    }
+    return splitmix64(h ^ tail ^ count);
+}
+
+// ---------------------------------------------------------- preparation
+
+namespace {
+
+/** Padded code at a K offset (code 0 decodes to an annihilating value). */
+std::uint16_t
+wCodeAt(const QuantizedMatrix& w, std::size_t mm, std::size_t kk)
+{
+    return kk < w.cols ? w.at(mm, kk) : std::uint16_t{0};
+}
+
+std::uint16_t
+actCodeAt(const QuantizedMatrix& a, std::size_t kk, std::size_t nn)
+{
+    return kk < a.rows ? a.at(kk, nn) : std::uint16_t{0};
+}
+
+/** Functional reorder-mode resolution shared with the legacy API. */
+enum class Mode { Naive, Ltc, Op, CanonExplicit, CanonReorder, CanonStream };
+
+Mode
+modeFor(DesignPoint design, bool streaming)
+{
+    switch (design) {
+      case DesignPoint::NaivePim:  return Mode::Naive;
+      case DesignPoint::Ltc:       return Mode::Ltc;
+      case DesignPoint::OpLutDram:
+      case DesignPoint::OpLut:     return Mode::Op;
+      case DesignPoint::OpLc:      return Mode::CanonExplicit;
+      case DesignPoint::OpLcRc:    return Mode::CanonReorder;
+      case DesignPoint::LoCaLut:
+        return streaming ? Mode::CanonStream : Mode::CanonReorder;
+    }
+    LOCALUT_PANIC("invalid design point");
+}
+
+std::vector<std::int32_t>
+intCodebook(ValueCodec codec)
+{
+    std::vector<std::int32_t> book;
+    if (!codec.isInteger()) {
+        return book;
+    }
+    book.resize(codec.cardinality());
+    for (std::uint64_t c = 0; c < book.size(); ++c) {
+        book[c] = codec.decodeInt(static_cast<std::uint32_t>(c));
+    }
+    return book;
+}
+
+std::vector<float>
+floatCodebook(ValueCodec codec)
+{
+    std::vector<float> book(codec.cardinality());
+    for (std::uint64_t c = 0; c < book.size(); ++c) {
+        book[c] = codec.decode(static_cast<std::uint32_t>(c));
+    }
+    return book;
+}
+
+} // namespace
+
+bool
+PreparedGemm::matches(const GemmProblem& problem, const GemmPlan& plan) const
+{
+    // Weight-content agreement is the caller's contract: the prepared
+    // cache keys on weightsFingerprint(), and direct users hold one
+    // PreparedGemm per problem.  Re-hashing here would put an O(M*K)
+    // pass back on every call — the exact cost this engine removes.
+    return m == problem.m() && k == problem.k() &&
+           config == problem.config() && design == plan.design &&
+           p == plan.p && kSlices == plan.kSlices &&
+           streaming == plan.streaming;
+}
+
+std::uint64_t
+PreparedGemm::bytes() const
+{
+    return wIdxT8.size() + wIdxT16.size() * sizeof(std::uint16_t) +
+           wIdxT64.size() * sizeof(std::uint64_t) + ltcIdx.size() +
+           ltcCoeff.size() * sizeof(std::int64_t) +
+           msBinom.size() * sizeof(std::uint64_t) +
+           (wDecode.size() + aDecode.size()) * sizeof(std::int32_t) +
+           (wDecodeF.size() + aDecodeF.size()) * sizeof(float);
+}
+
+std::shared_ptr<PreparedGemm>
+prepareGemm(const GemmProblem& problem, const GemmPlan& plan,
+            bool useTableCache)
+{
+    LOCALUT_REQUIRE(problem.m() == plan.m && problem.k() == plan.k,
+                    "prepareGemm: plan was resolved for a different shape");
+    LOCALUT_REQUIRE(!problem.w.codes.empty(),
+                    "prepareGemm needs materialized weight codes");
+
+    auto prep = std::make_shared<PreparedGemm>();
+    prep->design = plan.design;
+    prep->config = problem.config();
+    prep->p = plan.p;
+    prep->kSlices = plan.kSlices;
+    prep->streaming = plan.streaming;
+    prep->m = problem.m();
+    prep->k = problem.k();
+    // `weights` stays 0 here: hashing the codes is an O(M*K) pass, so
+    // the caching layer (PlanCache::preparedFor) stamps the fingerprint
+    // it already computed for the cache key.
+
+    prep->wDecode = intCodebook(problem.w.codec);
+    prep->wDecodeF = floatCodebook(problem.w.codec);
+    prep->aDecode = intCodebook(problem.a.codec);
+    prep->aDecodeF = floatCodebook(problem.a.codec);
+
+    const QuantizedMatrix& w = problem.w;
+    const std::size_t m = prep->m, k = prep->k;
+    const Mode mode = modeFor(plan.design, plan.streaming);
+
+    if (mode == Mode::Ltc) {
+        LOCALUT_REQUIRE(prep->config.weightCodec.isInteger() &&
+                            prep->config.actCodec.isInteger(),
+                        "LTC functional path is integer-only");
+        const unsigned g = cost::kLtcGroupSize;
+        const unsigned groups =
+            static_cast<unsigned>(ceilDiv(k, std::size_t{g}));
+        prep->groups = groups;
+        // Affine bit decomposition: decodeInt(code) =
+        // sum_j coeff[j] * bit_j(code) + base.
+        const ValueCodec codec = w.codec;
+        prep->ltcBase = codec.decodeInt(0);
+        prep->ltcCoeff.resize(codec.bits());
+        for (unsigned j = 0; j < codec.bits(); ++j) {
+            prep->ltcCoeff[j] = codec.decodeInt(1u << j) - prep->ltcBase;
+        }
+        // Per-(row, plane, group) table indices, hoisted out of the
+        // executor's innermost loop.
+        const unsigned bw = codec.bits();
+        prep->ltcIdx.resize(m * bw * groups);
+        for (std::size_t mm = 0; mm < m; ++mm) {
+            for (unsigned j = 0; j < bw; ++j) {
+                std::uint8_t* dst =
+                    &prep->ltcIdx[(mm * bw + j) * groups];
+                for (unsigned gg = 0; gg < groups; ++gg) {
+                    unsigned idx = 0;
+                    for (unsigned i = 0; i < g; ++i) {
+                        const std::size_t kk =
+                            static_cast<std::size_t>(gg) * g + i;
+                        if (kk < k && ((w.at(mm, kk) >> j) & 1u)) {
+                            idx |= 1u << i;
+                        }
+                    }
+                    dst[gg] = static_cast<std::uint8_t>(idx);
+                }
+            }
+        }
+        return prep;
+    }
+
+    if (mode == Mode::Naive) {
+        prep->groups = static_cast<unsigned>(ceilDiv(k, std::size_t{1}));
+        return prep;
+    }
+
+    // LUT designs: packed (group-major) weight indices + shared tables.
+    const unsigned p = plan.p;
+    const unsigned groups =
+        static_cast<unsigned>(ceilDiv(k, std::size_t{p}));
+    prep->groups = groups;
+    const unsigned bw = w.codec.bits();
+    const unsigned idxBits = bw * p;
+    std::uint16_t codes[64];
+    LOCALUT_REQUIRE(p <= 64, "packing degree out of range");
+    auto packInto = [&](auto& vec) {
+        vec.resize(static_cast<std::size_t>(groups) * m);
+        for (unsigned g = 0; g < groups; ++g) {
+            auto* dst = &vec[static_cast<std::size_t>(g) * m];
+            for (std::size_t mm = 0; mm < m; ++mm) {
+                for (unsigned i = 0; i < p; ++i) {
+                    codes[i] =
+                        wCodeAt(w, mm, static_cast<std::size_t>(g) * p + i);
+                }
+                dst[mm] = static_cast<
+                    typename std::decay_t<decltype(vec)>::value_type>(
+                    packCodes({codes, p}, bw));
+            }
+        }
+    };
+    // Narrowest storage that holds the packed index: the row sweep is
+    // memory-bound on this stream.
+    if (idxBits <= 8) {
+        packInto(prep->wIdxT8);
+    } else if (idxBits <= 16) {
+        packInto(prep->wIdxT16);
+    } else {
+        packInto(prep->wIdxT64);
+    }
+
+    const LutShape shape(prep->config, p);
+    LutTableCache& cache = LutTableCache::global();
+    switch (mode) {
+      case Mode::Op:
+        prep->opLut = useTableCache
+                          ? cache.opLut(shape)
+                          : std::make_shared<const OperationPackedLut>(shape);
+        break;
+      case Mode::CanonReorder:
+      case Mode::CanonStream:
+        prep->reorderLut =
+            useTableCache
+                ? cache.reorderingLut(shape)
+                : std::make_shared<const ReorderingLut>(shape);
+        [[fallthrough]];
+      case Mode::CanonExplicit:
+        prep->canonicalLut =
+            useTableCache
+                ? cache.canonicalLut(shape)
+                : std::make_shared<const CanonicalLut>(shape);
+        break;
+      default:
+        LOCALUT_PANIC("unreachable");
+    }
+
+    if (mode != Mode::Op) {
+        // Rank tables for the per-call activation canonicalization:
+        // msBinom[i * span + z] = C(z, i + 1), so multiset ranking is a
+        // table walk instead of repeated binomial evaluation.
+        const std::uint64_t alphabet = prep->config.actCodec.cardinality();
+        const std::size_t span = alphabet + p;
+        prep->msBinom.resize(static_cast<std::size_t>(p) * span);
+        for (unsigned i = 0; i < p; ++i) {
+            for (std::size_t z = 0; z < span; ++z) {
+                prep->msBinom[i * span + z] = binomial(z, i + 1);
+            }
+        }
+    }
+    return prep;
+}
+
+// ------------------------------------------------------------ execution
+
+namespace {
+
+// Arena slot conventions.  Caller-thread (shared preparation) buffers
+// and tile-thread scratch use distinct slots per element type, so the
+// serial path can run both out of one arena.
+constexpr unsigned kSlotActA = 0;    ///< u64: aIdx / msRank (column-major)
+constexpr unsigned kSlotPermRank = 0; ///< u32
+constexpr unsigned kSlotPerm = 0;     ///< u8
+constexpr unsigned kSlotAcc = 0;      ///< i32/f32: per-tile accumulator
+constexpr unsigned kSlotFused = 1;    ///< i32/f32: fused slices / tables
+constexpr unsigned kSlotCol = 2;      ///< i32/f32: decoded column scratch
+constexpr unsigned kSlotBatch = 3;    ///< f32: per-batch accumulator
+constexpr unsigned kSlotBuilt = 1;    ///< u8: fused-combo built flags
+constexpr unsigned kSlotSlicePtr = 1; ///< u64: per-group slice pointers
+
+/** One output tile: rows [m0, m1) x columns [n0, n1). */
+struct TileRange {
+    std::size_t m0, m1, n0, n1;
+};
+
+/**
+ * Cuts the output into disjoint tiles: across columns when there are
+ * enough of them to feed every worker, else across rows (each tile then
+ * spans all columns).  Returns the per-tile ranges count; rangeOf()
+ * recovers the bounds from a tile index.
+ */
+struct Tiling {
+    std::size_t m = 0, n = 0;
+    std::size_t tiles = 1;
+    std::size_t chunk = 0;
+    bool overColumns = false;
+
+    TileRange
+    rangeOf(std::size_t tile) const
+    {
+        if (tiles <= 1) {
+            return {0, m, 0, n};
+        }
+        if (overColumns) {
+            const std::size_t n0 = tile * chunk;
+            return {0, m, n0, std::min(n, n0 + chunk)};
+        }
+        const std::size_t m0 = tile * chunk;
+        return {std::min(m, m0), std::min(m, m0 + chunk), 0, n};
+    }
+};
+
+Tiling
+chooseTiling(std::size_t m, std::size_t n, const TileExecutor* tiles)
+{
+    Tiling t;
+    t.m = m;
+    t.n = n;
+    const unsigned conc = tiles != nullptr ? tiles->concurrency() : 1;
+    if (conc <= 1 || m * n == 0) {
+        return t;
+    }
+    // A few tiles per worker for load balance, but no slivers: row
+    // tiles keep >= 16 rows.  Column tiles are preferred whenever the
+    // columns can feed every worker: the kernels do per-column setup
+    // (fused slices, LTC tables, decoded columns), and a row tile
+    // spans all columns, so row tiling duplicates that setup per tile.
+    const std::size_t target = static_cast<std::size_t>(conc) * 4;
+    if (n >= conc) {
+        t.overColumns = true;
+        t.tiles = std::min(n, target);
+        t.chunk = ceilDiv(n, t.tiles);
+        t.tiles = ceilDiv(n, t.chunk);
+    } else if (m >= 32) {
+        t.overColumns = false;
+        t.tiles = std::min(ceilDiv(m, std::size_t{16}), target);
+        t.chunk = ceilDiv(m, t.tiles);
+        t.tiles = ceilDiv(m, t.chunk);
+    }
+    return t;
+}
+
+/**
+ * Shrinks a row tiling to at most @p maxTiles (kernels whose
+ * per-column setup is duplicated across row tiles call this with the
+ * tile count that keeps the duplicated work a small fraction of the
+ * sweep).  No-op for column tilings.
+ */
+void
+capRowTiles(Tiling& t, std::size_t maxTiles)
+{
+    if (t.overColumns || t.tiles <= 1) {
+        return;
+    }
+    t.tiles = std::max<std::size_t>(1, std::min(t.tiles, maxTiles));
+    if (t.tiles <= 1) {
+        t.tiles = 1;
+        t.chunk = 0;
+        return;
+    }
+    t.chunk = ceilDiv(t.m, t.tiles);
+    t.tiles = ceilDiv(t.m, t.chunk);
+}
+
+/** Runs @p fn over every tile — inline when serial (no std::function
+ * materialization, preserving the zero-allocation steady state). */
+template <typename Fn>
+void
+runTiles(const Tiling& tiling, const TileExecutor* tiles, const Fn& fn)
+{
+    if (tiling.tiles <= 1 || tiles == nullptr) {
+        for (std::size_t i = 0; i < tiling.tiles; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    tiles->run(tiling.tiles, std::function<void(std::size_t)>(fn));
+}
+
+/** The tile-local arena: the shared one when serial, per-thread when
+ * the tile may be running on a pool worker. */
+ExecArena&
+tileArena(const Tiling& tiling, const TileExecutor* tiles,
+          ExecArena& callerArena)
+{
+    return (tiling.tiles <= 1 || tiles == nullptr)
+               ? callerArena
+               : ExecArena::threadLocal();
+}
+
+/** Explicit unpack/permute/repack (the LC design point's runtime work). */
+std::uint64_t
+explicitReorder(std::uint64_t wIdx, const std::uint8_t* perm, unsigned p,
+                unsigned bw)
+{
+    std::uint64_t reordered = 0;
+    for (unsigned i = 0; i < p; ++i) {
+        const std::uint64_t code = extractField(wIdx, perm[i], bw);
+        reordered |= code << (i * bw);
+    }
+    return reordered;
+}
+
+// ----------------------------------------------- activation preparation
+
+/**
+ * Column-major canonicalization of every activation group instance:
+ * msRank/permRank/perm at [nn * groups + g].  Stable insertion argsort
+ * + table-driven multiset rank, allocation-free.
+ */
+struct CanonicalActs {
+    const std::uint64_t* msRank = nullptr;
+    const std::uint32_t* permRank = nullptr;
+    const std::uint8_t* perm = nullptr;
+};
+
+CanonicalActs
+prepCanonicalActs(const QuantizedMatrix& a, unsigned p, unsigned groups,
+                  const PreparedGemm& prep, ExecArena& arena)
+{
+    const std::size_t n = a.cols;
+    const std::size_t instances = static_cast<std::size_t>(groups) * n;
+    std::uint64_t* msRank = arena.u64(kSlotActA, instances);
+    std::uint32_t* permRank = arena.u32(kSlotPermRank, instances);
+    std::uint8_t* perm = arena.u8(kSlotPerm, instances * p);
+    const std::size_t span = prep.config.actCodec.cardinality() + p;
+    const std::uint64_t* binom = prep.msBinom.data();
+
+    std::uint16_t codes[64];
+    std::uint8_t order[64];
+    for (std::size_t nn = 0; nn < n; ++nn) {
+        for (unsigned g = 0; g < groups; ++g) {
+            for (unsigned i = 0; i < p; ++i) {
+                codes[i] =
+                    actCodeAt(a, static_cast<std::size_t>(g) * p + i, nn);
+            }
+            // Stable insertion argsort (p <= 12).
+            for (unsigned i = 0; i < p; ++i) {
+                const std::uint16_t code = codes[i];
+                unsigned j = i;
+                while (j > 0 && codes[order[j - 1]] > code) {
+                    order[j] = order[j - 1];
+                    --j;
+                }
+                order[j] = static_cast<std::uint8_t>(i);
+            }
+            // Multiset rank of the sorted codes (colex rank sum).
+            std::uint64_t ms = 0;
+            for (unsigned i = 0; i < p; ++i) {
+                ms += binom[i * span + codes[order[i]] + i];
+            }
+            // Lehmer rank of the argsort permutation.
+            std::uint32_t pr = 0;
+            for (unsigned i = 0; i < p; ++i) {
+                unsigned smaller = 0;
+                for (unsigned j = i + 1; j < p; ++j) {
+                    if (order[j] < order[i]) {
+                        ++smaller;
+                    }
+                }
+                pr = pr * (p - i) + smaller;
+            }
+            const std::size_t at = nn * groups + g;
+            msRank[at] = ms;
+            permRank[at] = pr;
+            std::uint8_t* dst = perm + at * p;
+            for (unsigned i = 0; i < p; ++i) {
+                dst[i] = order[i];
+            }
+        }
+    }
+    return {msRank, permRank, perm};
+}
+
+/** Column-major packed activation indices aIdx[nn * groups + g]. */
+const std::uint64_t*
+prepPackedActs(const QuantizedMatrix& a, unsigned p, unsigned groups,
+               ExecArena& arena)
+{
+    const std::size_t n = a.cols;
+    std::uint64_t* aIdx =
+        arena.u64(kSlotActA, static_cast<std::size_t>(groups) * n);
+    const unsigned ba = a.codec.bits();
+    std::uint16_t codes[64];
+    for (std::size_t nn = 0; nn < n; ++nn) {
+        for (unsigned g = 0; g < groups; ++g) {
+            for (unsigned i = 0; i < p; ++i) {
+                codes[i] =
+                    actCodeAt(a, static_cast<std::size_t>(g) * p + i, nn);
+            }
+            aIdx[nn * groups + g] = packCodes({codes, p}, ba);
+        }
+    }
+    return aIdx;
+}
+
+// ------------------------------------------------------------- kernels
+
+/**
+ * Shared accumulate-into-column helper: zeroes @p acc, then the caller
+ * streams group slices into it; writeColumn() scatters to the strided
+ * output column.
+ */
+template <typename T>
+void
+writeColumn(const T* acc, T* out, std::size_t n, std::size_t nn,
+            std::size_t m0, std::size_t m1)
+{
+    for (std::size_t mm = m0; mm < m1; ++mm) {
+        out[mm * n + nn] = acc[mm - m0];
+    }
+}
+
+/** Narrow-width packed weight index dispatch: invokes @p fn with the
+ * populated wIdxT pointer (exactly one variant is filled). */
+template <typename Fn>
+void
+withWeightIndices(const PreparedGemm& prep, const Fn& fn)
+{
+    if (!prep.wIdxT8.empty()) {
+        fn(prep.wIdxT8.data());
+    } else if (!prep.wIdxT16.empty()) {
+        fn(prep.wIdxT16.data());
+    } else {
+        fn(prep.wIdxT64.data());
+    }
+}
+
+/** OP sweep: out(mm, nn) = sum_g opLut[aIdx(nn, g)][wIdxT(g, mm)]. */
+template <typename T, typename I>
+void
+opKernel(const PreparedGemm& prep, const I* wIdxT,
+         const std::uint64_t* aIdx, const T* table, std::uint64_t rows,
+         std::size_t n, const TileRange& range, ExecArena& arena, T* out)
+{
+    const std::size_t m = prep.m;
+    const unsigned groups = prep.groups;
+    const std::size_t span = range.m1 - range.m0;
+    T* acc;
+    if constexpr (std::is_same_v<T, std::int32_t>) {
+        acc = arena.i32(kSlotAcc, span);
+    } else {
+        acc = arena.f32(kSlotAcc, span);
+    }
+    for (std::size_t nn = range.n0; nn < range.n1; ++nn) {
+        std::fill(acc, acc + span, T{});
+        const std::uint64_t* aCol = aIdx + nn * groups;
+        for (unsigned g = 0; g < groups; ++g) {
+            const T* slice = table + aCol[g] * rows;
+            const I* wg = wIdxT + static_cast<std::size_t>(g) * m;
+            for (std::size_t mm = range.m0; mm < range.m1; ++mm) {
+                acc[mm - range.m0] += slice[wg[mm]];
+            }
+        }
+        writeColumn(acc, out, n, nn, range.m0, range.m1);
+    }
+}
+
+/**
+ * Canonical fused sweep: per column, collapse (reordering o canonical)
+ * into one direct slice per group — fused[wIdx] =
+ * canonical[msRank][reorder(wIdx)] — then stream rows against the fused
+ * slices exactly like the OP kernel.  Float accumulation is batched by
+ * @p batch groups (the slice window under streaming) to reproduce the
+ * legacy slice-streaming summation order bit-exactly.
+ */
+template <typename T, bool kInt, typename I>
+void
+canonicalFusedKernel(const PreparedGemm& prep, const I* wIdxT,
+                     const CanonicalActs& acts, Mode mode, unsigned batch,
+                     std::size_t n, const TileRange& range,
+                     ExecArena& arena, T* out)
+{
+    const std::size_t m = prep.m;
+    const unsigned groups = prep.groups;
+    const unsigned p = prep.p;
+    const unsigned bw = prep.config.weightCodec.bits();
+    const CanonicalLut& canon = *prep.canonicalLut;
+    const std::uint64_t rows = canon.rows();
+    const T* canonData;
+    if constexpr (kInt) {
+        canonData = canon.dataInt();
+    } else {
+        canonData = canon.dataFloat();
+    }
+    const std::uint32_t* reorderData =
+        prep.reorderLut != nullptr ? prep.reorderLut->data() : nullptr;
+
+    // A fused slice is a pure function of (msRank, permRank).  When
+    // that combo space is small — the common small-p case — memoize
+    // slices per combo for the whole tile instead of rebuilding them
+    // per (column, group): a 3072x768x128 W4A4 GEMM has ~49k group
+    // instances but only 272 distinct combos.
+    const std::uint64_t permCols =
+        prep.reorderLut != nullptr ? prep.reorderLut->cols()
+                                   : factorial(p);
+    // Overflow-safe: only multiply once both factors are small.
+    const bool smallCombo = canon.cols() <= 4096 && permCols <= 4096;
+    const std::uint64_t combos =
+        smallCombo ? canon.cols() * permCols : 0;
+    const bool memoize = canonData != nullptr && smallCombo &&
+                         combos <= 4096 &&
+                         combos * rows <= (std::uint64_t{1} << 22);
+    const std::size_t fusedSlices =
+        memoize ? static_cast<std::size_t>(combos)
+                : static_cast<std::size_t>(groups);
+
+    const std::size_t span = range.m1 - range.m0;
+    T *acc, *accBatch, *fused, *colScratch;
+    if constexpr (kInt) {
+        acc = arena.i32(kSlotAcc, span);
+        accBatch = nullptr;
+        fused = arena.i32(kSlotFused, fusedSlices * rows);
+        colScratch = canonData == nullptr ? arena.i32(kSlotCol, rows)
+                                          : nullptr;
+    } else {
+        acc = arena.f32(kSlotAcc, span);
+        accBatch = arena.f32(kSlotBatch, span);
+        fused = arena.f32(kSlotFused, fusedSlices * rows);
+        colScratch = canonData == nullptr ? arena.f32(kSlotCol, rows)
+                                          : nullptr;
+    }
+    std::uint8_t* built = nullptr;
+    if (memoize) {
+        built = arena.u8(kSlotBuilt, static_cast<std::size_t>(combos));
+        std::fill(built, built + combos, std::uint8_t{0});
+    }
+    const void** slice = arena.ptrs(kSlotSlicePtr, groups);
+
+    auto buildSlice = [&](std::size_t at, T* dst) {
+        const T* col;
+        if (canonData != nullptr) {
+            col = canonData + acts.msRank[at] * rows;
+        } else {
+            if constexpr (kInt) {
+                canon.columnIntInto(acts.msRank[at], colScratch);
+            } else {
+                canon.columnFloatInto(acts.msRank[at], colScratch);
+            }
+            col = colScratch;
+        }
+        if (mode == Mode::CanonExplicit) {
+            const std::uint8_t* perm = acts.perm + at * p;
+            for (std::uint64_t wi = 0; wi < rows; ++wi) {
+                dst[wi] = col[explicitReorder(wi, perm, p, bw)];
+            }
+        } else {
+            const std::uint32_t* rCol =
+                reorderData + acts.permRank[at] * rows;
+            for (std::uint64_t wi = 0; wi < rows; ++wi) {
+                dst[wi] = col[rCol[wi]];
+            }
+        }
+    };
+
+    for (std::size_t nn = range.n0; nn < range.n1; ++nn) {
+        // Resolve this column's fused slices (lookups hoisted out of
+        // the row sweep), building each distinct combo at most once
+        // per tile when memoizing.
+        for (unsigned g = 0; g < groups; ++g) {
+            const std::size_t at = nn * groups + g;
+            if (memoize) {
+                const std::size_t combo = static_cast<std::size_t>(
+                    acts.msRank[at] * permCols + acts.permRank[at]);
+                T* dst = fused + combo * rows;
+                if (!built[combo]) {
+                    buildSlice(at, dst);
+                    built[combo] = 1;
+                }
+                slice[g] = dst;
+            } else {
+                T* dst = fused + static_cast<std::size_t>(g) * rows;
+                buildSlice(at, dst);
+                slice[g] = dst;
+            }
+        }
+        // Row sweep against the fused slices.  Integer accumulation is
+        // order-independent; float accumulation must reproduce the
+        // legacy order exactly: direct group-ascending sums normally,
+        // per-slice-window partial sums folded in under streaming.
+        std::fill(acc, acc + span, T{});
+        if (kInt || mode != Mode::CanonStream) {
+            for (unsigned g = 0; g < groups; ++g) {
+                const T* f = static_cast<const T*>(slice[g]);
+                const I* wg = wIdxT + static_cast<std::size_t>(g) * m;
+                for (std::size_t mm = range.m0; mm < range.m1; ++mm) {
+                    acc[mm - range.m0] += f[wg[mm]];
+                }
+            }
+        } else {
+            for (unsigned g0 = 0; g0 < groups; g0 += batch) {
+                const unsigned gEnd = std::min(groups, g0 + batch);
+                std::fill(accBatch, accBatch + span, T{});
+                for (unsigned g = g0; g < gEnd; ++g) {
+                    const T* f = static_cast<const T*>(slice[g]);
+                    const I* wg = wIdxT + static_cast<std::size_t>(g) * m;
+                    for (std::size_t mm = range.m0; mm < range.m1; ++mm) {
+                        accBatch[mm - range.m0] += f[wg[mm]];
+                    }
+                }
+                for (std::size_t i = 0; i < span; ++i) {
+                    acc[i] += accBatch[i];
+                }
+            }
+        }
+        writeColumn(acc, out, n, nn, range.m0, range.m1);
+    }
+}
+
+/**
+ * Canonical direct sweep (no fused slices): the per-element double
+ * lookup, for shapes whose weight-row space dwarfs the row count (slice
+ * fusion would cost more than it saves).
+ */
+template <typename T, bool kInt, typename I>
+void
+canonicalDirectKernel(const PreparedGemm& prep, const I* wIdxT,
+                      const CanonicalActs& acts, Mode mode, unsigned batch,
+                      std::size_t n, const TileRange& range, T* out)
+{
+    const std::size_t m = prep.m;
+    const unsigned groups = prep.groups;
+    const unsigned p = prep.p;
+    const unsigned bw = prep.config.weightCodec.bits();
+    const CanonicalLut& canon = *prep.canonicalLut;
+    const std::uint64_t rows = canon.rows();
+    const T* canonData;
+    if constexpr (kInt) {
+        canonData = canon.dataInt();
+    } else {
+        canonData = canon.dataFloat();
+    }
+    const std::uint32_t* reorderData =
+        prep.reorderLut != nullptr ? prep.reorderLut->data() : nullptr;
+
+    auto entry = [&](unsigned g, std::size_t nn, std::size_t mm) {
+        const std::size_t at = nn * groups + g;
+        const std::uint64_t wi = wIdxT[static_cast<std::size_t>(g) * m + mm];
+        std::uint64_t reordered;
+        if (mode == Mode::CanonExplicit) {
+            reordered = explicitReorder(wi, acts.perm + at * p, p, bw);
+        } else {
+            reordered = reorderData[acts.permRank[at] * rows + wi];
+        }
+        if (canonData != nullptr) {
+            return canonData[acts.msRank[at] * rows + reordered];
+        }
+        if constexpr (kInt) {
+            return canon.lookupInt(acts.msRank[at], reordered);
+        } else {
+            return canon.lookupFloat(acts.msRank[at], reordered);
+        }
+    };
+
+    for (std::size_t nn = range.n0; nn < range.n1; ++nn) {
+        for (std::size_t mm = range.m0; mm < range.m1; ++mm) {
+            T acc{};
+            if (kInt || mode != Mode::CanonStream) {
+                for (unsigned g = 0; g < groups; ++g) {
+                    acc += entry(g, nn, mm);
+                }
+            } else {
+                // Legacy streaming order: per-window partials folded in.
+                for (unsigned g0 = 0; g0 < groups; g0 += batch) {
+                    const unsigned gEnd = std::min(groups, g0 + batch);
+                    T accB{};
+                    for (unsigned g = g0; g < gEnd; ++g) {
+                        accB += entry(g, nn, mm);
+                    }
+                    acc += accB;
+                }
+            }
+            out[mm * n + nn] = acc;
+        }
+    }
+}
+
+/** LTC sweep (integer-only): per-column runtime tables + precomputed
+ * weight plane indices. */
+void
+ltcKernel(const PreparedGemm& prep, const QuantizedMatrix& a, std::size_t n,
+          const TileRange& range, ExecArena& arena, std::int32_t* out)
+{
+    const unsigned g = cost::kLtcGroupSize;
+    const unsigned entries = cost::kLtcTableEntries;
+    const unsigned groups = prep.groups;
+    const unsigned bw = prep.config.weightCodec.bits();
+    const std::size_t k = prep.k;
+    const std::int32_t* aDec = prep.aDecode.data();
+    std::int32_t* table =
+        arena.i32(kSlotFused, static_cast<std::size_t>(groups) * entries);
+
+    for (std::size_t nn = range.n0; nn < range.n1; ++nn) {
+        std::int64_t colSum = 0;
+        for (unsigned gg = 0; gg < groups; ++gg) {
+            std::int32_t av[cost::kLtcGroupSize] = {};
+            for (unsigned i = 0; i < g; ++i) {
+                const std::size_t kk = static_cast<std::size_t>(gg) * g + i;
+                av[i] = kk < k ? aDec[a.at(kk, nn)] : 0;
+                colSum += av[i];
+            }
+            for (unsigned idx = 0; idx < entries; ++idx) {
+                std::int32_t sum = 0;
+                for (unsigned i = 0; i < g; ++i) {
+                    if (idx & (1u << i)) {
+                        sum += av[i];
+                    }
+                }
+                table[gg * entries + idx] = sum;
+            }
+        }
+        for (std::size_t mm = range.m0; mm < range.m1; ++mm) {
+            std::int64_t acc = 0;
+            const std::uint8_t* rowIdx = &prep.ltcIdx[mm * bw * groups];
+            for (unsigned j = 0; j < bw; ++j) {
+                std::int64_t planeSum = 0;
+                const std::uint8_t* idx = rowIdx + j * groups;
+                for (unsigned gg = 0; gg < groups; ++gg) {
+                    planeSum += table[gg * entries + idx[gg]];
+                }
+                acc += prep.ltcCoeff[j] * planeSum;
+            }
+            acc += prep.ltcBase * colSum;
+            out[mm * n + nn] = static_cast<std::int32_t>(acc);
+        }
+    }
+}
+
+/** Plain MAC (NaivePim + the host reference), codebook-decoded. */
+void
+naiveIntKernel(const PreparedGemm& prep, const GemmProblem& problem,
+               std::size_t n, const TileRange& range, ExecArena& arena,
+               std::int32_t* out)
+{
+    const std::size_t k = prep.k;
+    const std::int32_t* wDec = prep.wDecode.data();
+    const std::int32_t* aDec = prep.aDecode.data();
+    const std::uint16_t* wCodes = problem.w.codes.data();
+    std::int32_t* aCol = arena.i32(kSlotCol, k);
+    for (std::size_t nn = range.n0; nn < range.n1; ++nn) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            aCol[kk] = aDec[problem.a.at(kk, nn)];
+        }
+        for (std::size_t mm = range.m0; mm < range.m1; ++mm) {
+            const std::uint16_t* wRow = wCodes + mm * k;
+            std::int32_t acc = 0;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                acc += wDec[wRow[kk]] * aCol[kk];
+            }
+            out[mm * n + nn] = acc;
+        }
+    }
+}
+
+/** Float MAC, replicating referenceGemmFloat()'s zero-weight skip (a
+ * NaN activation times a skipped zero weight must stay skipped). */
+void
+naiveFloatKernel(const PreparedGemm& prep, const GemmProblem& problem,
+                 std::size_t n, const TileRange& range, ExecArena& arena,
+                 float* out)
+{
+    const std::size_t k = prep.k;
+    const float* wDec = prep.wDecodeF.data();
+    const float* aDec = prep.aDecodeF.data();
+    const std::uint16_t* wCodes = problem.w.codes.data();
+    float* aCol = arena.f32(kSlotCol, k);
+    for (std::size_t nn = range.n0; nn < range.n1; ++nn) {
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            aCol[kk] = aDec[problem.a.at(kk, nn)];
+        }
+        for (std::size_t mm = range.m0; mm < range.m1; ++mm) {
+            const std::uint16_t* wRow = wCodes + mm * k;
+            float acc = 0.0f;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const float wv = wDec[wRow[kk]];
+                if (wv == 0.0f) {
+                    continue;
+                }
+                acc += wv * aCol[kk];
+            }
+            out[mm * n + nn] = acc;
+        }
+    }
+}
+
+// ----------------------------------------------------------- dispatch
+
+/** Fused-slice heuristic: fusing costs groups * rows per column and
+ * saves a dependent lookup per (row, group); profitable unless the
+ * weight-row space dwarfs the row count. */
+bool
+useFusedSlices(std::uint64_t rows, std::size_t m)
+{
+    return rows <= std::max<std::uint64_t>(4 * m, 64);
+}
+
+template <typename T, bool kInt>
+void
+executeTyped(const GemmProblem& problem, const GemmPlan& plan,
+             const ExecOptions& options, std::vector<T>& out)
+{
+    LOCALUT_REQUIRE(!problem.w.codes.empty() && !problem.a.codes.empty(),
+                    "functional execution needs materialized codes");
+    std::shared_ptr<const PreparedGemm> owned;
+    const PreparedGemm* prep = options.prepared;
+    if (prep == nullptr) {
+        owned = prepareGemm(problem, plan);
+        prep = owned.get();
+    } else {
+        LOCALUT_REQUIRE(prep->matches(problem, plan),
+                        "prepared operand does not match this "
+                        "(problem, plan)");
+    }
+    ExecArena& arena =
+        options.arena != nullptr ? *options.arena : ExecArena::threadLocal();
+    const std::size_t m = problem.m(), n = problem.n();
+    out.resize(m * n);
+    T* outData = out.data();
+    const Mode mode = modeFor(plan.design, plan.streaming);
+    const Tiling tiling = chooseTiling(m, n, options.tiles);
+    const TileExecutor* tiles = options.tiles;
+
+    switch (mode) {
+      case Mode::Naive: {
+        runTiles(tiling, tiles, [&](std::size_t tile) {
+            ExecArena& ta = tileArena(tiling, tiles, arena);
+            if constexpr (kInt) {
+                naiveIntKernel(*prep, problem, n, tiling.rangeOf(tile), ta,
+                               outData);
+            } else {
+                naiveFloatKernel(*prep, problem, n, tiling.rangeOf(tile),
+                                 ta, outData);
+            }
+        });
+        return;
+      }
+      case Mode::Ltc: {
+        if constexpr (!kInt) {
+            LOCALUT_PANIC("LTC functional path is integer-only");
+        } else {
+            // Row tiles rebuild every column's runtime tables (16
+            // entries per group); cap the duplication at ~25% of the
+            // per-tile sweep (chunk rows x bw planes x groups).
+            Tiling ltcTiling = tiling;
+            capRowTiles(ltcTiling,
+                        std::max<std::size_t>(
+                            1, m * prep->config.weightCodec.bits() /
+                                   (4 * cost::kLtcTableEntries)));
+            runTiles(ltcTiling, tiles, [&](std::size_t tile) {
+                ltcKernel(*prep, problem.a, n, ltcTiling.rangeOf(tile),
+                          tileArena(ltcTiling, tiles, arena), outData);
+            });
+        }
+        return;
+      }
+      case Mode::Op: {
+        const std::uint64_t* aIdx =
+            prepPackedActs(problem.a, prep->p, prep->groups, arena);
+        const OperationPackedLut& lut = *prep->opLut;
+        const T* table;
+        if constexpr (kInt) {
+            table = lut.dataInt();
+        } else {
+            table = lut.dataFloat();
+        }
+        LOCALUT_REQUIRE(table != nullptr,
+                        "operation-packed LUT has no entries for this "
+                        "element type");
+        runTiles(tiling, tiles, [&](std::size_t tile) {
+            withWeightIndices(*prep, [&](const auto* wIdxT) {
+                opKernel<T>(*prep, wIdxT, aIdx, table, lut.rows(), n,
+                            tiling.rangeOf(tile),
+                            tileArena(tiling, tiles, arena), outData);
+            });
+        });
+        return;
+      }
+      case Mode::CanonExplicit:
+      case Mode::CanonReorder:
+      case Mode::CanonStream: {
+        const CanonicalActs acts = prepCanonicalActs(
+            problem.a, prep->p, prep->groups, *prep, arena);
+        const unsigned batch = mode == Mode::CanonStream
+                                   ? std::max(1u, prep->kSlices)
+                                   : prep->groups;
+        if (useFusedSlices(prep->canonicalLut->rows(), m)) {
+            // Row tiles rebuild every column's fused slices (rows
+            // entries per group); keep that duplication under ~25% of
+            // the per-tile sweep (chunk rows x groups lookups).
+            Tiling fusedTiling = tiling;
+            capRowTiles(fusedTiling,
+                        std::max<std::size_t>(
+                            1, m / (4 * prep->canonicalLut->rows())));
+            runTiles(fusedTiling, tiles, [&](std::size_t tile) {
+                withWeightIndices(*prep, [&](const auto* wIdxT) {
+                    canonicalFusedKernel<T, kInt>(
+                        *prep, wIdxT, acts, mode, batch, n,
+                        fusedTiling.rangeOf(tile),
+                        tileArena(fusedTiling, tiles, arena), outData);
+                });
+            });
+        } else {
+            runTiles(tiling, tiles, [&](std::size_t tile) {
+                withWeightIndices(*prep, [&](const auto* wIdxT) {
+                    canonicalDirectKernel<T, kInt>(
+                        *prep, wIdxT, acts, mode, batch, n,
+                        tiling.rangeOf(tile), outData);
+                });
+            });
+        }
+        return;
+      }
+    }
+    LOCALUT_PANIC("invalid execution mode");
+}
+
+} // namespace
+
+void
+executeGemmInt(const GemmProblem& problem, const GemmPlan& plan,
+               const ExecOptions& options, std::vector<std::int32_t>& out)
+{
+    LOCALUT_REQUIRE(problem.config().weightCodec.isInteger() &&
+                        problem.config().actCodec.isInteger(),
+                    "integer execution on float codecs");
+    executeTyped<std::int32_t, true>(problem, plan, options, out);
+}
+
+void
+executeGemmFloat(const GemmProblem& problem, const GemmPlan& plan,
+                 const ExecOptions& options, std::vector<float>& out)
+{
+    executeTyped<float, false>(problem, plan, options, out);
+}
+
+namespace {
+
+template <typename T, bool kInt>
+void
+executeReferenceTyped(const GemmProblem& problem,
+                      const ExecOptions& options, std::vector<T>& out)
+{
+    LOCALUT_REQUIRE(!problem.w.codes.empty() && !problem.a.codes.empty(),
+                    "functional execution needs materialized codes");
+    // The reference MAC only needs the decode codebooks, so any
+    // preparation of the same problem fits regardless of design point.
+    std::shared_ptr<const PreparedGemm> owned;
+    const PreparedGemm* prep = options.prepared;
+    if (prep == nullptr) {
+        GemmPlan plan(DesignPoint::NaivePim, problem.config());
+        plan.m = problem.m();
+        plan.k = problem.k();
+        plan.n = problem.n();
+        owned = prepareGemm(problem, plan);
+        prep = owned.get();
+    } else {
+        LOCALUT_REQUIRE(prep->m == problem.m() && prep->k == problem.k() &&
+                            prep->config == problem.config(),
+                        "prepared operand does not match this problem");
+    }
+    ExecArena& arena =
+        options.arena != nullptr ? *options.arena : ExecArena::threadLocal();
+    const std::size_t m = problem.m(), n = problem.n();
+    out.resize(m * n);
+    T* outData = out.data();
+    const Tiling tiling = chooseTiling(m, n, options.tiles);
+    const TileExecutor* tiles = options.tiles;
+    runTiles(tiling, tiles, [&](std::size_t tile) {
+        ExecArena& ta = tileArena(tiling, tiles, arena);
+        if constexpr (kInt) {
+            naiveIntKernel(*prep, problem, n, tiling.rangeOf(tile), ta,
+                           outData);
+        } else {
+            naiveFloatKernel(*prep, problem, n, tiling.rangeOf(tile), ta,
+                             outData);
+        }
+    });
+}
+
+} // namespace
+
+void
+executeReferenceInt(const GemmProblem& problem, const ExecOptions& options,
+                    std::vector<std::int32_t>& out)
+{
+    LOCALUT_REQUIRE(problem.config().weightCodec.isInteger() &&
+                        problem.config().actCodec.isInteger(),
+                    "integer execution on float codecs");
+    executeReferenceTyped<std::int32_t, true>(problem, options, out);
+}
+
+void
+executeReferenceFloat(const GemmProblem& problem,
+                      const ExecOptions& options, std::vector<float>& out)
+{
+    executeReferenceTyped<float, false>(problem, options, out);
+}
+
+} // namespace localut

@@ -1,75 +1,48 @@
 #include "kernels/functional.h"
 
-#include <array>
-#include <memory>
-
 #include "common/bitops.h"
 #include "common/logging.h"
-#include "kernels/cost_tables.h"
-#include "lut/canonical_lut.h"
-#include "lut/canonicalizer.h"
-#include "lut/packed_lut.h"
-#include "lut/reordering_lut.h"
+#include "kernels/exec_engine.h"
 
 namespace localut {
 namespace functional {
 
 namespace {
 
-/** Padded activation group codes at (group, column): code 0 decodes to a
- *  zero value for every activation codec, annihilating any weight pad. */
-std::uint16_t
-actCodeAt(const QuantizedMatrix& a, std::size_t k, std::size_t n)
-{
-    return k < a.rows ? a.at(k, n) : std::uint16_t{0};
-}
-
-std::uint16_t
-wCodeAt(const QuantizedMatrix& w, std::size_t m, std::size_t k)
-{
-    return k < w.cols ? w.at(m, k) : std::uint16_t{0};
-}
-
-/** Packed weight vectors, wIdx[m * groups + g]. */
-std::vector<std::uint64_t>
-packWeights(const QuantizedMatrix& w, unsigned p, unsigned groups)
-{
-    const unsigned bw = w.codec.bits();
-    std::vector<std::uint64_t> packed(w.rows * groups);
-    std::vector<std::uint16_t> codes(p);
-    for (std::size_t m = 0; m < w.rows; ++m) {
-        for (unsigned g = 0; g < groups; ++g) {
-            for (unsigned i = 0; i < p; ++i) {
-                codes[i] = wCodeAt(w, m, static_cast<std::size_t>(g) * p + i);
-            }
-            packed[m * groups + g] = packCodes(codes, bw);
-        }
-    }
-    return packed;
-}
-
 /**
- * Affine bit decomposition of an integer codec: decodeInt(code) =
- * sum_j coeff[j] * bit_j(code) + base.  Holds for all integer codecs
- * (unsigned, two's complement, signed binary) and is the algebra behind
- * the LTC bit-serial baseline.
+ * Synthetic plan for a direct functional call: the legacy entry points
+ * specify (design point, p, reorder mode, slice window) explicitly, so
+ * translate that into the engine's plan vocabulary.  All legacy entry
+ * points run on the prepared-operand engine with an ad-hoc preparation
+ * — one inner-loop implementation, identical outputs — while shared LUT
+ * tables come from the global table cache so repeated calls stop
+ * rebuilding them.
  */
-struct BitAffine {
-    std::vector<std::int64_t> coeff;
-    std::int64_t base = 0;
-};
-
-BitAffine
-bitAffine(ValueCodec codec)
+GemmPlan
+planFor(const GemmProblem& problem, DesignPoint design, unsigned p,
+        bool streaming, unsigned kSlices)
 {
-    BitAffine ba;
-    ba.base = codec.decodeInt(0);
-    ba.coeff.resize(codec.bits());
-    for (unsigned j = 0; j < codec.bits(); ++j) {
-        // decode is affine in the bits: coeff_j = f(2^j) - f(0).
-        ba.coeff[j] = codec.decodeInt(1u << j) - ba.base;
+    GemmPlan plan(design, problem.config());
+    plan.m = problem.m();
+    plan.k = problem.k();
+    plan.n = problem.n();
+    plan.p = p;
+    plan.streaming = streaming;
+    plan.kSlices = std::max(1u, kSlices);
+    plan.groups =
+        static_cast<unsigned>(ceilDiv(plan.k, std::size_t{plan.p}));
+    return plan;
+}
+
+DesignPoint
+designForMode(ReorderMode mode)
+{
+    switch (mode) {
+      case ReorderMode::Explicit:    return DesignPoint::OpLc;
+      case ReorderMode::ReorderLut:  return DesignPoint::OpLcRc;
+      case ReorderMode::SliceStream: return DesignPoint::LoCaLut;
     }
-    return ba;
+    LOCALUT_PANIC("invalid reorder mode");
 }
 
 } // namespace
@@ -89,132 +62,54 @@ naiveFloat(const GemmProblem& problem)
 std::vector<std::int32_t>
 ltcInt(const GemmProblem& problem)
 {
-    const QuantizedMatrix& w = problem.w;
-    const QuantizedMatrix& a = problem.a;
-    const std::size_t m = w.rows, k = w.cols, n = a.cols;
-    const unsigned g = cost::kLtcGroupSize;
-    const unsigned groups = static_cast<unsigned>(ceilDiv(k, std::size_t{g}));
-    const BitAffine wb = bitAffine(w.codec);
-    const unsigned bw = w.codec.bits();
-
-    std::vector<std::int32_t> out(m * n, 0);
-    // Tables are built per activation column and reused across all weight
-    // rows, exactly like the kernel.
-    std::vector<std::int32_t> table(groups * cost::kLtcTableEntries);
-    for (std::size_t nn = 0; nn < n; ++nn) {
-        std::int64_t colSum = 0;
-        for (unsigned gg = 0; gg < groups; ++gg) {
-            std::array<std::int32_t, 4> av{};
-            for (unsigned i = 0; i < g; ++i) {
-                const std::size_t kk = static_cast<std::size_t>(gg) * g + i;
-                av[i] = kk < k ? a.codec.decodeInt(a.at(kk, nn)) : 0;
-                colSum += av[i];
-            }
-            for (unsigned idx = 0; idx < cost::kLtcTableEntries; ++idx) {
-                std::int32_t sum = 0;
-                for (unsigned i = 0; i < g; ++i) {
-                    if (idx & (1u << i)) {
-                        sum += av[i];
-                    }
-                }
-                table[gg * cost::kLtcTableEntries + idx] = sum;
-            }
-        }
-        for (std::size_t mm = 0; mm < m; ++mm) {
-            std::int64_t acc = 0;
-            for (unsigned j = 0; j < bw; ++j) {
-                std::int64_t planeSum = 0;
-                for (unsigned gg = 0; gg < groups; ++gg) {
-                    unsigned idx = 0;
-                    for (unsigned i = 0; i < g; ++i) {
-                        const std::size_t kk =
-                            static_cast<std::size_t>(gg) * g + i;
-                        if (kk < k && ((w.at(mm, kk) >> j) & 1u)) {
-                            idx |= 1u << i;
-                        }
-                    }
-                    planeSum += table[gg * cost::kLtcTableEntries + idx];
-                }
-                acc += wb.coeff[j] * planeSum;
-            }
-            acc += wb.base * colSum;
-            out[mm * n + nn] = static_cast<std::int32_t>(acc);
-        }
-    }
+    const GemmPlan plan =
+        planFor(problem, DesignPoint::Ltc, 1, false, 1);
+    std::vector<std::int32_t> out;
+    executeGemmInt(problem, plan, {}, out);
     return out;
 }
 
 std::vector<std::int32_t>
 opInt(const GemmProblem& problem, unsigned p)
 {
-    const QuantizedMatrix& w = problem.w;
-    const QuantizedMatrix& a = problem.a;
-    const std::size_t m = w.rows, k = w.cols, n = a.cols;
-    const unsigned groups = static_cast<unsigned>(ceilDiv(k, std::size_t{p}));
-    const LutShape shape(problem.config(), p);
-    const OperationPackedLut lut(shape);
-
-    const std::vector<std::uint64_t> wIdx = packWeights(w, p, groups);
-    std::vector<std::uint64_t> aIdx(groups * n);
-    std::vector<std::uint16_t> codes(p);
-    for (unsigned g = 0; g < groups; ++g) {
-        for (std::size_t nn = 0; nn < n; ++nn) {
-            for (unsigned i = 0; i < p; ++i) {
-                codes[i] =
-                    actCodeAt(a, static_cast<std::size_t>(g) * p + i, nn);
-            }
-            aIdx[g * n + nn] = packCodes(codes, a.codec.bits());
-        }
-    }
-
-    std::vector<std::int32_t> out(m * n, 0);
-    for (std::size_t mm = 0; mm < m; ++mm) {
-        for (std::size_t nn = 0; nn < n; ++nn) {
-            std::int32_t acc = 0;
-            for (unsigned g = 0; g < groups; ++g) {
-                acc += lut.lookupInt(wIdx[mm * groups + g],
-                                     aIdx[g * n + nn]);
-            }
-            out[mm * n + nn] = acc;
-        }
-    }
+    const GemmPlan plan =
+        planFor(problem, DesignPoint::OpLut, p, false, 1);
+    std::vector<std::int32_t> out;
+    executeGemmInt(problem, plan, {}, out);
     return out;
 }
 
 std::vector<float>
 opFloat(const GemmProblem& problem, unsigned p)
 {
-    const QuantizedMatrix& w = problem.w;
-    const QuantizedMatrix& a = problem.a;
-    const std::size_t m = w.rows, k = w.cols, n = a.cols;
-    const unsigned groups = static_cast<unsigned>(ceilDiv(k, std::size_t{p}));
-    const LutShape shape(problem.config(), p);
-    const OperationPackedLut lut(shape);
+    const GemmPlan plan =
+        planFor(problem, DesignPoint::OpLut, p, false, 1);
+    std::vector<float> out;
+    executeGemmFloat(problem, plan, {}, out);
+    return out;
+}
 
-    const std::vector<std::uint64_t> wIdx = packWeights(w, p, groups);
-    std::vector<std::uint64_t> aIdx(groups * n);
-    std::vector<std::uint16_t> codes(p);
-    for (unsigned g = 0; g < groups; ++g) {
-        for (std::size_t nn = 0; nn < n; ++nn) {
-            for (unsigned i = 0; i < p; ++i) {
-                codes[i] =
-                    actCodeAt(a, static_cast<std::size_t>(g) * p + i, nn);
-            }
-            aIdx[g * n + nn] = packCodes(codes, a.codec.bits());
-        }
-    }
+std::vector<std::int32_t>
+canonicalInt(const GemmProblem& problem, unsigned p, ReorderMode mode,
+             unsigned kSlices)
+{
+    const GemmPlan plan =
+        planFor(problem, designForMode(mode), p,
+                mode == ReorderMode::SliceStream, kSlices);
+    std::vector<std::int32_t> out;
+    executeGemmInt(problem, plan, {}, out);
+    return out;
+}
 
-    std::vector<float> out(m * n, 0.0f);
-    for (std::size_t mm = 0; mm < m; ++mm) {
-        for (std::size_t nn = 0; nn < n; ++nn) {
-            float acc = 0.0f;
-            for (unsigned g = 0; g < groups; ++g) {
-                acc += lut.lookupFloat(wIdx[mm * groups + g],
-                                       aIdx[g * n + nn]);
-            }
-            out[mm * n + nn] = acc;
-        }
-    }
+std::vector<float>
+canonicalFloat(const GemmProblem& problem, unsigned p, ReorderMode mode,
+               unsigned kSlices)
+{
+    const GemmPlan plan =
+        planFor(problem, designForMode(mode), p,
+                mode == ReorderMode::SliceStream, kSlices);
+    std::vector<float> out;
+    executeGemmFloat(problem, plan, {}, out);
     return out;
 }
 
@@ -234,233 +129,16 @@ opFloatVirtual(const GemmProblem& problem, unsigned p)
                 for (unsigned i = 0; i < p; ++i) {
                     const std::size_t kk =
                         static_cast<std::size_t>(g) * p + i;
-                    entry += w.codec.decode(wCodeAt(w, mm, kk)) *
-                             a.codec.decode(actCodeAt(a, kk, nn));
+                    const std::uint16_t wc =
+                        kk < k ? w.at(mm, kk) : std::uint16_t{0};
+                    const std::uint16_t ac =
+                        kk < k ? a.at(kk, nn) : std::uint16_t{0};
+                    entry += w.codec.decode(wc) * a.codec.decode(ac);
                 }
                 // The entry the packed LUT would have stored (b_o = 2).
                 acc += roundToFp16(entry);
             }
             out[mm * n + nn] = acc;
-        }
-    }
-    return out;
-}
-
-namespace {
-
-/** Host-side canonicalization of every activation group instance. */
-struct CanonicalPrep {
-    std::vector<std::uint64_t> msRank;  ///< [g * n + nn]
-    std::vector<std::uint32_t> permRank;
-    std::vector<std::uint8_t> perm;     ///< [(g * n + nn) * p + i]
-};
-
-CanonicalPrep
-prepare(const QuantizedMatrix& a, unsigned p, unsigned groups)
-{
-    const std::size_t n = a.cols;
-    const LutShape probe(ValueCodec::signedBinary(), a.codec, p);
-    const ActivationCanonicalizer canon(probe);
-    CanonicalPrep prep;
-    prep.msRank.resize(groups * n);
-    prep.permRank.resize(groups * n);
-    prep.perm.resize(static_cast<std::size_t>(groups) * n * p);
-    std::vector<std::uint16_t> codes(p);
-    for (unsigned g = 0; g < groups; ++g) {
-        for (std::size_t nn = 0; nn < n; ++nn) {
-            for (unsigned i = 0; i < p; ++i) {
-                codes[i] =
-                    actCodeAt(a, static_cast<std::size_t>(g) * p + i, nn);
-            }
-            const CanonicalGroup cg = canon.canonicalize(codes);
-            const std::size_t at = g * n + nn;
-            prep.msRank[at] = cg.multisetRank;
-            prep.permRank[at] = cg.permRank;
-            std::vector<std::uint8_t> perm(p);
-            permutationUnrank(cg.permRank, perm);
-            std::copy(perm.begin(), perm.end(),
-                      prep.perm.begin() +
-                          static_cast<std::ptrdiff_t>(at * p));
-        }
-    }
-    return prep;
-}
-
-/** Explicit unpack/permute/repack — the work the reordering LUT removes. */
-std::uint64_t
-explicitReorder(std::uint64_t wIdx, const std::uint8_t* perm, unsigned p,
-                unsigned bw)
-{
-    std::uint64_t reordered = 0;
-    for (unsigned i = 0; i < p; ++i) {
-        const std::uint64_t code = extractField(wIdx, perm[i], bw);
-        reordered |= code << (i * bw);
-    }
-    return reordered;
-}
-
-} // namespace
-
-namespace {
-
-/** Builds the reordering LUT only for the modes that index it (the
- *  Explicit mode is numerically identical and avoids materializing huge
- *  tables during large-p accuracy sweeps). */
-std::unique_ptr<ReorderingLut>
-maybeReorderLut(const LutShape& shape, ReorderMode mode)
-{
-    if (mode == ReorderMode::Explicit) {
-        return nullptr;
-    }
-    return std::make_unique<ReorderingLut>(shape);
-}
-
-} // namespace
-
-std::vector<std::int32_t>
-canonicalInt(const GemmProblem& problem, unsigned p, ReorderMode mode,
-             unsigned kSlices)
-{
-    const QuantizedMatrix& w = problem.w;
-    const QuantizedMatrix& a = problem.a;
-    const std::size_t m = w.rows, k = w.cols, n = a.cols;
-    const unsigned bw = w.codec.bits();
-    const unsigned groups = static_cast<unsigned>(ceilDiv(k, std::size_t{p}));
-    const LutShape shape(problem.config(), p);
-    const CanonicalLut canon(shape);
-    const std::unique_ptr<ReorderingLut> reorderLut =
-        maybeReorderLut(shape, mode);
-
-    const std::vector<std::uint64_t> wIdx = packWeights(w, p, groups);
-    const CanonicalPrep prep = prepare(a, p, groups);
-
-    std::vector<std::int32_t> out(m * n, 0);
-    if (mode != ReorderMode::SliceStream) {
-        for (std::size_t mm = 0; mm < m; ++mm) {
-            for (std::size_t nn = 0; nn < n; ++nn) {
-                std::int32_t acc = 0;
-                for (unsigned g = 0; g < groups; ++g) {
-                    const std::size_t at = g * n + nn;
-                    const std::uint64_t wi = wIdx[mm * groups + g];
-                    const std::uint64_t reordered =
-                        mode == ReorderMode::Explicit
-                            ? explicitReorder(wi, &prep.perm[at * p], p, bw)
-                            : reorderLut->lookup(prep.permRank[at], wi);
-                    acc += canon.lookupInt(prep.msRank[at], reordered);
-                }
-                out[mm * n + nn] = acc;
-            }
-        }
-        return out;
-    }
-
-    // Slice streaming: iterate (column, slice batch) exactly like the
-    // kernel — materialize k (canonical, reordering) column-slice pairs,
-    // then sweep all weight rows against them.
-    const std::uint64_t rows = shape.weightRows();
-    std::vector<std::int32_t> canonSlices;
-    std::vector<std::uint32_t> reorderSlices;
-    for (std::size_t nn = 0; nn < n; ++nn) {
-        for (unsigned g0 = 0; g0 < groups; g0 += kSlices) {
-            const unsigned batch =
-                std::min(kSlices, groups - g0);
-            canonSlices.assign(static_cast<std::size_t>(batch) * rows, 0);
-            reorderSlices.assign(static_cast<std::size_t>(batch) * rows, 0);
-            for (unsigned b = 0; b < batch; ++b) {
-                const std::size_t at =
-                    static_cast<std::size_t>(g0 + b) * n + nn;
-                const auto col = canon.columnInt(prep.msRank[at]);
-                std::copy(col.begin(), col.end(),
-                          canonSlices.begin() +
-                              static_cast<std::ptrdiff_t>(b * rows));
-                for (std::uint64_t r = 0; r < rows; ++r) {
-                    reorderSlices[b * rows + r] =
-                        reorderLut->lookup(prep.permRank[at], r);
-                }
-            }
-            for (std::size_t mm = 0; mm < m; ++mm) {
-                std::int32_t acc = 0;
-                for (unsigned b = 0; b < batch; ++b) {
-                    const std::uint64_t wi =
-                        wIdx[mm * groups + (g0 + b)];
-                    const std::uint32_t reordered =
-                        reorderSlices[b * rows + wi];
-                    acc += canonSlices[b * rows + reordered];
-                }
-                out[mm * n + nn] += acc;
-            }
-        }
-    }
-    return out;
-}
-
-std::vector<float>
-canonicalFloat(const GemmProblem& problem, unsigned p, ReorderMode mode,
-               unsigned kSlices)
-{
-    const QuantizedMatrix& w = problem.w;
-    const QuantizedMatrix& a = problem.a;
-    const std::size_t m = w.rows, k = w.cols, n = a.cols;
-    const unsigned bw = w.codec.bits();
-    const unsigned groups = static_cast<unsigned>(ceilDiv(k, std::size_t{p}));
-    const LutShape shape(problem.config(), p);
-    const CanonicalLut canon(shape);
-    const std::unique_ptr<ReorderingLut> reorderLut =
-        maybeReorderLut(shape, mode);
-
-    const std::vector<std::uint64_t> wIdx = packWeights(w, p, groups);
-    const CanonicalPrep prep = prepare(a, p, groups);
-
-    std::vector<float> out(m * n, 0.0f);
-    if (mode != ReorderMode::SliceStream) {
-        for (std::size_t mm = 0; mm < m; ++mm) {
-            for (std::size_t nn = 0; nn < n; ++nn) {
-                float acc = 0.0f;
-                for (unsigned g = 0; g < groups; ++g) {
-                    const std::size_t at = g * n + nn;
-                    const std::uint64_t wi = wIdx[mm * groups + g];
-                    const std::uint64_t reordered =
-                        mode == ReorderMode::Explicit
-                            ? explicitReorder(wi, &prep.perm[at * p], p, bw)
-                            : reorderLut->lookup(prep.permRank[at], wi);
-                    acc += canon.lookupFloat(prep.msRank[at], reordered);
-                }
-                out[mm * n + nn] = acc;
-            }
-        }
-        return out;
-    }
-
-    const std::uint64_t rows = shape.weightRows();
-    std::vector<float> canonSlices;
-    std::vector<std::uint32_t> reorderSlices;
-    for (std::size_t nn = 0; nn < n; ++nn) {
-        for (unsigned g0 = 0; g0 < groups; g0 += kSlices) {
-            const unsigned batch = std::min(kSlices, groups - g0);
-            canonSlices.assign(static_cast<std::size_t>(batch) * rows, 0.0f);
-            reorderSlices.assign(static_cast<std::size_t>(batch) * rows, 0);
-            for (unsigned b = 0; b < batch; ++b) {
-                const std::size_t at =
-                    static_cast<std::size_t>(g0 + b) * n + nn;
-                const auto col = canon.columnFloat(prep.msRank[at]);
-                std::copy(col.begin(), col.end(),
-                          canonSlices.begin() +
-                              static_cast<std::ptrdiff_t>(b * rows));
-                for (std::uint64_t r = 0; r < rows; ++r) {
-                    reorderSlices[b * rows + r] =
-                        reorderLut->lookup(prep.permRank[at], r);
-                }
-            }
-            for (std::size_t mm = 0; mm < m; ++mm) {
-                float acc = 0.0f;
-                for (unsigned b = 0; b < batch; ++b) {
-                    const std::uint64_t wi = wIdx[mm * groups + (g0 + b)];
-                    const std::uint32_t reordered =
-                        reorderSlices[b * rows + wi];
-                    acc += canonSlices[b * rows + reordered];
-                }
-                out[mm * n + nn] += acc;
-            }
         }
     }
     return out;

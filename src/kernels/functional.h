@@ -4,10 +4,18 @@
 /**
  * @file
  * Functional (value-computing) executors for every design point.  Each
- * mirrors the dataflow of its kernel exactly — the canonical/reordering
- * executors index the real LUT objects, and the slice-streaming executor
- * iterates via materialized column slices — so the test suite can assert
- * that every design point reproduces the reference GEMM bit-exactly.
+ * indexes the real LUT data structures — the canonical/reordering
+ * executors go through the canonical + reordering tables, the
+ * slice-streaming executor through materialized column slices — so the
+ * test suite can assert that every design point reproduces the
+ * reference GEMM bit-exactly.
+ *
+ * These entry points are thin wrappers over the prepared-operand
+ * execution engine (kernels/exec_engine.h): they prepare ad hoc on
+ * every call (sharing LUT tables through the global table cache) and
+ * run the same tiled kernels serially.  Callers that re-execute the
+ * same weights should hold a PreparedGemm (or go through
+ * PlanCache::preparedFor()) instead.
  */
 
 #include <cstdint>

@@ -7,7 +7,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "kernels/cost_tables.h"
-#include "kernels/functional.h"
+#include "kernels/exec_engine.h"
 #include "lut/capacity.h"
 
 namespace localut {
@@ -270,68 +270,36 @@ GemmResult
 GemmEngine::run(const GemmProblem& problem, const GemmPlan& plan,
                 bool computeValues) const
 {
+    ExecOptions options;
+    options.computeValues = computeValues;
+    return run(problem, plan, options);
+}
+
+GemmResult
+GemmEngine::run(const GemmProblem& problem, const GemmPlan& plan,
+                const ExecOptions& options) const
+{
     GemmResult result;
     result.cost = chargeCosts(plan);
     const CostEvaluator eval(config_);
     result.timing = eval.timing(result.cost, plan.dpusUsed());
     result.energy = eval.energy(result.cost, plan.dpusUsed());
 
-    if (!computeValues) {
+    if (!options.computeValues) {
         return result;
     }
+    // The functional pass runs on the prepared-operand execution engine
+    // (kernels/exec_engine.h): every design point maps onto one of its
+    // tiled kernels, reusing the options' prepared operand / arena /
+    // tile executor when the caller supplies them.
     const bool isInt = plan.config.weightCodec.isInteger() &&
                        plan.config.actCodec.isInteger();
-    switch (plan.design) {
-      case DesignPoint::NaivePim:
-        if (isInt) {
-            result.outInt = functional::naiveInt(problem);
-        } else {
-            result.outFloat = functional::naiveFloat(problem);
-        }
-        break;
-      case DesignPoint::Ltc:
-        LOCALUT_REQUIRE(isInt, "LTC functional path is integer-only");
-        result.outInt = functional::ltcInt(problem);
-        break;
-      case DesignPoint::OpLut:
-      case DesignPoint::OpLutDram:
-        if (isInt) {
-            result.outInt = functional::opInt(problem, plan.p);
-        } else {
-            result.outFloat = functional::opFloat(problem, plan.p);
-        }
-        break;
-      case DesignPoint::OpLc:
-        if (isInt) {
-            result.outInt = functional::canonicalInt(
-                problem, plan.p, functional::ReorderMode::Explicit);
-        } else {
-            result.outFloat = functional::canonicalFloat(
-                problem, plan.p, functional::ReorderMode::Explicit);
-        }
-        break;
-      case DesignPoint::OpLcRc:
-        if (isInt) {
-            result.outInt = functional::canonicalInt(
-                problem, plan.p, functional::ReorderMode::ReorderLut);
-        } else {
-            result.outFloat = functional::canonicalFloat(
-                problem, plan.p, functional::ReorderMode::ReorderLut);
-        }
-        break;
-      case DesignPoint::LoCaLut: {
-        const auto mode = plan.streaming
-                              ? functional::ReorderMode::SliceStream
-                              : functional::ReorderMode::ReorderLut;
-        if (isInt) {
-            result.outInt = functional::canonicalInt(problem, plan.p, mode,
-                                                     plan.kSlices);
-        } else {
-            result.outFloat = functional::canonicalFloat(
-                problem, plan.p, mode, plan.kSlices);
-        }
-        break;
-      }
+    if (isInt) {
+        executeGemmInt(problem, plan, options, result.outInt);
+    } else {
+        LOCALUT_REQUIRE(plan.design != DesignPoint::Ltc,
+                        "LTC functional path is integer-only");
+        executeGemmFloat(problem, plan, options, result.outFloat);
     }
     return result;
 }

@@ -22,6 +22,8 @@
 
 namespace localut {
 
+struct ExecOptions; // kernels/exec_engine.h
+
 /** A quantized GEMM instance. */
 struct GemmProblem {
     QuantizedMatrix w; ///< M x K
@@ -112,6 +114,14 @@ class GemmEngine
     /** Executes a plan; @p computeValues controls the functional pass. */
     GemmResult run(const GemmProblem& problem, const GemmPlan& plan,
                    bool computeValues = true) const;
+
+    /**
+     * Executes a plan under explicit execution options (prepared
+     * operand / arena / tile executor; see kernels/exec_engine.h).
+     * Values are identical to the bare run() for any options.
+     */
+    GemmResult run(const GemmProblem& problem, const GemmPlan& plan,
+                   const ExecOptions& options) const;
 
     /** plan() + run() convenience. */
     GemmResult run(const GemmProblem& problem, DesignPoint design,

@@ -27,9 +27,11 @@
 #include "backend/upmem_backend.h"    // IWYU pragma: export
 #include "baselines/pq_gemm.h"        // IWYU pragma: export
 #include "banklevel/bank_pim.h"       // IWYU pragma: export
+#include "common/parallel.h"          // IWYU pragma: export
 #include "dram/timing.h"              // IWYU pragma: export
 #include "hostsim/roofline.h"         // IWYU pragma: export
 #include "kernels/design_point.h"     // IWYU pragma: export
+#include "kernels/exec_engine.h"      // IWYU pragma: export
 #include "kernels/functional.h"       // IWYU pragma: export
 #include "kernels/gemm.h"             // IWYU pragma: export
 #include "lut/canonical_lut.h"        // IWYU pragma: export
@@ -39,6 +41,7 @@
 #include "lut/perf_model.h"           // IWYU pragma: export
 #include "lut/planner.h"              // IWYU pragma: export
 #include "lut/reordering_lut.h"       // IWYU pragma: export
+#include "lut/table_cache.h"          // IWYU pragma: export
 #include "nn/accuracy_proxy.h"        // IWYU pragma: export
 #include "nn/inference.h"             // IWYU pragma: export
 #include "nn/transformer.h"           // IWYU pragma: export

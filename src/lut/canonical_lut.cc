@@ -123,6 +123,36 @@ CanonicalLut::lookupFloat(std::uint64_t col, std::uint64_t wIdx) const
     return shape_.outBytes <= 2 ? roundToFp16(acc) : acc;
 }
 
+void
+CanonicalLut::columnIntInto(std::uint64_t col, std::int32_t* out) const
+{
+    LOCALUT_ASSERT(col < cols_, "canonical LUT column OOB");
+    if (materialized_) {
+        std::copy(entriesInt_.begin() +
+                      static_cast<std::ptrdiff_t>(col * rows_),
+                  entriesInt_.begin() +
+                      static_cast<std::ptrdiff_t>((col + 1) * rows_),
+                  out);
+    } else {
+        computeColumnInt(col, out);
+    }
+}
+
+void
+CanonicalLut::columnFloatInto(std::uint64_t col, float* out) const
+{
+    LOCALUT_ASSERT(col < cols_, "canonical LUT column OOB");
+    if (materialized_) {
+        std::copy(entriesFloat_.begin() +
+                      static_cast<std::ptrdiff_t>(col * rows_),
+                  entriesFloat_.begin() +
+                      static_cast<std::ptrdiff_t>((col + 1) * rows_),
+                  out);
+    } else {
+        computeColumnFloat(col, out);
+    }
+}
+
 std::vector<std::int32_t>
 CanonicalLut::columnInt(std::uint64_t col) const
 {

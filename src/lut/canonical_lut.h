@@ -56,6 +56,35 @@ class CanonicalLut
     /** One full float column slice (size rows()). */
     std::vector<float> columnFloat(std::uint64_t col) const;
 
+    /**
+     * Allocation-free column slice into caller storage (size rows()):
+     * a memcpy when materialized, a recompute in virtual mode.  The
+     * execution engine's fused-slice builds and slice streaming use
+     * these so steady-state execution performs no heap allocations.
+     */
+    void columnIntInto(std::uint64_t col, std::int32_t* out) const;
+    void columnFloatInto(std::uint64_t col, float* out) const;
+
+    /**
+     * Raw column-major entry storage for the materialized fast path
+     * (entry (col, wIdx) at [col * rows() + wIdx]); nullptr in virtual
+     * mode or for the other element type.
+     */
+    const std::int32_t*
+    dataInt() const
+    {
+        return materialized_ && !entriesInt_.empty() ? entriesInt_.data()
+                                                     : nullptr;
+    }
+
+    const float*
+    dataFloat() const
+    {
+        return materialized_ && !entriesFloat_.empty()
+                   ? entriesFloat_.data()
+                   : nullptr;
+    }
+
   private:
     void computeColumnInt(std::uint64_t col, std::int32_t* out) const;
     void computeColumnFloat(std::uint64_t col, float* out) const;

@@ -52,6 +52,21 @@ class OperationPackedLut
     std::uint64_t rows() const { return rows_; }
     std::uint64_t cols() const { return cols_; }
 
+    /** Raw column-major entry storage (column @p aIdx starts at
+     * [aIdx * rows()]); null for the other element type.  Used by the
+     * execution engine to hoist the column base out of the row sweep. */
+    const std::int32_t*
+    dataInt() const
+    {
+        return entriesInt_.empty() ? nullptr : entriesInt_.data();
+    }
+
+    const float*
+    dataFloat() const
+    {
+        return entriesFloat_.empty() ? nullptr : entriesFloat_.data();
+    }
+
   private:
     LutShape shape_;
     std::uint64_t rows_;

@@ -39,6 +39,10 @@ class ReorderingLut
         return entries_[permRank * rows_ + wIdx];
     }
 
+    /** Raw column-major entry storage (column @p permRank starts at
+     * [permRank * rows()]), for the engine's fused-slice builds. */
+    const std::uint32_t* data() const { return entries_.data(); }
+
   private:
     LutShape shape_;
     std::uint64_t rows_;

@@ -1,0 +1,137 @@
+#include "lut/table_cache.h"
+
+#include "common/hash.h"
+#include "common/lru.h"
+
+namespace localut {
+
+LutTableCache::LutTableCache(std::size_t maxEntries,
+                             std::uint64_t maxBytes)
+    : maxEntries_(maxEntries == 0 ? 1 : maxEntries), maxBytes_(maxBytes)
+{}
+
+std::uint64_t
+LutTableCache::totalBytesLocked() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto& [key, entry] : entries_) {
+        bytes += entry.bytes;
+    }
+    return bytes;
+}
+
+LutTableCache&
+LutTableCache::global()
+{
+    static LutTableCache cache;
+    return cache;
+}
+
+std::size_t
+LutTableCache::KeyHash::operator()(const Key& key) const
+{
+    std::size_t seed = 0;
+    hashCombine(seed, static_cast<std::size_t>(key.wKind));
+    hashCombine(seed, key.wBits);
+    hashCombine(seed, static_cast<std::size_t>(key.aKind));
+    hashCombine(seed, key.aBits);
+    hashCombine(seed, key.p);
+    hashCombine(seed, key.outBytes);
+    hashCombine(seed, static_cast<std::size_t>(key.family));
+    return seed;
+}
+
+template <typename T, typename Build, typename BytesOf>
+std::shared_ptr<const T>
+LutTableCache::acquire(const Key& key, const Build& build,
+                       const BytesOf& bytesOf)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++hits_;
+            it->second.lastUse = ++clock_;
+            return std::static_pointer_cast<const T>(it->second.table);
+        }
+    }
+    // Build outside the lock: construction is the expensive part, and a
+    // racing build of the same shape produces an identical table.
+    std::shared_ptr<const T> table = build();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++misses_;
+        entries_[key] = Entry{table, bytesOf(*table), ++clock_};
+        // Entry- and byte-bounded: the scan-based byte total is fine at
+        // these cache sizes (<= maxEntries_ entries, evict-on-insert).
+        evictLeastRecentlyUsedWhile(entries_, [this] {
+            return entries_.size() > maxEntries_ ||
+                   totalBytesLocked() > maxBytes_;
+        });
+    }
+    return table;
+}
+
+std::shared_ptr<const OperationPackedLut>
+LutTableCache::opLut(const LutShape& shape)
+{
+    const Key key{shape.wCodec.kind(), shape.bw(), shape.aCodec.kind(),
+                  shape.ba(),          shape.p,    shape.outBytes,
+                  Family::Op};
+    return acquire<OperationPackedLut>(
+        key,
+        [&] { return std::make_shared<const OperationPackedLut>(shape); },
+        [](const OperationPackedLut& lut) {
+            return lut.rows() * lut.cols() * 4;
+        });
+}
+
+std::shared_ptr<const CanonicalLut>
+LutTableCache::canonicalLut(const LutShape& shape)
+{
+    const Key key{shape.wCodec.kind(), shape.bw(), shape.aCodec.kind(),
+                  shape.ba(),          shape.p,    shape.outBytes,
+                  Family::Canonical};
+    return acquire<CanonicalLut>(
+        key, [&] { return std::make_shared<const CanonicalLut>(shape); },
+        [](const CanonicalLut& lut) {
+            // Virtual (non-materialized) tables hold only the decode
+            // alphabet.
+            return lut.materialized() ? lut.rows() * lut.cols() * 4
+                                      : std::uint64_t{4096};
+        });
+}
+
+std::shared_ptr<const ReorderingLut>
+LutTableCache::reorderingLut(const LutShape& shape)
+{
+    const Key key{shape.wCodec.kind(), shape.bw(), shape.aCodec.kind(),
+                  shape.ba(),          shape.p,    shape.outBytes,
+                  Family::Reorder};
+    return acquire<ReorderingLut>(
+        key, [&] { return std::make_shared<const ReorderingLut>(shape); },
+        [](const ReorderingLut& lut) {
+            return lut.rows() * lut.cols() * 4;
+        });
+}
+
+LutTableCache::Stats
+LutTableCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Stats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.entries = entries_.size();
+    s.bytes = totalBytesLocked();
+    return s;
+}
+
+void
+LutTableCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+} // namespace localut

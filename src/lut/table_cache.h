@@ -1,0 +1,110 @@
+#ifndef LOCALUT_LUT_TABLE_CACHE_H_
+#define LOCALUT_LUT_TABLE_CACHE_H_
+
+/**
+ * @file
+ * Shared materialized-LUT memoization.  LUT tables depend only on the
+ * shape (codecs, packing degree, entry width) — never on the weight or
+ * activation data — yet the functional executors historically rebuilt
+ * them on every GEMM call, which made table construction the wall-clock
+ * bottleneck of every test, bench, and fuzz run.  The cache keys each
+ * table family by its LutShape and hands out shared_ptrs, so a fig10
+ * decode executing the same layer shape 32x per layer builds each table
+ * once; a bounded LRU keeps long fuzz runs (thousands of distinct tiny
+ * shapes) from accumulating tables forever.
+ *
+ * Thread-safe.  Two threads racing on the same cold shape may both
+ * build (construction runs outside the lock); both results are
+ * identical, so last-insert-wins is harmless.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "lut/canonical_lut.h"
+#include "lut/lut_shape.h"
+#include "lut/packed_lut.h"
+#include "lut/reordering_lut.h"
+
+namespace localut {
+
+/** LRU-bounded (LutShape, family) -> table memo. */
+class LutTableCache
+{
+  public:
+    /**
+     * At most @p maxEntries tables AND @p maxBytes of materialized
+     * entry storage across all three families (large-p sweeps
+     * materialize tables of tens of MB each; an entry-count bound
+     * alone could pin GBs).
+     */
+    explicit LutTableCache(std::size_t maxEntries = 64,
+                           std::uint64_t maxBytes = std::uint64_t{256}
+                                                    << 20);
+
+    /** The process-wide cache the execution engine uses. */
+    static LutTableCache& global();
+
+    std::shared_ptr<const OperationPackedLut> opLut(const LutShape& shape);
+    std::shared_ptr<const CanonicalLut> canonicalLut(const LutShape& shape);
+    std::shared_ptr<const ReorderingLut> reorderingLut(const LutShape& shape);
+
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::size_t entries = 0;
+        std::uint64_t bytes = 0; ///< resident materialized table bytes
+    };
+
+    Stats stats() const;
+
+    /** Drops every cached table (outstanding shared_ptrs stay valid). */
+    void clear();
+
+  private:
+    enum class Family { Op, Canonical, Reorder };
+
+    struct Key {
+        CodecKind wKind;
+        unsigned wBits;
+        CodecKind aKind;
+        unsigned aBits;
+        unsigned p;
+        unsigned outBytes;
+        Family family;
+
+        bool operator==(const Key&) const = default;
+    };
+
+    struct KeyHash {
+        std::size_t operator()(const Key& key) const;
+    };
+
+    struct Entry {
+        std::shared_ptr<const void> table;
+        std::uint64_t bytes = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Looks @p key up (bumping LRU) or builds via @p build; @p bytesOf
+     * sizes the built table for the byte bound. */
+    template <typename T, typename Build, typename BytesOf>
+    std::shared_ptr<const T> acquire(const Key& key, const Build& build,
+                                     const BytesOf& bytesOf);
+
+    std::uint64_t totalBytesLocked() const;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<Key, Entry, KeyHash> entries_;
+    std::size_t maxEntries_;
+    std::uint64_t maxBytes_;
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_LUT_TABLE_CACHE_H_

@@ -1,6 +1,7 @@
 #include "serving/plan_cache.h"
 
 #include "common/hash.h"
+#include "common/lru.h"
 
 namespace localut {
 
@@ -121,6 +122,58 @@ PlanCache::shardPlanFor(const Backend& backend, const GemmProblem& problem,
     return plan;
 }
 
+std::size_t
+PlanCache::PreparedKeyHash::operator()(const PreparedKey& key) const
+{
+    std::size_t seed = PlanKeyHash{}(key.plan);
+    hashCombine(seed, static_cast<std::size_t>(key.weights));
+    return seed;
+}
+
+std::shared_ptr<const PreparedGemm>
+PlanCache::preparedFor(const Backend& backend, const GemmProblem& problem,
+                       const GemmPlan& plan,
+                       const PlanOverrides& overrides)
+{
+    const std::uint64_t weights = weightsFingerprint(problem.w);
+    PreparedKey key;
+    key.plan = PlanKey::of(backend, problem, plan.design, overrides);
+    key.weights = weights;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = prepared_.find(key);
+        // The plan-resolution check guards callers that pass hand-built
+        // plans (overrides outside the key): a cached operand only
+        // serves executions it actually fits.
+        if (it != prepared_.end() &&
+            it->second.prepared->matches(problem, plan)) {
+            ++preparedHits_;
+            it->second.lastUse = ++preparedClock_;
+            return it->second.prepared;
+        }
+    }
+    // Build outside the lock (packing + tables are the expensive part);
+    // racing threads build identical operands, last-insert-wins.
+    std::shared_ptr<PreparedGemm> built = prepareGemm(problem, plan);
+    built->weights = weights;
+    std::shared_ptr<const PreparedGemm> prepared = std::move(built);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++preparedMisses_;
+        prepared_[key] = PreparedEntry{prepared, ++preparedClock_};
+        evictLeastRecentlyUsed(prepared_, maxPrepared_);
+    }
+    return prepared;
+}
+
+void
+PlanCache::setMaxPreparedEntries(std::size_t maxEntries)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    maxPrepared_ = maxEntries == 0 ? 1 : maxEntries;
+    evictLeastRecentlyUsed(prepared_, maxPrepared_);
+}
+
 PlanCache::Stats
 PlanCache::stats() const
 {
@@ -130,7 +183,13 @@ PlanCache::stats() const
     s.misses = misses_;
     s.shardHits = shardHits_;
     s.shardMisses = shardMisses_;
+    s.preparedHits = preparedHits_;
+    s.preparedMisses = preparedMisses_;
     s.entries = plans_.size() + shardPlans_.size();
+    s.preparedEntries = prepared_.size();
+    for (const auto& [key, entry] : prepared_) {
+        s.preparedBytes += entry.prepared->bytes();
+    }
     return s;
 }
 
@@ -147,6 +206,7 @@ PlanCache::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     plans_.clear();
     shardPlans_.clear();
+    prepared_.clear();
 }
 
 void
@@ -157,6 +217,8 @@ PlanCache::resetStats()
     misses_ = 0;
     shardHits_ = 0;
     shardMisses_ = 0;
+    preparedHits_ = 0;
+    preparedMisses_ = 0;
 }
 
 } // namespace localut

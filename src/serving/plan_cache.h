@@ -16,14 +16,24 @@
  * sub-plans flow through the same GemmPlan memo, so two shard configs
  * that produce the same slice shapes share the planning work.  Hit/miss
  * counters are exposed so serving code (and tests) can verify reuse.
+ *
+ * Prepared operands (PreparedGemm, kernels/exec_engine.h) are memoized
+ * here too: preparedFor() keys them by the same plan key plus a
+ * weight-content fingerprint, so a serving loop executing the same
+ * layer weights request after request packs and tables them exactly
+ * once — while two same-shaped problems with different weights can
+ * never alias.  A bounded LRU keeps fuzz-style workloads (thousands of
+ * distinct problems) from retaining packed weights forever.
  */
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "backend/backend.h"
+#include "kernels/exec_engine.h"
 #include "serving/sharding.h"
 
 namespace localut {
@@ -73,7 +83,11 @@ class PlanCache
         std::uint64_t misses = 0;      ///< logical lookups that planned
         std::uint64_t shardHits = 0;   ///< per-shard sub-plan lookups
         std::uint64_t shardMisses = 0;
+        std::uint64_t preparedHits = 0;   ///< preparedFor() served cached
+        std::uint64_t preparedMisses = 0; ///< preparedFor() that built
         std::size_t entries = 0;
+        std::size_t preparedEntries = 0;
+        std::uint64_t preparedBytes = 0; ///< resident operand bytes
 
         /** Logical (per-GEMM) hit rate. */
         double
@@ -128,6 +142,22 @@ class PlanCache
                              const GemmProblem& problem, DesignPoint design,
                              const PlanOverrides& overrides = {});
 
+    /**
+     * Returns the cached PreparedGemm for (@p backend, @p problem,
+     * @p plan, @p overrides) — keyed by the plan key plus
+     * weightsFingerprint(problem.w) — building (and inserting, LRU
+     * bounded) on a miss.  @p plan must be the plan the operand will
+     * execute under (normally the one planFor() returned for the same
+     * arguments); the returned operand satisfies
+     * prepared->matches(problem, plan).
+     */
+    std::shared_ptr<const PreparedGemm>
+    preparedFor(const Backend& backend, const GemmProblem& problem,
+                const GemmPlan& plan, const PlanOverrides& overrides = {});
+
+    /** Caps the prepared-operand LRU (entries; default 128). */
+    void setMaxPreparedEntries(std::size_t maxEntries);
+
     Stats stats() const;
 
     std::size_t size() const;
@@ -144,13 +174,35 @@ class PlanCache
                             const PlanOverrides& overrides,
                             std::uint64_t& hits, std::uint64_t& misses);
 
+    struct PreparedKey {
+        PlanKey plan;
+        std::uint64_t weights = 0;
+
+        bool operator==(const PreparedKey&) const = default;
+    };
+
+    struct PreparedKeyHash {
+        std::size_t operator()(const PreparedKey& key) const;
+    };
+
+    struct PreparedEntry {
+        std::shared_ptr<const PreparedGemm> prepared;
+        std::uint64_t lastUse = 0;
+    };
+
     mutable std::mutex mutex_;
     std::unordered_map<PlanKey, GemmPlan, PlanKeyHash> plans_;
     std::unordered_map<PlanKey, ShardPlan, PlanKeyHash> shardPlans_;
+    std::unordered_map<PreparedKey, PreparedEntry, PreparedKeyHash>
+        prepared_;
+    std::size_t maxPrepared_ = 128;
+    std::uint64_t preparedClock_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t shardHits_ = 0;
     std::uint64_t shardMisses_ = 0;
+    std::uint64_t preparedHits_ = 0;
+    std::uint64_t preparedMisses_ = 0;
 };
 
 } // namespace localut

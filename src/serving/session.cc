@@ -167,7 +167,7 @@ InferenceSession::enqueue(std::unique_ptr<Request> request)
         const bool shardedGemm =
             !raw->isWorkload && options_.numRanks > 1;
         rankQueues_[pickRankLocked()].push_back(
-            {raw, shardedGemm ? kPlanTask : kWholeTask});
+            {raw, shardedGemm ? kPlanTask : kWholeTask, {}});
     }
     queueCv_.notify_one();
     return id;
@@ -252,12 +252,14 @@ InferenceSession::run(const CompiledWorkload& workload) const
                     " rank(s) submitted to a session with ",
                     options_.numRanks,
                     " (recompile on this session to re-cut the shards)");
+    const ExecOptions nodeOptions = execOptions(/*computeValues=*/false);
     InferenceReport report =
         workload.sharded()
             ? executeShardedWorkload(*backend_, workload.shardedNodes,
-                                     workload.quant, workload.hostOps)
+                                     workload.quant, workload.hostOps,
+                                     nodeOptions)
             : executeWorkload(*backend_, workload.nodes, workload.quant,
-                              workload.hostOps);
+                              workload.hostOps, nodeOptions);
     if (residency_ == nullptr) {
         return report;
     }
@@ -286,6 +288,17 @@ InferenceSession::run(const CompiledWorkload& workload) const
     return report;
 }
 
+ExecOptions
+InferenceSession::execOptions(bool computeValues) const
+{
+    ExecOptions options;
+    options.computeValues = computeValues;
+    if (options_.tileParallel && workerCount() > 1) {
+        options.tiles = &poolTiles_;
+    }
+    return options;
+}
+
 void
 InferenceSession::runWhole(Request& request)
 {
@@ -296,8 +309,22 @@ InferenceSession::runWhole(Request& request)
     // Plans are memoized; identical shapes across requests hit the cache.
     const GemmPlan plan = cache_.planFor(*backend_, request.problem,
                                          request.design, request.overrides);
-    request.result =
-        backend_->execute(request.problem, plan, request.computeValues);
+    ExecOptions options = execOptions(request.computeValues);
+    // Prepared operands are memoized alongside the plan (keyed by the
+    // plan key + weight fingerprint), so repeated requests against the
+    // same weights skip packing and table construction entirely.
+    // Reference-only backends read nothing but the (tiny, ad-hoc)
+    // decode codebooks, so caching full LUT operands for them would
+    // only evict operands the LUT backends need.
+    std::shared_ptr<const PreparedGemm> prepared;
+    if (options_.prepareOperands && request.computeValues &&
+        !backend_->capabilities().referenceFunctionalOnly &&
+        !request.problem.w.codes.empty()) {
+        prepared = cache_.preparedFor(*backend_, request.problem, plan,
+                                      request.overrides);
+        options.prepared = prepared.get();
+    }
+    request.result = backend_->execute(request.problem, plan, options);
     if (residency_ != nullptr) {
         residency_->acquire(plan).apply(request.result.timing,
                                         request.result.energy,
@@ -323,7 +350,8 @@ InferenceSession::runPlanStage(Request& request)
             const unsigned rank =
                 request.shardPlan.shards[i].rank %
                 static_cast<unsigned>(rankQueues_.size());
-            rankQueues_[rank].push_back({&request, static_cast<int>(i)});
+            rankQueues_[rank].push_back(
+                {&request, static_cast<int>(i), {}});
         }
     }
     queueCv_.notify_all();
@@ -332,9 +360,20 @@ InferenceSession::runPlanStage(Request& request)
 void
 InferenceSession::runShard(Request& request, unsigned shardIndex)
 {
-    request.shardResults[shardIndex] = backend_->execute(
-        shardProblem(request.problem, request.shardPlan, shardIndex),
-        request.shardPlan.shards[shardIndex].plan, request.computeValues);
+    const GemmProblem slice =
+        shardProblem(request.problem, request.shardPlan, shardIndex);
+    const GemmPlan& plan = request.shardPlan.shards[shardIndex].plan;
+    ExecOptions options = execOptions(request.computeValues);
+    std::shared_ptr<const PreparedGemm> prepared;
+    if (options_.prepareOperands && request.computeValues &&
+        !backend_->capabilities().referenceFunctionalOnly &&
+        !slice.w.codes.empty()) {
+        prepared = cache_.preparedFor(*backend_, slice, plan,
+                                      request.overrides);
+        options.prepared = prepared.get();
+    }
+    request.shardResults[shardIndex] =
+        backend_->execute(slice, plan, options);
 }
 
 void
@@ -346,8 +385,56 @@ InferenceSession::finishRequest(Request& request)
 }
 
 void
+InferenceSession::runTileBatch(std::size_t tiles,
+                               const std::function<void(std::size_t)>& fn)
+{
+    if (tiles == 0) {
+        return;
+    }
+    if (tiles == 1 || workerCount() <= 1) {
+        for (std::size_t i = 0; i < tiles; ++i) {
+            fn(i);
+        }
+        return;
+    }
+    auto batch = std::make_shared<TileBatch>();
+    batch->fn = &fn;
+    batch->count = tiles;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        // Front of every rank queue: an idle worker's next pop helps
+        // finish the GEMM someone is already executing.  A stale claim
+        // task (batch already exhausted) is popped and dropped.
+        for (auto& queue : rankQueues_) {
+            queue.push_front(Task{nullptr, kTileTask, batch});
+        }
+    }
+    queueCv_.notify_all();
+    // Participate: the submitting thread claims tiles too, so the batch
+    // completes even if every worker is busy elsewhere.
+    if (batch->drain()) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        doneCv_.notify_all();
+    }
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        doneCv_.wait(lock, [&batch] { return batch->settled(); });
+    }
+    if (batch->error) {
+        std::rethrow_exception(batch->error);
+    }
+}
+
+void
 InferenceSession::runTask(const Task& task)
 {
+    if (task.shard == kTileTask) {
+        if (task.tiles->drain()) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            doneCv_.notify_all();
+        }
+        return;
+    }
     Request& request = *task.request;
     if (task.shard == kPlanTask) {
         try {

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "backend/backend.h"
+#include "common/parallel.h"
 #include "nn/inference.h"
 #include "nn/workload.h"
 #include "serving/plan_cache.h"
@@ -82,6 +83,21 @@ struct SessionOptions {
      * Ignored while residencyPolicy is Disabled.
      */
     std::uint64_t mramBudgetBytes = 0;
+    /**
+     * Memoize prepared operands (PreparedGemm, kernels/exec_engine.h)
+     * in the session's PlanCache for value-computing GEMM requests, so
+     * repeated requests against the same weights stop re-packing them
+     * and rebuilding LUT tables.  Results are bit-identical either way.
+     */
+    bool prepareOperands = true;
+    /**
+     * Fan the functional pass of each GEMM into output tiles executed
+     * on this session's worker pool (idle workers help finish the
+     * request currently executing).  Tiles write disjoint output ranges
+     * with a fixed per-element accumulation order, so results are
+     * bit-identical to serial execution.
+     */
+    bool tileParallel = true;
 };
 
 /**
@@ -216,14 +232,45 @@ class InferenceSession
      * One schedulable unit on a rank queue: a whole request (unsharded
      * GEMM or compiled workload), the plan stage of a sharded GEMM
      * (cuts the problem and fans the shards out across the rank
-     * queues), or one shard of a sharded GEMM.
+     * queues), one shard of a sharded GEMM, or a functional tile batch
+     * fanned out by an executing request (kTileTask; `tiles` set).
      */
     struct Task {
         Request* request = nullptr;
-        int shard = kWholeTask; ///< kWholeTask / kPlanTask / shard index
+        int shard = kWholeTask; ///< kWholeTask/kPlanTask/kTileTask/index
+        std::shared_ptr<TileBatch> tiles;
     };
     static constexpr int kWholeTask = -1;
     static constexpr int kPlanTask = -2;
+    static constexpr int kTileTask = -3;
+
+    /**
+     * TileExecutor over this session's worker pool: run() parks one
+     * claim task per rank queue (at the front — tiles finish the GEMM
+     * someone is already executing), participates in the batch on the
+     * calling thread, and blocks until it settles.  Whole-batch
+     * completion is what bounds the wait, so a submitter with no free
+     * workers still finishes on its own.
+     */
+    class PoolTiles final : public TileExecutor
+    {
+      public:
+        explicit PoolTiles(InferenceSession* session) : session_(session) {}
+
+        unsigned concurrency() const override
+        {
+            return session_->workerCount();
+        }
+
+        void run(std::size_t tiles,
+                 const std::function<void(std::size_t)>& fn) const override
+        {
+            session_->runTileBatch(tiles, fn);
+        }
+
+      private:
+        InferenceSession* session_;
+    };
 
     RequestId enqueue(std::unique_ptr<Request> request);
     bool anyQueuedLocked() const;
@@ -234,12 +281,18 @@ class InferenceSession
     void runPlanStage(Request& request);
     void runShard(Request& request, unsigned shardIndex);
     void runWhole(Request& request);
+    void runTileBatch(std::size_t tiles,
+                      const std::function<void(std::size_t)>& fn);
+    /** Execution options for one request (tiles + arena; the prepared
+     * operand is looked up per call site). */
+    ExecOptions execOptions(bool computeValues) const;
     void finishRequest(Request& request);
     std::unique_ptr<Request> take(RequestId id, bool wantWorkload);
 
     BackendPtr backend_;
     SessionOptions options_;
     PlanCache cache_;
+    PoolTiles poolTiles_{this};
     /** Created when options_.residencyPolicy != Disabled; internally
      * locked, so const execution paths share it across workers. */
     std::unique_ptr<ResidencyManager> residency_;

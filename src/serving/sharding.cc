@@ -300,12 +300,32 @@ GemmResult
 executeSharded(const Backend& backend, const GemmProblem& problem,
                const ShardPlan& plan, bool computeValues)
 {
+    ExecOptions options;
+    options.computeValues = computeValues;
+    return executeSharded(backend, problem, plan, options);
+}
+
+GemmResult
+executeSharded(const Backend& backend, const GemmProblem& problem,
+               const ShardPlan& plan, const ExecOptions& options,
+               PlanCache* cache, const PlanOverrides& overrides)
+{
     std::vector<GemmResult> parts;
     parts.reserve(plan.shards.size());
     for (unsigned i = 0; i < plan.shards.size(); ++i) {
-        parts.push_back(backend.execute(shardProblem(problem, plan, i),
-                                        plan.shards[i].plan,
-                                        computeValues));
+        const GemmProblem slice = shardProblem(problem, plan, i);
+        ExecOptions shardOptions = options;
+        shardOptions.prepared = nullptr;
+        std::shared_ptr<const PreparedGemm> prepared;
+        if (cache != nullptr && shardOptions.computeValues &&
+            !backend.capabilities().referenceFunctionalOnly &&
+            !slice.w.codes.empty()) {
+            prepared = cache->preparedFor(backend, slice,
+                                          plan.shards[i].plan, overrides);
+            shardOptions.prepared = prepared.get();
+        }
+        parts.push_back(backend.execute(slice, plan.shards[i].plan,
+                                        shardOptions));
     }
     return reduceShardResults(backend, plan, std::move(parts));
 }
@@ -313,14 +333,18 @@ executeSharded(const Backend& backend, const GemmProblem& problem,
 InferenceReport
 executeShardedWorkload(const Backend& backend,
                        const std::vector<ShardedGemm>& nodes,
-                       const QuantConfig& quant, double hostOps)
+                       const QuantConfig& quant, double hostOps,
+                       const ExecOptions& options)
 {
+    ExecOptions nodeOptions = options;
+    nodeOptions.computeValues = false; // workload nodes are shape-only
+    nodeOptions.prepared = nullptr;
     InferenceReport report;
     for (const ShardedGemm& node : nodes) {
         const GemmProblem problem = makeShapeOnlyProblem(
             node.gemm.m, node.gemm.k, node.gemm.n, quant);
-        const GemmResult r = executeSharded(backend, problem, node.plan,
-                                            /*computeValues=*/false);
+        const GemmResult r =
+            executeSharded(backend, problem, node.plan, nodeOptions);
         accumulate(report.timing, r.timing, node.gemm.count);
         accumulate(report.energy, r.energy, node.gemm.count);
         // The node's end-to-end time contains the collective and (for

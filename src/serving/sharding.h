@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "backend/backend.h"
+#include "kernels/exec_engine.h"
 #include "nn/workload.h"
 
 namespace localut {
@@ -142,6 +143,20 @@ GemmResult executeSharded(const Backend& backend,
                           const GemmProblem& problem, const ShardPlan& plan,
                           bool computeValues = true);
 
+/**
+ * executeSharded() under explicit execution options.  options.prepared
+ * is ignored (a whole-problem operand cannot serve the slices); pass
+ * @p cache to fetch/populate per-shard prepared operands instead —
+ * exactly what a sharded serving loop reuses across decode steps.
+ * @p overrides must be the PlanOverrides the shard plan was cut with
+ * (they are part of the prepared-operand cache key).
+ */
+GemmResult executeSharded(const Backend& backend,
+                          const GemmProblem& problem, const ShardPlan& plan,
+                          const ExecOptions& options,
+                          PlanCache* cache = nullptr,
+                          const PlanOverrides& overrides = {});
+
 /** A workload GEMM bound to its sharded execution plan. */
 struct ShardedGemm {
     WorkloadGemm gemm;
@@ -151,12 +166,15 @@ struct ShardedGemm {
 /**
  * Sharded counterpart of executeWorkload(): executes every node's shards
  * (timing-only) plus @p hostOps host work and aggregates the report,
- * including the per-node collective transfers.
+ * including the per-node collective transfers.  @p options carries the
+ * execution knobs (its computeValues is overridden to false: workload
+ * nodes are shape-only).
  */
 InferenceReport executeShardedWorkload(const Backend& backend,
                                        const std::vector<ShardedGemm>& nodes,
                                        const QuantConfig& quant,
-                                       double hostOps);
+                                       double hostOps,
+                                       const ExecOptions& options = {});
 
 } // namespace localut
 

@@ -18,11 +18,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "backend/backend.h"
+#include "common/parallel.h"
 #include "common/rng.h"
+#include "kernels/exec_engine.h"
 #include "nn/inference.h"
 #include "serving/plan_cache.h"
 #include "serving/sharding.h"
@@ -124,6 +127,72 @@ TEST(ParityFuzz, ShardedMatchesUnshardedAcrossBackends)
         EXPECT_GE(sharded.timing.total + 1e-18,
                   criticalShardSeconds + plan.collectiveSeconds);
     }
+}
+
+/**
+ * Prepared-operand parity: prepared (cached PreparedGemm + arena +
+ * tile-parallel) execution is bit-exact against unprepared execution
+ * across upmem/bankpim/host-cpu x ranks {1, 2, 4} x tile threads
+ * {1, 4}, unsharded and sharded alike.
+ */
+TEST(ParityFuzz, PreparedMatchesUnpreparedAcrossBackendsRanksThreads)
+{
+    Rng rng(0x9e37);
+    const std::vector<QuantConfig> configs = QuantConfig::paperConfigs();
+    const char* backends[] = {"upmem", "bankpim", "host-cpu"};
+    PlanCache cache;
+    TilePool pool(4);
+    for (unsigned i = 0; i < 48; ++i) {
+        const std::size_t m = 1 + rng.nextBounded(80);
+        const std::size_t k = 2 + rng.nextBounded(80);
+        const std::size_t n = 1 + rng.nextBounded(24);
+        const QuantConfig cfg = configs[rng.nextBounded(configs.size())];
+        const BackendPtr backend = makeBackend(backends[rng.nextBounded(3)]);
+        const GemmProblem problem =
+            makeRandomProblem(m, k, n, cfg, 0xabc0 + i);
+        SCOPED_TRACE("case " + std::to_string(i) + ": m=" +
+                     std::to_string(m) + " k=" + std::to_string(k) +
+                     " n=" + std::to_string(n) + " " + cfg.name() + " " +
+                     backend->name());
+
+        const GemmPlan plan =
+            cache.planFor(*backend, problem, DesignPoint::LoCaLut);
+        const GemmResult baseline = backend->execute(problem, plan);
+        EXPECT_EQ(baseline.outInt,
+                  referenceGemmInt(problem.w, problem.a));
+
+        for (unsigned threads : {1u, 4u}) {
+            ExecOptions options;
+            const std::shared_ptr<const PreparedGemm> prepared =
+                cache.preparedFor(*backend, problem, plan);
+            options.prepared = prepared.get();
+            if (threads > 1) {
+                options.tiles = &pool;
+            }
+            const GemmResult prep =
+                backend->execute(problem, plan, options);
+            EXPECT_EQ(prep.outInt, baseline.outInt)
+                << "threads=" << threads;
+
+            for (unsigned ranks : {2u, 4u}) {
+                ShardSpec spec;
+                spec.numRanks = ranks;
+                const ShardPlan shardPlan = cache.shardPlanFor(
+                    *backend, problem, DesignPoint::LoCaLut, spec);
+                ExecOptions shardOptions;
+                shardOptions.tiles = options.tiles;
+                const GemmResult sharded = executeSharded(
+                    *backend, problem, shardPlan, shardOptions, &cache);
+                EXPECT_EQ(sharded.outInt, baseline.outInt)
+                    << "ranks=" << ranks << " threads=" << threads;
+            }
+        }
+    }
+    // The prepared cache actually served repeats: every (shape, ranks,
+    // threads) revisit of the same weights is a hit.
+    const PlanCache::Stats stats = cache.stats();
+    EXPECT_GT(stats.preparedHits, 0u);
+    EXPECT_GT(stats.preparedMisses, 0u);
 }
 
 TEST(ParityFuzz, CollectiveBytesMonotoneInRanks)

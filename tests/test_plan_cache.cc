@@ -274,6 +274,77 @@ TEST(PlanCacheStress, ManyThreadsHammeringSharedShapes)
     EXPECT_GT(stats.hits, 0u);
 }
 
+/**
+ * Concurrent PreparedGemm cache stress (run under -fsanitize=thread to
+ * verify lock discipline): many threads hammer preparedFor() on a
+ * handful of shared problems while executing through the returned
+ * operands; every execution stays bit-exact, eviction races are
+ * harmless, and outstanding shared_ptrs survive eviction.
+ */
+TEST(PlanCacheStress, ConcurrentPreparedOperands)
+{
+    const BackendPtr backend = makeBackend("upmem");
+    PlanCache cache;
+    cache.setMaxPreparedEntries(3); // force eviction churn under load
+    const QuantConfig cfg = QuantConfig::preset("W1A4");
+    constexpr unsigned kProblems = 4;
+    std::vector<GemmProblem> problems;
+    std::vector<GemmPlan> plans;
+    std::vector<std::vector<std::int32_t>> references;
+    for (unsigned i = 0; i < kProblems; ++i) {
+        problems.push_back(
+            makeRandomProblem(24 + 8 * i, 48, 3 + i, cfg, 100 + i));
+        plans.push_back(cache.planFor(*backend, problems[i],
+                                      DesignPoint::LoCaLut));
+        references.push_back(
+            referenceGemmInt(problems[i].w, problems[i].a));
+    }
+
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kIters = 40;
+    std::atomic<bool> go{false};
+    std::atomic<unsigned> mismatches{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            while (!go.load()) {
+            }
+            for (unsigned i = 0; i < kIters; ++i) {
+                const unsigned which = (t + i) % kProblems;
+                const auto prepared = cache.preparedFor(
+                    *backend, problems[which], plans[which]);
+                ExecOptions options;
+                options.prepared = prepared.get();
+                const GemmResult result = backend->execute(
+                    problems[which], plans[which], options);
+                if (result.outInt != references[which]) {
+                    mismatches.fetch_add(1);
+                }
+            }
+        });
+    }
+    go.store(true);
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    EXPECT_EQ(mismatches.load(), 0u);
+
+    const PlanCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.preparedHits + stats.preparedMisses,
+              kThreads * kIters);
+    EXPECT_GT(stats.preparedHits, 0u);
+    EXPECT_LE(stats.preparedEntries, 3u);
+    EXPECT_GT(stats.preparedBytes, 0u);
+
+    // clear() drops the operands; the next lookup rebuilds.
+    cache.clear();
+    EXPECT_EQ(cache.stats().preparedEntries, 0u);
+    const auto rebuilt =
+        cache.preparedFor(*backend, problems[0], plans[0]);
+    EXPECT_TRUE(rebuilt->matches(problems[0], plans[0]));
+}
+
 TEST(PlanCacheStress, SharedSessionCompileAndSubmit)
 {
     SessionOptions options;

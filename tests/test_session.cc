@@ -35,6 +35,55 @@ TEST(InferenceSession, AsyncGemmMatchesSynchronousEngine)
     EXPECT_DOUBLE_EQ(async.energy.total, sync.energy.total);
 }
 
+/**
+ * The tile-parallel + prepared-operand serving path: with several
+ * workers, value-computing GEMMs fan their functional tiles onto the
+ * session's own worker pool and execute against cached PreparedGemms —
+ * bit-exact vs the synchronous engine, unsharded and sharded, across
+ * repeated submissions of the same weights (which must hit the
+ * prepared cache).  Run under -fsanitize=thread to verify the
+ * tile-batch claim counters.
+ */
+TEST(InferenceSession, TileParallelPreparedServingIsBitExact)
+{
+    const BackendPtr backend = makeBackend("upmem");
+    const QuantConfig cfg = QuantConfig::preset("W4A4");
+    const GemmProblem problem = makeRandomProblem(96, 64, 24, cfg, 17);
+    const GemmResult sync = backend->execute(problem, DesignPoint::LoCaLut);
+
+    for (unsigned ranks : {1u, 2u}) {
+        SessionOptions options;
+        options.workers = 4; // force a real pool even on small machines
+        options.numRanks = ranks;
+        options.computeValues = true;
+        InferenceSession session(backend, options);
+        ASSERT_EQ(session.workerCount(), 4u);
+
+        std::vector<InferenceSession::RequestId> ids;
+        for (int i = 0; i < 6; ++i) {
+            ids.push_back(session.submit(problem, DesignPoint::LoCaLut));
+        }
+        for (const auto id : ids) {
+            EXPECT_EQ(session.wait(id).outInt, sync.outInt)
+                << "ranks=" << ranks;
+        }
+        // Re-submitting the same weights hit the prepared-operand memo.
+        EXPECT_GT(session.planCacheStats().preparedHits, 0u);
+    }
+
+    // Disabling the knobs falls back to the plain path, same values.
+    SessionOptions plain;
+    plain.workers = 2;
+    plain.computeValues = true;
+    plain.prepareOperands = false;
+    plain.tileParallel = false;
+    InferenceSession session(backend, plain);
+    EXPECT_EQ(session.wait(session.submit(problem, DesignPoint::LoCaLut))
+                  .outInt,
+              sync.outInt);
+    EXPECT_EQ(session.planCacheStats().preparedMisses, 0u);
+}
+
 TEST(InferenceSession, BatchedSubmissionsAllComplete)
 {
     InferenceSession session(makeBackend("upmem"));
