@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Serving load: an open-loop Poisson generator drives the SLO-aware
+ * RequestScheduler and the FIFO placement baseline across backends x
+ * ranks x arrival rates, on a 70/30 interactive/batch GEMM mix with
+ * per-lane deadlines.  Reports admission outcomes, deadline goodput,
+ * and interactive latency quantiles (all in modeled virtual seconds),
+ * verifies every admitted value request bit-exact against a direct
+ * submit, and emits BENCH_serving.json (archived by the CI perf-smoke
+ * job).
+ *
+ * Under --smoke it exits non-zero when (a) any admitted interactive
+ * request misses its deadline under the SLO policy, or (b) the SLO
+ * policy fails to sustain strictly more deadline-met requests than
+ * FIFO at the overload rate — the PR's acceptance gate.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+using namespace localut;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Deadline budgets, as multiples of the lane's own service time. */
+constexpr double kInteractiveDeadlineX = 4.0;
+constexpr double kBatchDeadlineX = 40.0;
+constexpr double kInteractiveShare = 0.7;
+
+struct LaneShape {
+    std::size_t m, k, n;
+};
+
+/** One measured (backend, ranks, rate, mode) point. */
+struct RunStats {
+    std::string backend;
+    unsigned ranks = 0;
+    std::string mode;
+    double arrivalPerSec = 0;
+    double offeredLoad = 0; ///< rate / aggregate capacity
+    std::uint64_t offered = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t met = 0;        ///< admitted requests meeting deadline
+    std::uint64_t interMissed = 0;///< interactive deadline misses
+    double goodputPerSec = 0;     ///< met / makespan
+    double interP50 = 0, interP95 = 0, interP99 = 0;
+};
+
+std::vector<RunStats> gRuns;
+
+/** The request stream is deterministic per (seed); both modes replay
+ * the identical arrival process. */
+struct Arrival {
+    double time;
+    bool interactive;
+    unsigned problemIndex;
+};
+
+RunStats
+runOne(const std::string& backendName, unsigned ranks,
+       SchedulerPolicy policy, double rate, double offeredLoad,
+       unsigned requests, const std::vector<GemmProblem>& interPool,
+       const std::vector<GemmProblem>& batchPool,
+       const std::vector<std::vector<std::int32_t>>& interRef,
+       const std::vector<std::vector<std::int32_t>>& batchRef,
+       double interService, double batchService,
+       const std::vector<Arrival>& arrivals)
+{
+    SessionOptions sessionOptions;
+    sessionOptions.numRanks = ranks;
+    InferenceSession session(makeBackend(backendName), sessionOptions);
+    SchedulerOptions options;
+    options.policy = policy;
+    options.maxQueuedPerRank = 16;
+    RequestScheduler scheduler(session, options);
+
+    struct Pending {
+        AdmissionDecision decision;
+        bool interactive;
+        unsigned problemIndex;
+    };
+    std::vector<Pending> submitted;
+    submitted.reserve(requests);
+    for (unsigned i = 0; i < requests; ++i) {
+        const Arrival& arrival = arrivals[i];
+        const auto& pool = arrival.interactive ? interPool : batchPool;
+        ServingRequest request = ServingRequest::gemm(
+            pool[arrival.problemIndex], DesignPoint::LoCaLut,
+            arrival.interactive ? DeadlineClass::Interactive
+                                : DeadlineClass::Batch,
+            arrival.interactive ? kInteractiveDeadlineX * interService
+                                : kBatchDeadlineX * batchService);
+        request.arrivalSeconds = arrival.time;
+        submitted.push_back({scheduler.submit(std::move(request)),
+                             arrival.interactive, arrival.problemIndex});
+    }
+
+    double makespan = 0;
+    std::uint64_t mismatches = 0;
+    for (const Pending& pending : submitted) {
+        const ServingResult result = scheduler.wait(pending.decision.id);
+        if (!result.decision.admitted()) {
+            continue;
+        }
+        makespan = std::max(makespan, result.sample.completionSeconds);
+        const auto& ref = pending.interactive
+                              ? interRef[pending.problemIndex]
+                              : batchRef[pending.problemIndex];
+        if (result.gemm.outInt != ref) {
+            ++mismatches;
+        }
+    }
+    if (mismatches != 0) {
+        LOCALUT_FATAL(mismatches, " admitted request(s) diverged from "
+                                  "the direct-submit reference");
+    }
+
+    const TelemetrySnapshot snap = scheduler.telemetry().snapshot();
+    const auto i = static_cast<std::size_t>(DeadlineClass::Interactive);
+    RunStats stats;
+    stats.backend = backendName;
+    stats.ranks = ranks;
+    stats.mode = schedulerPolicyName(policy);
+    stats.arrivalPerSec = rate;
+    stats.offeredLoad = offeredLoad;
+    stats.offered = snap.totalSubmitted();
+    stats.admitted = snap.totalAdmitted();
+    for (std::size_t lane = 0; lane < kDeadlineClasses; ++lane) {
+        stats.shed += snap.shedDeadline[lane];
+        stats.rejected += snap.rejectedSaturated[lane];
+        stats.met += snap.lanes[lane].deadlineMet;
+    }
+    stats.interMissed = snap.lanes[i].deadlineMissed;
+    stats.goodputPerSec =
+        makespan > 0 ? static_cast<double>(stats.met) / makespan : 0;
+    stats.interP50 = snap.lanes[i].latency.p50();
+    stats.interP95 = snap.lanes[i].latency.p95();
+    stats.interP99 = snap.lanes[i].latency.p99();
+    return stats;
+}
+
+void
+writeJson(bool smoke, bool gatePassed)
+{
+    std::FILE* f = std::fopen("BENCH_serving.json", "w");
+    if (f == nullptr) {
+        bench::note("could not open BENCH_serving.json for writing");
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"serving_load\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"slo_gate_passed\": %s,\n",
+                 gatePassed ? "true" : "false");
+    std::fprintf(f, "  \"interactive_deadline_x\": %.1f,\n",
+                 kInteractiveDeadlineX);
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t r = 0; r < gRuns.size(); ++r) {
+        const RunStats& s = gRuns[r];
+        std::fprintf(
+            f,
+            "    {\"backend\": \"%s\", \"ranks\": %u, \"mode\": \"%s\", "
+            "\"arrival_per_sec\": %.3f, \"offered_load\": %.3f, "
+            "\"offered\": %llu, \"admitted\": %llu, \"shed\": %llu, "
+            "\"rejected\": %llu, \"deadline_met\": %llu, "
+            "\"interactive_deadline_missed\": %llu, "
+            "\"goodput_per_sec\": %.3f, \"interactive_p50_s\": %.6e, "
+            "\"interactive_p95_s\": %.6e, \"interactive_p99_s\": "
+            "%.6e}%s\n",
+            s.backend.c_str(), s.ranks, s.mode.c_str(), s.arrivalPerSec,
+            s.offeredLoad, static_cast<unsigned long long>(s.offered),
+            static_cast<unsigned long long>(s.admitted),
+            static_cast<unsigned long long>(s.shed),
+            static_cast<unsigned long long>(s.rejected),
+            static_cast<unsigned long long>(s.met),
+            static_cast<unsigned long long>(s.interMissed),
+            s.goodputPerSec, s.interP50, s.interP95, s.interP99,
+            r + 1 < gRuns.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    bench::note("wrote BENCH_serving.json");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bench::init(argc, argv);
+    bench::header("Serving",
+                  "SLO scheduler vs FIFO under open-loop Poisson load");
+
+    const bool smoke = bench::smoke();
+    const unsigned requests = bench::smokeTrim(240u, 60u);
+    const std::vector<std::string> backends =
+        bench::smokeTrim<std::vector<std::string>>({"upmem", "host-cpu"},
+                                                   {"upmem"});
+    const std::vector<unsigned> rankCounts =
+        bench::smokeTrim<std::vector<unsigned>>({1, 4}, {2});
+    const std::vector<double> loadFactors = bench::smokeTrim<
+        std::vector<double>>({0.5, 0.9, 1.5, 3.0}, {0.6, 2.5});
+
+    // Lane shapes: decode-style skinny GEMMs interactively, prefill-ish
+    // fat-N GEMMs in the batch lane; a small problem pool keeps plans,
+    // prepared operands, and references shared across the sweep.
+    const LaneShape interShape = {768, 768, 8};
+    const LaneShape batchShape = {768, 768, 64};
+    const QuantConfig quant = QuantConfig::preset("W4A4");
+    constexpr unsigned kPoolSize = 4;
+
+    std::vector<GemmProblem> interPool, batchPool;
+    std::vector<std::vector<std::int32_t>> interRef, batchRef;
+    for (unsigned p = 0; p < kPoolSize; ++p) {
+        interPool.push_back(makeRandomProblem(
+            interShape.m, interShape.k, interShape.n, quant, 50 + p));
+        batchPool.push_back(makeRandomProblem(
+            batchShape.m, batchShape.k, batchShape.n, quant, 70 + p));
+        // The direct-submit reference for the bit-exactness criterion:
+        // every backend's execute() must reproduce it, so it doubles as
+        // the cross-backend reference here.
+        interRef.push_back(
+            referenceGemmInt(interPool.back().w, interPool.back().a));
+        batchRef.push_back(
+            referenceGemmInt(batchPool.back().w, batchPool.back().a));
+    }
+
+    bench::note("mix: " +
+                std::to_string(static_cast<int>(100 * kInteractiveShare)) +
+                "% interactive (deadline " +
+                std::to_string(static_cast<int>(kInteractiveDeadlineX)) +
+                "x service, " + std::to_string(interShape.m) + "x" +
+                std::to_string(interShape.k) + "x" +
+                std::to_string(interShape.n) + "), rest batch (deadline " +
+                std::to_string(static_cast<int>(kBatchDeadlineX)) +
+                "x service, n=" + std::to_string(batchShape.n) + "); " +
+                std::to_string(requests) + " requests per point");
+
+    bool gatePassed = true;
+    for (const std::string& backendName : backends) {
+        // Per-lane steady service on this backend (modeled seconds).
+        const BackendPtr backend = makeBackend(backendName);
+        const double interService =
+            backend
+                ->execute(interPool[0],
+                          backend->plan(interPool[0],
+                                        DesignPoint::LoCaLut),
+                          /*computeValues=*/false)
+                .timing.total;
+        const double batchService =
+            backend
+                ->execute(batchPool[0],
+                          backend->plan(batchPool[0],
+                                        DesignPoint::LoCaLut),
+                          /*computeValues=*/false)
+                .timing.total;
+        const double meanService = kInteractiveShare * interService +
+                                   (1 - kInteractiveShare) * batchService;
+
+        for (const unsigned ranks : rankCounts) {
+            const double capacity = ranks / meanService;
+            bench::section(backendName + ", " + std::to_string(ranks) +
+                           " rank(s): capacity ~" +
+                           Table::fmt(capacity, 1) + " req/s (svc " +
+                           bench::fmtSeconds(interService) + " / " +
+                           bench::fmtSeconds(batchService) + ")");
+            Table table({"load", "mode", "admit", "shed", "reject",
+                         "met", "goodput/s", "p99 int", "int miss"});
+            for (const double load : loadFactors) {
+                const double rate = load * capacity;
+                // One arrival trace per (point), replayed identically
+                // under both policies.
+                Rng rng(0x10ca107ull ^
+                        (static_cast<std::uint64_t>(ranks) *
+                         1315423911ull) ^
+                        static_cast<std::uint64_t>(load * 1e3));
+                std::vector<Arrival> arrivals;
+                double t = 0;
+                for (unsigned i = 0; i < requests; ++i) {
+                    t += -std::log(1.0 - rng.nextDouble()) / rate;
+                    arrivals.push_back(
+                        {t, rng.nextDouble() < kInteractiveShare,
+                         static_cast<unsigned>(
+                             rng.nextBounded(kPoolSize))});
+                }
+                RunStats slo, fifo;
+                for (const SchedulerPolicy policy :
+                     {SchedulerPolicy::Slo, SchedulerPolicy::Fifo}) {
+                    RunStats stats = runOne(
+                        backendName, ranks, policy, rate, load, requests,
+                        interPool, batchPool, interRef, batchRef,
+                        interService, batchService, arrivals);
+                    (policy == SchedulerPolicy::Slo ? slo : fifo) =
+                        stats;
+                    gRuns.push_back(stats);
+                    table.addRow(
+                        {Table::fmt(load, 2) + "x", stats.mode,
+                         std::to_string(stats.admitted),
+                         std::to_string(stats.shed),
+                         std::to_string(stats.rejected),
+                         std::to_string(stats.met),
+                         Table::fmt(stats.goodputPerSec, 1),
+                         bench::fmtSeconds(stats.interP99),
+                         std::to_string(stats.interMissed)});
+                }
+                // The acceptance gate: the SLO policy never misses an
+                // admitted interactive deadline, and past saturation it
+                // sustains strictly more deadline-met requests than
+                // FIFO placement.
+                if (slo.interMissed != 0) {
+                    gatePassed = false;
+                    bench::note("GATE: slo admitted an interactive "
+                                "request past its deadline at load " +
+                                Table::fmt(load, 2) + "x");
+                }
+                if (load > 1.0 && slo.met <= fifo.met) {
+                    gatePassed = false;
+                    bench::note("GATE: slo goodput did not beat fifo at "
+                                "overload " + Table::fmt(load, 2) + "x");
+                }
+            }
+            table.print();
+        }
+    }
+    bench::note("expected shape: below capacity both modes admit nearly "
+                "everything; past it FIFO queues blow the interactive "
+                "p99 while the SLO policy sheds early and keeps every "
+                "admitted deadline.");
+
+    writeJson(smoke, gatePassed);
+    if (smoke && !gatePassed) {
+        bench::note("FAIL: SLO scheduler gate (see GATE notes above)");
+        return 1;
+    }
+    return 0;
+}

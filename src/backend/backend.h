@@ -48,6 +48,7 @@ struct BackendCapabilities {
     unsigned parallelUnits = 0;    ///< DPUs / banks / devices
     std::vector<DesignPoint> designPoints; ///< accepted by plan()
 
+    /** True when @p dp is in designPoints. */
     bool supports(DesignPoint dp) const;
 };
 
@@ -117,8 +118,9 @@ struct MemoryProfile {
 class Backend
 {
   public:
-    virtual ~Backend() = default;
+    virtual ~Backend() = default; ///< backends delete polymorphically
 
+    /** What this device can do (name, functional support, units). */
     virtual const BackendCapabilities& capabilities() const = 0;
 
     /** Resolves a full execution plan for @p problem under @p design. */
@@ -140,9 +142,10 @@ class Backend
                                const GemmPlan& plan,
                                const ExecOptions& options) const = 0;
 
-    /** execute() with default options / a bare functional-pass switch. */
+    /** execute() with default options (functional pass off). */
     GemmResult execute(const GemmProblem& problem,
                        const GemmPlan& plan) const;
+    /** execute() with a bare functional-pass switch. */
     GemmResult execute(const GemmProblem& problem, const GemmPlan& plan,
                        bool computeValues) const;
 
@@ -184,6 +187,7 @@ class Backend
                        bool computeValues = true,
                        const PlanOverrides& overrides = {}) const;
 
+    /** Registry name shorthand (capabilities().name). */
     const std::string& name() const { return capabilities().name; }
 
   protected:
@@ -196,9 +200,13 @@ class Backend
     class FingerprintBuilder
     {
       public:
+        /** Folds one double field into the fingerprint. */
         FingerprintBuilder& add(double value);
+        /** Folds one integer field into the fingerprint. */
         FingerprintBuilder& add(std::uint64_t value);
+        /** Folds one string field into the fingerprint. */
         FingerprintBuilder& add(const std::string& value);
+        /** The accumulated fingerprint. */
         std::uint64_t value() const { return state_; }
 
       private:
@@ -206,6 +214,7 @@ class Backend
     };
 };
 
+/** Shared-ownership handle to an immutable backend. */
 using BackendPtr = std::shared_ptr<const Backend>;
 
 /**

@@ -50,8 +50,10 @@
 #include "quant/quantizer.h"          // IWYU pragma: export
 #include "serving/plan_cache.h"       // IWYU pragma: export
 #include "serving/residency.h"        // IWYU pragma: export
+#include "serving/scheduler.h"        // IWYU pragma: export
 #include "serving/session.h"          // IWYU pragma: export
 #include "serving/sharding.h"         // IWYU pragma: export
+#include "serving/telemetry.h"        // IWYU pragma: export
 #include "upmem/cost_model.h"         // IWYU pragma: export
 #include "upmem/params.h"             // IWYU pragma: export
 

@@ -98,6 +98,36 @@ struct PlannedGemm {
 };
 
 /**
+ * Modeled steady-state cost of serving one request of a compiled
+ * workload — the per-request projection the SLO scheduler's admission
+ * control runs against (serving/scheduler.h).  Derived from the same
+ * chargeCosts() accounting that execution reports, so projection and
+ * "measurement" agree exactly; cold-start LUT broadcasts are *not*
+ * included (the scheduler adds them per placement rank).
+ */
+struct WorkloadCostProjection {
+    double gemmSeconds = 0;       ///< PIM GEMM share
+    double hostOpSeconds = 0;     ///< non-GEMM host work share
+    double collectiveSeconds = 0; ///< sharded all-gather/reduce share
+
+    /** End-to-end modeled seconds per request (sum of the shares). */
+    double totalSeconds() const
+    {
+        return gemmSeconds + hostOpSeconds + collectiveSeconds;
+    }
+};
+
+/**
+ * Projects the steady-state per-request cost of executing @p nodes plus
+ * @p hostOps host work on @p backend: exactly executeWorkload()'s
+ * timing, without running a functional pass.
+ */
+WorkloadCostProjection
+projectWorkloadCost(const Backend& backend,
+                    const std::vector<PlannedGemm>& nodes,
+                    const QuantConfig& quant, double hostOps);
+
+/**
  * Executes planned GEMMs (timing-only) plus @p hostOps host work on
  * @p backend and aggregates the report.  The single execution path
  * behind both TransformerRunner and InferenceSession workloads.

@@ -40,17 +40,18 @@ namespace localut {
 
 /** Everything that determines a plan.  Equality-comparable and hashable. */
 struct PlanKey {
-    std::size_t m = 0, k = 0, n = 0;
+    std::size_t m = 0, k = 0, n = 0; ///< GEMM shape
     QuantConfig config{ValueCodec::signedBinary(),
-                       ValueCodec::signedBinary()};
-    DesignPoint design = DesignPoint::LoCaLut;
-    PlanOverrides overrides;
+                       ValueCodec::signedBinary()}; ///< quantization
+    DesignPoint design = DesignPoint::LoCaLut; ///< design point
+    PlanOverrides overrides;       ///< planner overrides in effect
     ShardSpec shard;               ///< default (numRanks 1) = unsharded
     std::string backend;           ///< plans are device-specific...
     std::uint64_t fingerprint = 0; ///< ...including the device config
 
-    bool operator==(const PlanKey&) const = default;
+    bool operator==(const PlanKey&) const = default; ///< field-wise
 
+    /** Builds the key for (@p backend, @p problem, @p design, ...). */
     static PlanKey of(const Backend& backend, const GemmProblem& problem,
                       DesignPoint design, const PlanOverrides& overrides,
                       const ShardSpec& shard = {});
@@ -58,6 +59,7 @@ struct PlanKey {
 
 /** Hash over every PlanKey field. */
 struct PlanKeyHash {
+    /** Combines every key field into one hash. */
     std::size_t operator()(const PlanKey& key) const;
 };
 
@@ -81,12 +83,12 @@ class PlanCache
     struct Stats {
         std::uint64_t hits = 0;        ///< logical lookups served cached
         std::uint64_t misses = 0;      ///< logical lookups that planned
-        std::uint64_t shardHits = 0;   ///< per-shard sub-plan lookups
-        std::uint64_t shardMisses = 0;
+        std::uint64_t shardHits = 0;   ///< per-shard sub-plan hits
+        std::uint64_t shardMisses = 0; ///< per-shard sub-plan misses
         std::uint64_t preparedHits = 0;   ///< preparedFor() served cached
         std::uint64_t preparedMisses = 0; ///< preparedFor() that built
-        std::size_t entries = 0;
-        std::size_t preparedEntries = 0;
+        std::size_t entries = 0;          ///< cached plans + shard plans
+        std::size_t preparedEntries = 0;  ///< cached prepared operands
         std::uint64_t preparedBytes = 0; ///< resident operand bytes
 
         /** Logical (per-GEMM) hit rate. */
@@ -158,8 +160,10 @@ class PlanCache
     /** Caps the prepared-operand LRU (entries; default 128). */
     void setMaxPreparedEntries(std::size_t maxEntries);
 
+    /** A consistent copy of the hit/miss counters and entry counts. */
     Stats stats() const;
 
+    /** Cached plans + shard plans currently held. */
     std::size_t size() const;
 
     /** Drops all entries (counters are kept; see resetStats()). */

@@ -54,7 +54,25 @@ TableSetKeyHash::operator()(const TableSetKey& key) const
     hashCombine(seed, static_cast<std::size_t>(key.shard.strategy));
     hashCombine(seed, key.shard.align);
     hashCombine(seed, static_cast<std::size_t>(key.instances));
+    hashCombine(seed, key.homeRank);
     return seed;
+}
+
+TableSetKey
+tableSetKeyFor(const GemmPlan& plan, const std::string& scope,
+               double instances, unsigned homeRank)
+{
+    TableSetKey key;
+    key.scope = scope;
+    key.m = plan.m;
+    key.k = plan.k;
+    key.n = plan.n;
+    key.config = plan.config;
+    key.design = plan.design;
+    key.p = std::max(1u, plan.p);
+    key.instances = roundInstances(instances);
+    key.homeRank = homeRank;
+    return key;
 }
 
 std::uint64_t
@@ -118,14 +136,15 @@ ResidencyManager::numRanks() const
 
 ResidencyCharge
 ResidencyManager::acquire(const GemmPlan& plan, const std::string& scope,
-                          double instances)
+                          double instances, unsigned homeRank)
 {
     const std::uint64_t perCopy = tableSetBytes(plan);
     if (policy_ == ResidencyPolicy::Disabled || perCopy == 0) {
         return {}; // nothing to place; nothing charged
     }
-    const std::uint64_t inst = roundInstances(instances);
-    const std::uint64_t bytes = satMulU64(perCopy, inst);
+    homeRank %= numRanks();
+    TableSetKey key = tableSetKeyFor(plan, scope, instances, homeRank);
+    const std::uint64_t bytes = satMulU64(perCopy, key.instances);
     if (lutBytesSaturated(bytes)) {
         // The real byte count overflowed 64 bits: such a plan is not
         // physically executable, and charging the sentinel as a size
@@ -134,17 +153,8 @@ ResidencyManager::acquire(const GemmPlan& plan, const std::string& scope,
         // never enter budget arithmetic).
         return {};
     }
-    TableSetKey key;
-    key.scope = scope;
-    key.m = plan.m;
-    key.k = plan.k;
-    key.n = plan.n;
-    key.config = plan.config;
-    key.design = plan.design;
-    key.p = std::max(1u, plan.p);
-    key.instances = inst;
     std::lock_guard<std::mutex> lock(mutex_);
-    return acquireLocked(std::move(key), {{0u, bytes}});
+    return acquireLocked(std::move(key), {{homeRank, bytes}});
 }
 
 ResidencyCharge
@@ -317,6 +327,27 @@ ResidencyManager::evictLocked(TableSet& victim)
     ++stats_.evictions;
     LOCALUT_ASSERT(stats_.tableSets > 0, "eviction with no resident sets");
     --stats_.tableSets;
+}
+
+bool
+ResidencyManager::isResident(const TableSetKey& key) const
+{
+    if (policy_ == ResidencyPolicy::Disabled) {
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sets_.find(key);
+    return it != sets_.end() && it->second.resident;
+}
+
+double
+ResidencyManager::broadcastSeconds(std::uint64_t bytes) const
+{
+    if (bytes == 0) {
+        return 0.0;
+    }
+    return profile_.broadcastLatencyUs * 1e-6 +
+           static_cast<double>(bytes) / (profile_.broadcastGBs * 1e9);
 }
 
 ResidencyStats

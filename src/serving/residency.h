@@ -63,6 +63,7 @@ enum class ResidencyPolicy {
     Lru,
 };
 
+/** Policy name for reports ("disabled" / "cost-aware" / "lru"). */
 const char* residencyPolicyName(ResidencyPolicy policy);
 
 /**
@@ -75,21 +76,30 @@ const char* residencyPolicyName(ResidencyPolicy policy);
  */
 struct TableSetKey {
     std::string scope;             ///< owner id ("qkv", "ffn_up", ...)
-    std::size_t m = 0, k = 0, n = 0;
+    std::size_t m = 0, k = 0, n = 0; ///< owning GEMM shape
     QuantConfig config{ValueCodec::signedBinary(),
-                       ValueCodec::signedBinary()};
-    DesignPoint design = DesignPoint::LoCaLut;
+                       ValueCodec::signedBinary()}; ///< quantization
+    DesignPoint design = DesignPoint::LoCaLut; ///< design point
     unsigned p = 1;                ///< resolved packing degree (sizing)
     ShardSpec shard;               ///< default = unsharded
     /** Per-layer instance count the set aggregates: two owner groups
      * that agree on everything else but span different layer counts are
      * different table sets (different bytes, different broadcast). */
     std::uint64_t instances = 1;
+    /**
+     * The rank an *unsharded* acquisition places the set on (data-
+     * parallel serving keeps one replica of a layer's tables per rank,
+     * so rank 0's copy and rank 2's copy are distinct sets).  Always 0
+     * for sharded sets (their ranks live in the per-shard ledger).
+     */
+    unsigned homeRank = 0;
 
-    bool operator==(const TableSetKey&) const = default;
+    bool operator==(const TableSetKey&) const = default; ///< field-wise
 };
 
+/** Hash over every TableSetKey field. */
 struct TableSetKeyHash {
+    /** Combines every key field into one hash. */
     std::size_t operator()(const TableSetKey& key) const;
 };
 
@@ -102,12 +112,23 @@ struct TableSetKeyHash {
  */
 std::uint64_t tableSetBytes(const GemmPlan& plan);
 
+/**
+ * The residency identity an unsharded acquire() of @p plan would use
+ * (scoped by @p scope, aggregating @p instances per-layer copies, homed
+ * on @p homeRank).  Exposed so serving layers — the SLO scheduler's
+ * cold-start-aware placement — can reason about table-set identity
+ * without mutating the manager.
+ */
+TableSetKey tableSetKeyFor(const GemmPlan& plan,
+                           const std::string& scope = "",
+                           double instances = 1.0, unsigned homeRank = 0);
+
 /** The cost acquire() charged for one table-set access. */
 struct ResidencyCharge {
     bool hit = true;   ///< tables were resident; nothing was transferred
     double bytes = 0;  ///< host -> PIM broadcast bytes (0 on a hit)
-    double seconds = 0;
-    double joules = 0;
+    double seconds = 0; ///< modeled broadcast seconds (0 on a hit)
+    double joules = 0;  ///< modeled broadcast Joules (0 on a hit)
 
     /** Folds the broadcast into a result's reports (and, when @p cost is
      * given, its Phase::LutBroadcast link-byte accounting). */
@@ -125,6 +146,7 @@ struct ResidencyStats {
     double broadcastBytes = 0;       ///< total host -> PIM table bytes
     double broadcastSeconds = 0;     ///< total modeled broadcast time
 
+    /** Fraction of acquires that found tables resident. */
     double
     hitRate() const
     {
@@ -157,21 +179,27 @@ class ResidencyManager
                      std::uint64_t budgetBytesPerUnit,
                      ResidencyPolicy policy);
 
+    /** The eviction / tracking policy in force. */
     ResidencyPolicy policy() const { return policy_; }
+    /** Per-unit MRAM byte budget each rank's ledger enforces. */
     std::uint64_t budgetBytesPerUnit() const { return budget_; }
+    /** Logical ranks tracked (one ledger each). */
     unsigned numRanks() const;
 
     /**
      * Ensures the table set of @p plan (scoped by @p scope; @p instances
      * per-layer copies, e.g. one per transformer layer the owning
-     * workload node aggregates) is resident on rank 0, charging a
-     * broadcast when it is not.  With ResidencyPolicy::Disabled this
+     * workload node aggregates) is resident on rank @p homeRank —
+     * rank 0 by default; the scheduler passes its placement rank so
+     * data-parallel replicas consume their own rank's budget — charging
+     * a broadcast when it is not.  With ResidencyPolicy::Disabled this
      * returns a zero charge every time (the pre-residency model: tables
      * are neither charged nor retained).
      */
     ResidencyCharge acquire(const GemmPlan& plan,
                             const std::string& scope = "",
-                            double instances = 1.0);
+                            double instances = 1.0,
+                            unsigned homeRank = 0);
 
     /** Sharded counterpart: shard i's table set consumes rank i's
      * budget; the broadcast moves every rank's tables (scatter over the
@@ -180,7 +208,23 @@ class ResidencyManager
                             const std::string& scope = "",
                             double instances = 1.0);
 
+    /** A consistent copy of the hit/miss/eviction counters. */
     ResidencyStats stats() const;
+
+    /**
+     * True when @p key's table set is currently MRAM-resident (always
+     * false under ResidencyPolicy::Disabled).  Const and side-effect
+     * free: no use is counted, nothing is charged — the query the
+     * scheduler's cold-start-aware placement runs per candidate rank.
+     */
+    bool isResident(const TableSetKey& key) const;
+
+    /**
+     * The modeled host -> PIM broadcast seconds of moving @p bytes of
+     * tables (one launch + bytes over the rank-parallel broadcast
+     * link) — what a miss on a set of that size would charge.
+     */
+    double broadcastSeconds(std::uint64_t bytes) const;
 
     /** Per-copy bytes currently resident on @p rank. */
     std::uint64_t residentBytes(unsigned rank) const;

@@ -1,0 +1,337 @@
+#ifndef LOCALUT_SERVING_SCHEDULER_H_
+#define LOCALUT_SERVING_SCHEDULER_H_
+
+/**
+ * @file
+ * The SLO-aware request scheduler: a request-level frontend above the
+ * InferenceSession.  A ServingRequest — one GEMM or one compiled
+ * workload, tagged with a priority lane (interactive vs batch) and a
+ * deadline budget — is admitted, placed, and sequenced on a
+ * *virtual-time* model of the session's ranks:
+ *
+ *  - **Projection.**  Service time comes from the PlanCache-memoized
+ *    plans of the request (projectWorkloadCost() /
+ *    projectShardedWorkloadCost(); timing-only execution of the same
+ *    chargeCosts() accounting real execution reports), so admission
+ *    projections and modeled service can never diverge.  With LUT
+ *    residency enabled, the projection adds the host -> PIM table
+ *    broadcast a cold rank would pay.
+ *
+ *  - **Placement.**  Unsharded requests occupy one rank (a data-
+ *    parallel replica); the scheduler picks the rank with the earliest
+ *    projected completion, preferring ranks whose ResidencyManager (or
+ *    planned admissions) already hold the request's LUT table sets —
+ *    cold-start-aware placement.  Sharded workloads gang across every
+ *    rank.
+ *
+ *  - **Admission control.**  A request whose deadline cannot be met on
+ *    any rank — projected queue delay + service exceeds the budget —
+ *    is shed immediately, and a request that would push any *already
+ *    admitted* deadline past its budget is shed too (an EDF
+ *    schedulability check: admitted deadlines stay feasible under
+ *    every later admission).  When every candidate rank's queue is at
+ *    SchedulerOptions::maxQueuedPerRank, the request is rejected as
+ *    saturated.
+ *
+ *  - **Sequencing.**  Ranks serve admitted requests non-preemptively:
+ *    interactive before batch, earliest absolute deadline first within
+ *    a lane, admission order on ties (SchedulerPolicy::Slo), or pure
+ *    arrival order (SchedulerPolicy::Fifo, the comparison baseline
+ *    bench/serving_load.cc measures against).  Virtual time advances
+ *    via advanceTo() (an open-loop load generator drives it with each
+ *    arrival); a decision is only finalized once the clock guarantees
+ *    no earlier arrival can still show up.
+ *
+ * Execution is real: every admitted request is submitted to the
+ * InferenceSession (pinned to its placement rank), values are bit-exact
+ * with a direct submit() — the scheduler never touches them — and
+ * wait() returns the session's result next to the virtual-time
+ * RequestSample.  Telemetry (serving/telemetry.h) collects admission
+ * counters and per-lane latency/queue-delay/service histograms.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "serving/session.h"
+#include "serving/telemetry.h"
+
+namespace localut {
+
+/** How the scheduler orders and admits requests. */
+enum class SchedulerPolicy {
+    /** Priority lanes + EDF + deadline-aware admission (the default). */
+    Slo,
+    /** Arrival order, least-loaded placement, no deadline awareness —
+     * the comparison baseline. */
+    Fifo,
+};
+
+/** Policy name for reports ("slo" / "fifo"). */
+const char* schedulerPolicyName(SchedulerPolicy policy);
+
+/** Scheduler-wide knobs. */
+struct SchedulerOptions {
+    /** Ordering / admission policy. */
+    SchedulerPolicy policy = SchedulerPolicy::Slo;
+    /**
+     * Admission bound: a request is rejected as saturated when every
+     * candidate rank already has this many admitted-but-unstarted
+     * requests queued.
+     */
+    std::size_t maxQueuedPerRank = 64;
+    /**
+     * Prefer ranks that already hold (or have planned admissions for)
+     * the request's LUT table sets, and charge the projected broadcast
+     * on cold ranks.  Only meaningful when the session's residency
+     * policy is enabled.
+     */
+    bool coldStartAware = true;
+};
+
+/** One request-level unit of serving work. */
+struct ServingRequest {
+    /** Priority lane. */
+    DeadlineClass lane = DeadlineClass::Interactive;
+    /**
+     * Deadline budget in virtual seconds from arrival; +inf = none.
+     * A non-positive budget can never be met and is shed on submit.
+     */
+    double deadlineSeconds = std::numeric_limits<double>::infinity();
+    /**
+     * Virtual arrival time; negative (the default) means "the
+     * scheduler's current clock".  Arrivals must be monotone — earlier
+     * times clamp to the clock.
+     */
+    double arrivalSeconds = -1.0;
+
+    /** True when this request executes a compiled workload. */
+    bool isWorkload = false;
+    GemmProblem problem;   ///< GEMM request input
+    DesignPoint design = DesignPoint::LoCaLut; ///< GEMM design point
+    PlanOverrides overrides;                   ///< GEMM plan overrides
+    bool computeValues = true;                 ///< GEMM functional pass
+    InferenceSession::CompiledWorkload workload; ///< workload input
+
+    /** Builds a GEMM request. */
+    static ServingRequest gemm(
+        GemmProblem problem, DesignPoint design,
+        DeadlineClass lane = DeadlineClass::Interactive,
+        double deadlineSeconds = std::numeric_limits<double>::infinity(),
+        bool computeValues = true, const PlanOverrides& overrides = {});
+
+    /** Builds a workload request. */
+    static ServingRequest workloadRequest(
+        InferenceSession::CompiledWorkload workload,
+        DeadlineClass lane = DeadlineClass::Interactive,
+        double deadlineSeconds = std::numeric_limits<double>::infinity());
+};
+
+/** What submit() decided, with the projections behind the decision. */
+struct AdmissionDecision {
+    std::uint64_t id = 0;      ///< scheduler ticket (pass to wait())
+    AdmissionOutcome outcome = AdmissionOutcome::Admitted; ///< verdict
+    DeadlineClass lane = DeadlineClass::Interactive; ///< request lane
+    /** Placement rank; kAllRanks for gang (sharded) requests.  Only
+     * meaningful when admitted. */
+    unsigned rank = 0;
+    double arrivalSeconds = 0;   ///< resolved virtual arrival
+    /** Projected service seconds (steady cost + projected broadcast). */
+    double projectedServiceSeconds = 0;
+    double projectedStartSeconds = 0;      ///< projected virtual start
+    double projectedCompletionSeconds = 0; ///< projected completion
+    /** Absolute virtual deadline; +inf when the request had none. */
+    double deadlineSeconds = 0;
+
+    /** True when the request was placed and will execute. */
+    bool admitted() const
+    {
+        return outcome == AdmissionOutcome::Admitted;
+    }
+};
+
+/** Everything wait() returns for one ticket. */
+struct ServingResult {
+    AdmissionDecision decision; ///< the admission verdict
+    /** Final virtual-time accounting; only valid when admitted. */
+    RequestSample sample;
+    /** The executed GEMM result (admitted GEMM requests). */
+    GemmResult gemm;
+    /** The executed workload report (admitted workload requests). */
+    InferenceReport report;
+};
+
+/**
+ * SLO-aware request frontend over one InferenceSession.
+ *
+ * Thread-safety: submit()/advanceTo()/wait()/telemetry are safe to call
+ * concurrently.  Virtual-time sequencing is deterministic for a
+ * deterministic (single-submitter) trace; concurrent submitters
+ * serialize in lock order.
+ */
+class RequestScheduler
+{
+  public:
+    /** Placement marker: the request gangs across every rank. */
+    static constexpr unsigned kAllRanks =
+        std::numeric_limits<unsigned>::max();
+
+    /**
+     * @p session outlives the scheduler and executes the admitted
+     * requests.  @p telemetry receives the admission and completion
+     * records; nullptr uses an internally owned registry.
+     */
+    explicit RequestScheduler(InferenceSession& session,
+                              const SchedulerOptions& options = {},
+                              Telemetry* telemetry = nullptr);
+
+    RequestScheduler(const RequestScheduler&) = delete; ///< non-copyable
+    RequestScheduler&
+    operator=(const RequestScheduler&) = delete; ///< non-copyable
+
+    /** The options the scheduler was opened with. */
+    const SchedulerOptions& options() const { return options_; }
+
+    /** The session's rank count (placement domain). */
+    unsigned numRanks() const { return numRanks_; }
+
+    /** The telemetry registry admissions and completions land in. */
+    Telemetry& telemetry() { return *telemetry_; }
+
+    /** Current virtual time (seconds). */
+    double clockSeconds() const;
+
+    /**
+     * Advances virtual time to @p seconds (monotone; earlier values are
+     * ignored) and finalizes every queued start decision the new clock
+     * makes safe.  An open-loop generator calls this with each
+     * arrival's timestamp.
+     */
+    void advanceTo(double seconds);
+
+    /**
+     * Admission control: projects the request onto every candidate
+     * rank, sheds or rejects per the policy, and on admission places
+     * the request (virtual time) and submits it to the session (real
+     * execution).  Returns immediately.
+     */
+    AdmissionDecision submit(ServingRequest request);
+
+    /**
+     * Blocks until ticket @p id's real execution completes and returns
+     * the result plus the final virtual-time sample (finalizing the
+     * virtual schedule as far as needed).  Shed/rejected tickets return
+     * just the decision.  Consumes the ticket.
+     */
+    ServingResult wait(std::uint64_t id);
+
+    /**
+     * Finalizes every queued virtual start decision (declares that no
+     * further arrivals precede them) and drains the session.
+     */
+    void drain();
+
+    /** Admitted requests not yet virtually started. */
+    std::size_t queuedRequests() const;
+
+  private:
+    /** One admitted request in the virtual-time model. */
+    struct Entry {
+        std::uint64_t id = 0;
+        DeadlineClass lane = DeadlineClass::Interactive;
+        double arrival = 0;
+        double deadline = 0; ///< absolute; +inf when none
+        double service = 0;  ///< steady seconds + projected broadcast
+        unsigned rank = 0;   ///< placement; kAllRanks = gang
+        std::uint64_t seq = 0; ///< admission order (FIFO + tie-break)
+        double collectiveSeconds = 0;
+        double broadcastSeconds = 0;
+    };
+
+    /** Ticket bookkeeping from admission to wait(). */
+    struct Ticket {
+        AdmissionDecision decision;
+        bool isWorkload = false;
+        InferenceSession::RequestId sessionId = 0;
+        RequestSample sample;
+        bool sequenced = false;
+        /** Table-set keys this admission added to plannedSets_;
+         * released at wait(), once the real execution has acquired
+         * them and ResidencyManager::isResident() is authoritative. */
+        std::vector<TableSetKey> plannedKeys;
+    };
+
+    struct ServiceProjection {
+        double steadySeconds = 0;
+        double collectiveSeconds = 0;
+        /** Broadcast seconds a cold rank would pay, per candidate rank
+         * (empty when residency is off / request is sharded). */
+        std::vector<double> rankBroadcastSeconds;
+        /** Residency keys the request's table sets would occupy, per
+         * rank (parallel to rankBroadcastSeconds; unused when empty). */
+        std::vector<std::vector<TableSetKey>> rankKeys;
+    };
+
+    /** Priority: lane, then deadline, then seq (Slo); seq (Fifo). */
+    bool outranksLocked(const Entry& a, const Entry& b) const;
+    /** max(freeAt) over the ranks @p entry occupies. */
+    double readyLocked(const Entry& entry,
+                       const std::vector<double>& freeAt) const;
+    /**
+     * Non-preemptive priority simulation of @p entries over @p freeAt:
+     * repeatedly starts the highest-priority entry among those whose
+     * ranks free up earliest, stopping at decisions later than
+     * @p limit.  Returns (start, completion) per input index (-1 for
+     * entries not started within the limit); @p freeAt is advanced to
+     * the post-simulation per-rank availability.
+     */
+    std::vector<std::pair<double, double>>
+    simulateLocked(const std::vector<const Entry*>& entries,
+                   std::vector<double>& freeAt, double limit) const;
+    /** Runs the real sequencer up to @p limit, recording samples. */
+    void sequenceLocked(double limit);
+    ServiceProjection projectServiceLocked(const ServingRequest& request);
+    /** Fills @p projection's per-rank broadcast seconds + keys for one
+     * plan's table set (skipping warm / planned / untracked sets). */
+    void projectColdStartLocked(const GemmPlan& plan,
+                                const std::string& scope,
+                                double instances,
+                                ServiceProjection& projection) const;
+    void recordStartLocked(const Entry& entry, double start,
+                           double completion);
+
+    InferenceSession& session_;
+    SchedulerOptions options_;
+    unsigned numRanks_;
+    std::unique_ptr<Telemetry> ownedTelemetry_;
+    Telemetry* telemetry_;
+
+    mutable std::mutex mutex_;
+    double clock_ = 0;
+    std::vector<double> freeAt_;      ///< per-rank virtual availability
+    std::vector<Entry> pending_;      ///< admitted, not yet started
+    std::unordered_map<std::uint64_t, Ticket> tickets_;
+    /**
+     * Table sets planned resident by *in-flight* admitted placements:
+     * cold-start awareness for the window between admission and real
+     * execution.  Keys are released at wait(), after which
+     * ResidencyManager::isResident() is authoritative — so a set the
+     * manager later evicts is correctly re-projected as cold.
+     */
+    std::unordered_set<TableSetKey, TableSetKeyHash> plannedSets_;
+    /** Memoized steady service seconds per GEMM plan key (a pure
+     * function of the memoized plan; avoids re-running the timing
+     * model on every submission of a repeated shape). */
+    std::unordered_map<PlanKey, double, PlanKeyHash> gemmServiceMemo_;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t nextSeq_ = 1;
+};
+
+} // namespace localut
+
+#endif // LOCALUT_SERVING_SCHEDULER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <type_traits>
 #include <utility>
 
 #include "common/logging.h"
@@ -42,6 +43,10 @@ struct InferenceSession::Request {
     // Workload request input / output.
     CompiledWorkload workload;
     InferenceReport report;
+
+    // Residency home rank: 0 unless the submission pinned a rank
+    // (SubmitOptions::rank — the scheduler's placement decision).
+    unsigned homeRank = 0;
 
     bool done = false;
     bool claimed = false; ///< a waiter owns this request's result
@@ -154,9 +159,15 @@ InferenceSession::popTaskLocked(unsigned preferredRank)
 }
 
 InferenceSession::RequestId
-InferenceSession::enqueue(std::unique_ptr<Request> request)
+InferenceSession::enqueue(std::unique_ptr<Request> request,
+                          const SubmitOptions& submitOptions)
 {
     Request* raw = request.get();
+    const bool pinned = submitOptions.rank >= 0;
+    if (pinned) {
+        raw->homeRank = static_cast<unsigned>(submitOptions.rank) %
+                        options_.numRanks;
+    }
     RequestId id;
     {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -164,9 +175,12 @@ InferenceSession::enqueue(std::unique_ptr<Request> request)
         id = nextId_++;
         raw->id = id;
         requests_.emplace(id, std::move(request));
+        // A pinned request executes whole (unsharded) on its rank; an
+        // unpinned GEMM on a multi-rank session shards across ranks.
         const bool shardedGemm =
-            !raw->isWorkload && options_.numRanks > 1;
-        rankQueues_[pickRankLocked()].push_back(
+            !pinned && !raw->isWorkload && options_.numRanks > 1;
+        const unsigned rank = pinned ? raw->homeRank : pickRankLocked();
+        rankQueues_[rank].push_back(
             {raw, shardedGemm ? kPlanTask : kWholeTask, {}});
     }
     queueCv_.notify_one();
@@ -185,44 +199,81 @@ InferenceSession::RequestId
 InferenceSession::submit(GemmProblem problem, DesignPoint design,
                          bool computeValues, const PlanOverrides& overrides)
 {
+    return submit(std::move(problem), design, computeValues, overrides,
+                  SubmitOptions{});
+}
+
+InferenceSession::RequestId
+InferenceSession::submit(GemmProblem problem, DesignPoint design,
+                         bool computeValues, const PlanOverrides& overrides,
+                         const SubmitOptions& submitOptions)
+{
     auto request = std::make_unique<Request>();
     request->isWorkload = false;
     request->problem = std::move(problem);
     request->design = design;
     request->overrides = overrides;
     request->computeValues = computeValues;
-    return enqueue(std::move(request));
+    return enqueue(std::move(request), submitOptions);
 }
 
 InferenceSession::RequestId
 InferenceSession::submit(CompiledWorkload workload)
 {
+    return submit(std::move(workload), SubmitOptions{});
+}
+
+InferenceSession::RequestId
+InferenceSession::submit(CompiledWorkload workload,
+                         const SubmitOptions& submitOptions)
+{
+    LOCALUT_REQUIRE(submitOptions.rank < 0 || !workload.sharded(),
+                    "a sharded workload spans every rank and cannot be "
+                    "pinned to one (compileUnsharded() it instead)");
     auto request = std::make_unique<Request>();
     request->isWorkload = true;
     request->workload = std::move(workload);
-    return enqueue(std::move(request));
+    return enqueue(std::move(request), submitOptions);
 }
 
 InferenceSession::CompiledWorkload
 InferenceSession::compile(const WorkloadSpec& spec, const QuantConfig& quant,
                           DesignPoint design, const PlanOverrides& overrides)
 {
+    return compileWith(spec, quant, design, overrides, options_.numRanks);
+}
+
+InferenceSession::CompiledWorkload
+InferenceSession::compileUnsharded(const WorkloadSpec& spec,
+                                   const QuantConfig& quant,
+                                   DesignPoint design,
+                                   const PlanOverrides& overrides)
+{
+    return compileWith(spec, quant, design, overrides, /*numRanks=*/1);
+}
+
+InferenceSession::CompiledWorkload
+InferenceSession::compileWith(const WorkloadSpec& spec,
+                              const QuantConfig& quant, DesignPoint design,
+                              const PlanOverrides& overrides,
+                              unsigned numRanks)
+{
     CompiledWorkload workload;
     workload.spec = spec;
     workload.quant = quant;
     workload.design = design;
     workload.overrides = overrides;
-    workload.numRanks = options_.numRanks;
+    workload.numRanks = numRanks;
     workload.backendName = backend_->name();
     workload.backendFingerprint = backend_->configFingerprint();
     for (const WorkloadGemm& gemm : workloadGemms(spec)) {
         const GemmProblem problem =
             makeShapeOnlyProblem(gemm.m, gemm.k, gemm.n, quant);
-        if (options_.numRanks > 1) {
+        if (numRanks > 1) {
             // Column-parallel cut, aligned to the GEMM's row grouping —
             // attention heads for QKV (head-parallel), 1 elsewhere.
-            const ShardSpec shard{options_.numRanks,
-                                  options_.shardStrategy, gemm.rowAlign};
+            const ShardSpec shard{numRanks, options_.shardStrategy,
+                                  gemm.rowAlign};
             workload.shardedNodes.push_back(
                 {gemm, cache_.shardPlanFor(*backend_, problem, design,
                                            shard, overrides)});
@@ -236,8 +287,27 @@ InferenceSession::compile(const WorkloadSpec& spec, const QuantConfig& quant,
     return workload;
 }
 
+WorkloadCostProjection
+InferenceSession::projectCost(const CompiledWorkload& workload) const
+{
+    return workload.sharded()
+               ? projectShardedWorkloadCost(*backend_,
+                                            workload.shardedNodes,
+                                            workload.quant,
+                                            workload.hostOps)
+               : projectWorkloadCost(*backend_, workload.nodes,
+                                     workload.quant, workload.hostOps);
+}
+
 InferenceReport
 InferenceSession::run(const CompiledWorkload& workload) const
+{
+    return runAt(workload, /*homeRank=*/0);
+}
+
+InferenceReport
+InferenceSession::runAt(const CompiledWorkload& workload,
+                        unsigned homeRank) const
 {
     // Plans only make sense on the device model that produced them.
     LOCALUT_REQUIRE(workload.backendName == backend_->name() &&
@@ -247,7 +317,11 @@ InferenceSession::run(const CompiledWorkload& workload) const
                     workload.backendName,
                     "\" submitted to a session on \"", backend_->name(),
                     "\"");
-    LOCALUT_REQUIRE(workload.numRanks == options_.numRanks,
+    // Unsharded workloads occupy one rank and are valid on any session
+    // of this backend (the scheduler serves them data-parallel); a
+    // sharded cut must match the session's rank count exactly.
+    LOCALUT_REQUIRE(!workload.sharded() ||
+                        workload.numRanks == options_.numRanks,
                     "workload compiled for ", workload.numRanks,
                     " rank(s) submitted to a session with ",
                     options_.numRanks,
@@ -273,9 +347,17 @@ InferenceSession::run(const CompiledWorkload& workload) const
                              : 1.0;
     auto chargeNode = [&](const WorkloadGemm& gemm, const auto& plan) {
         // count aggregates layers (and decode steps); the per-layer
-        // table instances are count / steps.
-        const ResidencyCharge charge =
-            residency_->acquire(plan, gemm.role, gemm.count / steps);
+        // table instances are count / steps.  Unsharded sets home on
+        // the request's placement rank; sharded sets span every rank.
+        ResidencyCharge charge;
+        if constexpr (std::is_same_v<std::decay_t<decltype(plan)>,
+                                     ShardPlan>) {
+            charge = residency_->acquire(plan, gemm.role,
+                                         gemm.count / steps);
+        } else {
+            charge = residency_->acquire(plan, gemm.role,
+                                         gemm.count / steps, homeRank);
+        }
         charge.apply(report.timing, report.energy);
         report.lutBroadcastSeconds += charge.seconds;
     };
@@ -303,7 +385,7 @@ void
 InferenceSession::runWhole(Request& request)
 {
     if (request.isWorkload) {
-        request.report = run(request.workload);
+        request.report = runAt(request.workload, request.homeRank);
         return;
     }
     // Plans are memoized; identical shapes across requests hit the cache.
@@ -326,9 +408,9 @@ InferenceSession::runWhole(Request& request)
     }
     request.result = backend_->execute(request.problem, plan, options);
     if (residency_ != nullptr) {
-        residency_->acquire(plan).apply(request.result.timing,
-                                        request.result.energy,
-                                        &request.result.cost);
+        residency_->acquire(plan, "", 1.0, request.homeRank)
+            .apply(request.result.timing, request.result.energy,
+                   &request.result.cost);
     }
 }
 

@@ -101,6 +101,24 @@ struct SessionOptions {
 };
 
 /**
+ * Per-submission knobs (the defaults reproduce the un-hinted API).
+ * The SLO-aware scheduler (serving/scheduler.h) is the main caller:
+ * its placement decisions pin requests to the rank its virtual-time
+ * model chose.
+ */
+struct SubmitOptions {
+    /**
+     * Rank queue (and residency home rank) this request is pinned to;
+     * -1 lets the session pick (continuous batching) and — for GEMMs on
+     * a numRanks > 1 session — shard the GEMM across the ranks.  A
+     * pinned request executes *whole* (unsharded) on that rank: the
+     * data-parallel serving regime, where each rank is a replica
+     * serving complete requests.
+     */
+    int rank = -1;
+};
+
+/**
  * Compile-once / submit-many serving sessions on one backend.
  *
  * Thread-safety: all public methods are safe to call concurrently; the
@@ -110,6 +128,7 @@ struct SessionOptions {
 class InferenceSession
 {
   public:
+    /** Handle for one submitted request (consumed by wait()). */
     using RequestId = std::uint64_t;
 
     /** A planned GEMM node of a compiled workload. */
@@ -117,11 +136,11 @@ class InferenceSession
 
     /** A workload compiled into a plan graph (backend-specific). */
     struct CompiledWorkload {
-        WorkloadSpec spec;
+        WorkloadSpec spec;           ///< the phase this graph executes
         QuantConfig quant{ValueCodec::signedBinary(),
-                          ValueCodec::signedBinary()};
-        DesignPoint design = DesignPoint::LoCaLut;
-        PlanOverrides overrides;
+                          ValueCodec::signedBinary()}; ///< quantization
+        DesignPoint design = DesignPoint::LoCaLut; ///< design point
+        PlanOverrides overrides;     ///< planner overrides in effect
         std::vector<PlanNode> nodes; ///< one per distinct GEMM shape
         /** Sharded plan graph; populated instead of `nodes` when the
          * session compiles with numRanks > 1. */
@@ -131,8 +150,9 @@ class InferenceSession
         /** Identity of the backend that compiled the plans; a session
          * refuses to execute another backend's workload. */
         std::string backendName;
-        std::uint64_t backendFingerprint = 0;
+        std::uint64_t backendFingerprint = 0; ///< device-config hash
 
+        /** True when this workload was cut across ranks. */
         bool sharded() const { return !shardedNodes.empty(); }
 
         /** Modeled seconds spent on the PIM GEMMs per request (sum of
@@ -140,6 +160,7 @@ class InferenceSession
         double predictedGemmSeconds() const;
     };
 
+    /** Opens a session on @p backend under @p options. */
     explicit InferenceSession(BackendPtr backend,
                               const SessionOptions& options = {});
 
@@ -150,11 +171,15 @@ class InferenceSession
     /** Drains outstanding requests, then stops the workers. */
     ~InferenceSession();
 
-    InferenceSession(const InferenceSession&) = delete;
-    InferenceSession& operator=(const InferenceSession&) = delete;
+    InferenceSession(const InferenceSession&) = delete; ///< non-copyable
+    InferenceSession&
+    operator=(const InferenceSession&) = delete; ///< non-copyable
 
+    /** The device model requests execute on. */
     const Backend& backend() const { return *backend_; }
+    /** The options the session was opened with. */
     const SessionOptions& options() const { return options_; }
+    /** Worker threads serving the rank queues. */
     unsigned workerCount() const;
 
     /** Plans one GEMM through the session cache (memoized). */
@@ -169,7 +194,9 @@ class InferenceSession
                         const PlanOverrides& overrides = {},
                         std::size_t align = 1);
 
+    /** The session's plan / shard-plan / prepared-operand memo. */
     PlanCache& planCache() { return cache_; }
+    /** Hit/miss counters of the session's PlanCache. */
     PlanCache::Stats planCacheStats() const { return cache_.stats(); }
 
     /** The session's residency manager; nullptr while
@@ -193,6 +220,15 @@ class InferenceSession
                      const PlanOverrides& overrides = {});
 
     /**
+     * Same, under explicit SubmitOptions: a pinned rank executes the
+     * GEMM whole (unsharded) on that rank's queue and homes its LUT
+     * residency there.
+     */
+    RequestId submit(GemmProblem problem, DesignPoint design,
+                     bool computeValues, const PlanOverrides& overrides,
+                     const SubmitOptions& submitOptions);
+
+    /**
      * Blocks until the GEMM request @p id completes and returns its
      * result (consuming it; a second wait on the same id fatals).
      * Rethrows any error the request raised.
@@ -209,8 +245,37 @@ class InferenceSession
                              const QuantConfig& quant, DesignPoint design,
                              const PlanOverrides& overrides = {});
 
+    /**
+     * compile() without the rank cut, regardless of the session's
+     * numRanks: every GEMM is planned whole.  The resulting workload is
+     * valid on any session of this backend — it occupies a single rank
+     * queue per request, which is how the SLO scheduler serves whole
+     * requests data-parallel across ranks (one replica per rank)
+     * instead of tensor-parallel across all of them.
+     */
+    CompiledWorkload compileUnsharded(const WorkloadSpec& spec,
+                                      const QuantConfig& quant,
+                                      DesignPoint design,
+                                      const PlanOverrides& overrides = {});
+
+    /**
+     * Steady-state per-request cost of @p workload on this session's
+     * backend — the admission-control projection (exactly what run()
+     * reports, minus residency broadcasts).
+     */
+    WorkloadCostProjection projectCost(const CompiledWorkload& workload)
+        const;
+
     /** Enqueues one compiled-workload execution; returns immediately. */
     RequestId submit(CompiledWorkload workload);
+
+    /**
+     * Same, under explicit SubmitOptions: a pinned (necessarily
+     * unsharded) workload executes whole on that rank's queue and homes
+     * its LUT residency there.
+     */
+    RequestId submit(CompiledWorkload workload,
+                     const SubmitOptions& submitOptions);
 
     /** Blocks until workload request @p id completes (consuming it). */
     InferenceReport waitReport(RequestId id);
@@ -272,7 +337,15 @@ class InferenceSession
         InferenceSession* session_;
     };
 
-    RequestId enqueue(std::unique_ptr<Request> request);
+    CompiledWorkload compileWith(const WorkloadSpec& spec,
+                                 const QuantConfig& quant,
+                                 DesignPoint design,
+                                 const PlanOverrides& overrides,
+                                 unsigned numRanks);
+    InferenceReport runAt(const CompiledWorkload& workload,
+                          unsigned homeRank) const;
+    RequestId enqueue(std::unique_ptr<Request> request,
+                      const SubmitOptions& submitOptions);
     bool anyQueuedLocked() const;
     unsigned pickRankLocked();
     Task popTaskLocked(unsigned preferredRank);

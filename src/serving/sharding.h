@@ -46,6 +46,7 @@ enum class ShardStrategy {
     RowParallel,    ///< split K (depth); reduction sums int32 partials
 };
 
+/** Strategy name for reports ("column-parallel" / "row-parallel"). */
 const char* shardStrategyName(ShardStrategy strategy);
 
 /** Everything that determines a sharded cut (part of the PlanKey). */
@@ -58,18 +59,20 @@ struct ShardSpec {
      */
     std::size_t align = 1;
 
-    bool operator==(const ShardSpec&) const = default;
+    bool operator==(const ShardSpec&) const = default; ///< field-wise
 
+    /** True when this spec actually cuts the GEMM (> 1 rank). */
     bool sharded() const { return numRanks > 1; }
 };
 
 /** One rank's slice of a sharded GEMM, bound to its execution plan. */
 struct GemmShard {
-    unsigned rank = 0;
+    unsigned rank = 0; ///< logical rank this slice executes on
     /** Row range (ColumnParallel) or depth range (RowParallel). */
     std::size_t begin = 0, end = 0;
-    GemmPlan plan;
+    GemmPlan plan; ///< the slice's execution plan
 
+    /** Slice length along the shard axis. */
     std::size_t extent() const { return end - begin; }
 };
 
@@ -79,11 +82,11 @@ struct GemmShard {
  * (or memoized through PlanCache::shardPlanFor()).
  */
 struct ShardPlan {
-    ShardSpec spec;
-    DesignPoint design = DesignPoint::LoCaLut;
+    ShardSpec spec;  ///< the cut this plan realizes
+    DesignPoint design = DesignPoint::LoCaLut; ///< design point
     QuantConfig config{ValueCodec::signedBinary(),
-                       ValueCodec::signedBinary()};
-    std::size_t m = 0, k = 0, n = 0;
+                       ValueCodec::signedBinary()}; ///< quantization
+    std::size_t m = 0, k = 0, n = 0; ///< the whole GEMM's shape
     std::vector<GemmShard> shards; ///< never empty; 1 entry = unsharded
 
     // Reduction collective (all zero when a single shard covers the GEMM).
@@ -93,6 +96,7 @@ struct ShardPlan {
     double hostReduceOps = 0;     ///< RowParallel host partial-sum adds
     double hostReduceSeconds = 0; ///< modeled time of those adds
 
+    /** Ranks the cut actually produced shards for. */
     unsigned ranksUsed() const
     {
         return static_cast<unsigned>(shards.size());
@@ -159,8 +163,8 @@ GemmResult executeSharded(const Backend& backend,
 
 /** A workload GEMM bound to its sharded execution plan. */
 struct ShardedGemm {
-    WorkloadGemm gemm;
-    ShardPlan plan;
+    WorkloadGemm gemm; ///< the shape + repeat count
+    ShardPlan plan;    ///< its rank cut
 };
 
 /**
@@ -175,6 +179,17 @@ InferenceReport executeShardedWorkload(const Backend& backend,
                                        const QuantConfig& quant,
                                        double hostOps,
                                        const ExecOptions& options = {});
+
+/**
+ * Sharded counterpart of projectWorkloadCost() (nn/workload.h): the
+ * steady-state per-request cost of executing @p nodes plus @p hostOps
+ * host work, with the collective share separated out — exactly
+ * executeShardedWorkload()'s timing, without a functional pass.
+ */
+WorkloadCostProjection
+projectShardedWorkloadCost(const Backend& backend,
+                           const std::vector<ShardedGemm>& nodes,
+                           const QuantConfig& quant, double hostOps);
 
 } // namespace localut
 

@@ -17,6 +17,7 @@
 
 #include "backend/backend.h"
 #include "nn/inference.h"
+#include "serving/scheduler.h"
 #include "serving/session.h"
 #include "serving/sharding.h"
 
@@ -197,6 +198,52 @@ TEST(GoldenCosts, ColdVsWarmFig10DecodeMatchesFrozenValues)
         DesignPoint::LoCaLut));
     EXPECT_DOUBLE_EQ(warmRun.timing.total, base.timing.total);
     EXPECT_DOUBLE_EQ(warmRun.energy.total, base.energy.total);
+}
+
+TEST(GoldenCosts, ServingTelemetryQuantilesMatchFrozenBounds)
+{
+    // A deterministic single-submitter fig10-class trace: 24 OPT-125M
+    // W4A4 decode-step requests arrive open-loop at 1.25x the service
+    // rate (inter-arrival 0.8x service), so the queue builds steadily
+    // and the latency distribution spreads — p50 strictly below p95.
+    // The frozen values are LatencyHistogram *bucket bounds*, which
+    // only move when a sample crosses a log-bucket edge; like every
+    // golden here, regenerate them (and say so) if the cost model
+    // intentionally changes.
+    InferenceSession session(makeBackend("upmem"));
+    RequestScheduler scheduler(session);
+    const auto step = session.compile(
+        WorkloadSpec::decode(TransformerConfig::opt125m(), 32, 128, 1),
+        QuantConfig::preset("W4A4"), DesignPoint::LoCaLut);
+    const double service = session.projectCost(step).totalSeconds();
+
+    std::vector<AdmissionDecision> decisions;
+    for (int i = 0; i < 24; ++i) {
+        ServingRequest request = ServingRequest::workloadRequest(
+            step, DeadlineClass::Interactive,
+            /*deadline=*/40.0 * service);
+        request.arrivalSeconds = 0.8 * service * i;
+        decisions.push_back(scheduler.submit(std::move(request)));
+    }
+    for (const AdmissionDecision& decision : decisions) {
+        ASSERT_TRUE(decision.admitted());
+        scheduler.wait(decision.id);
+    }
+
+    const TelemetrySnapshot snap = scheduler.telemetry().snapshot();
+    const LaneStats& lane =
+        snap.lanes[static_cast<std::size_t>(DeadlineClass::Interactive)];
+    EXPECT_EQ(lane.completed, 24u);
+    EXPECT_EQ(lane.deadlineMissed, 0u);
+    EXPECT_LT(lane.latency.p50(), lane.latency.p95());
+
+    constexpr double kP50Bound = 1.584893192461e-01;
+    constexpr double kP95Bound = 2.511886431510e-01;
+    constexpr double kMeanSeconds = 1.491075976353e-01;
+    EXPECT_NEAR(lane.latency.p50(), kP50Bound, kP50Bound * kRelTol);
+    EXPECT_NEAR(lane.latency.p95(), kP95Bound, kP95Bound * kRelTol);
+    EXPECT_NEAR(lane.latency.meanSeconds(), kMeanSeconds,
+                kMeanSeconds * kRelTol);
 }
 
 } // namespace

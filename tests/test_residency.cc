@@ -356,6 +356,78 @@ TEST(ResidencySession, TinyBudgetThrashesButStaysExact)
               session.residency()->budgetBytesPerUnit());
 }
 
+TEST(ResidencySession, ReportColdStartPlusSteadyAccountsForTotal)
+{
+    // The InferenceReport accounting identity behind DESIGN.md Section
+    // 3/4: the cold-start share (lutBroadcastSeconds, what coldStart()
+    // flags) plus steadySeconds() is the end-to-end total, and the
+    // classified shares (gemm + host + collective + broadcast) account
+    // for the same total within float-summation tolerance.
+    SessionOptions on;
+    on.residencyPolicy = ResidencyPolicy::CostAware;
+    on.numRanks = 2;
+    InferenceSession session(makeBackend("upmem"), on);
+    const auto workload = session.compile(
+        WorkloadSpec::decode(TransformerConfig::opt125m(), 32, 128, 4),
+        QuantConfig::preset("W4A4"), DesignPoint::LoCaLut);
+
+    const InferenceReport cold =
+        session.waitReport(session.submit(workload));
+    ASSERT_TRUE(cold.coldStart());
+    EXPECT_GT(cold.collectiveSeconds, 0.0);
+    EXPECT_NEAR(cold.lutBroadcastSeconds + cold.steadySeconds(),
+                cold.timing.total, cold.timing.total * 1e-12);
+    EXPECT_NEAR(cold.gemmSeconds + cold.hostOpSeconds +
+                    cold.collectiveSeconds + cold.lutBroadcastSeconds,
+                cold.timing.total, cold.timing.total * 1e-9);
+
+    const InferenceReport warm =
+        session.waitReport(session.submit(workload));
+    EXPECT_FALSE(warm.coldStart());
+    EXPECT_DOUBLE_EQ(warm.steadySeconds(), warm.timing.total);
+    EXPECT_DOUBLE_EQ(warm.steadySeconds(), cold.steadySeconds());
+}
+
+TEST(ResidencyManager, PerRankHomePlacementAndConstQueries)
+{
+    // Data-parallel replicas: the same plan acquired on two home ranks
+    // occupies two distinct table sets, each against its own rank's
+    // ledger; isResident() answers without charging or counting a use.
+    const BackendPtr backend = makeBackend("upmem");
+    const GemmProblem problem = makeShapeOnlyProblem(
+        768, 768, 8, QuantConfig::preset("W4A4"));
+    const GemmPlan plan = backend->plan(problem, DesignPoint::LoCaLut);
+    ASSERT_GT(tableSetBytes(plan), 0u);
+
+    ResidencyManager manager(backend, /*numRanks=*/2,
+                             /*budgetBytesPerUnit=*/0,
+                             ResidencyPolicy::CostAware);
+    const TableSetKey rank0 = tableSetKeyFor(plan, "", 1.0, 0);
+    const TableSetKey rank1 = tableSetKeyFor(plan, "", 1.0, 1);
+    EXPECT_FALSE(manager.isResident(rank0));
+
+    const ResidencyCharge first = manager.acquire(plan, "", 1.0, 0);
+    EXPECT_FALSE(first.hit);
+    EXPECT_DOUBLE_EQ(first.seconds, manager.broadcastSeconds(
+                                        tableSetBytes(plan)));
+    EXPECT_TRUE(manager.isResident(rank0));
+    EXPECT_FALSE(manager.isResident(rank1));
+    EXPECT_EQ(manager.residentBytes(0), tableSetBytes(plan));
+    EXPECT_EQ(manager.residentBytes(1), 0u);
+
+    // Same plan, other rank: a distinct set, a second broadcast.
+    const ResidencyCharge second = manager.acquire(plan, "", 1.0, 1);
+    EXPECT_FALSE(second.hit);
+    EXPECT_TRUE(manager.isResident(rank1));
+    EXPECT_EQ(manager.residentBytes(1), tableSetBytes(plan));
+
+    // Warm on both home ranks now.
+    EXPECT_TRUE(manager.acquire(plan, "", 1.0, 0).hit);
+    EXPECT_TRUE(manager.acquire(plan, "", 1.0, 1).hit);
+    EXPECT_EQ(manager.stats().hits, 2u);
+    EXPECT_EQ(manager.stats().misses, 2u);
+}
+
 TEST(ResidencyDifferential, CostsChangeValuesNeverDo)
 {
     // The differential invariant across backends and rank counts:

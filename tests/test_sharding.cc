@@ -348,14 +348,22 @@ TEST(ShardedSession, RejectsWorkloadCompiledForOtherRankCount)
     options.numRanks = 4;
     InferenceSession sharded(backend, options);
 
-    // An unsharded workload on a 4-rank session would silently execute
-    // unsharded (and vice versa): both directions must be rejected.
-    const auto unshardedWork =
-        plain.compile(spec, cfg, DesignPoint::LoCaLut);
-    EXPECT_THROW(sharded.run(unshardedWork), std::runtime_error);
+    // A sharded workload on a session with a different rank count must
+    // be rejected (its shard cut no longer matches any rank layout).
     const auto shardedWork =
         sharded.compile(spec, cfg, DesignPoint::LoCaLut);
     EXPECT_THROW(plain.run(shardedWork), std::runtime_error);
+
+    // An *unsharded* workload, by contrast, occupies a single rank and
+    // is valid on any session of the backend — the data-parallel
+    // serving contract the RequestScheduler relies on: it must execute
+    // whole and report exactly the single-rank cost.
+    const auto unshardedWork =
+        plain.compile(spec, cfg, DesignPoint::LoCaLut);
+    const InferenceReport onPlain = plain.run(unshardedWork);
+    const InferenceReport onSharded = sharded.run(unshardedWork);
+    EXPECT_DOUBLE_EQ(onSharded.timing.total, onPlain.timing.total);
+    EXPECT_DOUBLE_EQ(onSharded.collectiveSeconds, 0.0);
 }
 
 TEST(ShardedSession, ErrorsInShardedRequestsSurfaceAtWait)
