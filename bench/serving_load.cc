@@ -27,6 +27,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "serving/token_engine.h"
 
 using namespace localut;
 
@@ -69,6 +70,97 @@ struct Arrival {
     bool interactive;
     unsigned problemIndex;
 };
+
+// ------------------------------------------------- conversation trace
+
+/** Per-token deadline budgets for the conversation trace, as multiples
+ * of the modeled full-tier decode-step / prefill service times.  Wide
+ * enough that a continuously batched rank meets the schedule, tight
+ * enough that a serial per-request server cannot once conversations
+ * overlap. */
+constexpr double kConvTokenDeadlineX = 3.0;
+constexpr double kConvTtftStepSlack = 2.0;
+
+struct ConvArrival {
+    double time;
+    unsigned promptLen;
+    unsigned decodeLen;
+};
+
+/** One measured conversation-trace (mode, load) point. */
+struct ConvStats {
+    std::string backend;
+    unsigned ranks = 0;
+    std::string mode; ///< "continuous" or "serial"
+    double offeredLoad = 0;
+    std::uint64_t streams = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shedDeadline = 0;
+    std::uint64_t shedCapacity = 0;
+    std::uint64_t tokens = 0;    ///< decode tokens offered by the trace
+    std::uint64_t tokensMet = 0; ///< emitted within their deadline
+    double ttftP50 = 0, ttftP95 = 0, ttftP99 = 0;
+    double tokenP50 = 0, tokenP95 = 0, tokenP99 = 0; ///< inter-token gap
+};
+
+std::vector<ConvStats> gConvRuns;
+
+ConvStats
+runConversation(const std::string& backendName, unsigned ranks,
+                double offeredLoad, bool continuous,
+                const std::vector<ConvArrival>& arrivals, double ttft,
+                double tokenDeadline)
+{
+    SessionOptions sessionOptions;
+    sessionOptions.numRanks = ranks;
+    sessionOptions.residencyPolicy = ResidencyPolicy::CostAware;
+    InferenceSession session(makeBackend(backendName), sessionOptions);
+
+    TokenEngineOptions options;
+    options.quant = QuantConfig::preset("W4A4");
+    options.continuousBatching = continuous;
+    options.policy =
+        continuous ? SchedulerPolicy::Slo : SchedulerPolicy::Fifo;
+    Telemetry telemetry;
+    TokenEngine engine(session, options, &telemetry);
+    for (const ConvArrival& arrival : arrivals) {
+        TokenRequest request;
+        request.promptLen = arrival.promptLen;
+        request.decodeSteps = arrival.decodeLen;
+        request.arrivalSeconds = arrival.time;
+        request.ttftDeadlineSeconds = ttft; // arrival-relative
+        request.tokenDeadlineSeconds = tokenDeadline;
+        engine.submit(request);
+    }
+
+    ConvStats stats;
+    stats.backend = backendName;
+    stats.ranks = ranks;
+    stats.mode = continuous ? "continuous" : "serial";
+    stats.offeredLoad = offeredLoad;
+    for (const StreamResult& result : engine.run()) {
+        ++stats.streams;
+        stats.completed += result.status == StreamStatus::Completed;
+        stats.shedDeadline += result.status == StreamStatus::ShedDeadline;
+        stats.shedCapacity += result.status == StreamStatus::ShedCapacity;
+        stats.tokensMet += result.tokensMet;
+    }
+    for (const ConvArrival& arrival : arrivals) {
+        stats.tokens += arrival.decodeLen;
+    }
+    const TelemetrySnapshot snap = telemetry.snapshot();
+    const auto& prefill =
+        snap.lanes[static_cast<std::size_t>(DeadlineClass::Prefill)];
+    const auto& decode =
+        snap.lanes[static_cast<std::size_t>(DeadlineClass::Decode)];
+    stats.ttftP50 = prefill.ttft.p50();
+    stats.ttftP95 = prefill.ttft.p95();
+    stats.ttftP99 = prefill.ttft.p99();
+    stats.tokenP50 = decode.interToken.p50();
+    stats.tokenP95 = decode.interToken.p95();
+    stats.tokenP99 = decode.interToken.p99();
+    return stats;
+}
 
 RunStats
 runOne(const std::string& backendName, unsigned ranks,
@@ -154,6 +246,35 @@ runOne(const std::string& backendName, unsigned ranks,
 }
 
 void
+writeConvRuns(std::FILE* f)
+{
+    std::fprintf(f, "  \"conversation_runs\": [\n");
+    for (std::size_t r = 0; r < gConvRuns.size(); ++r) {
+        const ConvStats& s = gConvRuns[r];
+        std::fprintf(
+            f,
+            "    {\"backend\": \"%s\", \"ranks\": %u, \"mode\": \"%s\", "
+            "\"offered_load\": %.3f, \"streams\": %llu, "
+            "\"completed\": %llu, \"shed_deadline\": %llu, "
+            "\"shed_capacity\": %llu, \"tokens\": %llu, "
+            "\"tokens_met\": %llu, \"ttft_p50_s\": %.6e, "
+            "\"ttft_p95_s\": %.6e, \"ttft_p99_s\": %.6e, "
+            "\"token_p50_s\": %.6e, \"token_p95_s\": %.6e, "
+            "\"token_p99_s\": %.6e}%s\n",
+            s.backend.c_str(), s.ranks, s.mode.c_str(), s.offeredLoad,
+            static_cast<unsigned long long>(s.streams),
+            static_cast<unsigned long long>(s.completed),
+            static_cast<unsigned long long>(s.shedDeadline),
+            static_cast<unsigned long long>(s.shedCapacity),
+            static_cast<unsigned long long>(s.tokens),
+            static_cast<unsigned long long>(s.tokensMet), s.ttftP50,
+            s.ttftP95, s.ttftP99, s.tokenP50, s.tokenP95, s.tokenP99,
+            r + 1 < gConvRuns.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+}
+
+void
 writeJson(bool smoke, bool gatePassed)
 {
     std::FILE* f = std::fopen("BENCH_serving.json", "w");
@@ -167,6 +288,7 @@ writeJson(bool smoke, bool gatePassed)
                  gatePassed ? "true" : "false");
     std::fprintf(f, "  \"interactive_deadline_x\": %.1f,\n",
                  kInteractiveDeadlineX);
+    writeConvRuns(f);
     std::fprintf(f, "  \"runs\": [\n");
     for (std::size_t r = 0; r < gRuns.size(); ++r) {
         const RunStats& s = gRuns[r];
@@ -339,6 +461,128 @@ main(int argc, char** argv)
                 "everything; past it FIFO queues blow the interactive "
                 "p99 while the SLO policy sheds early and keeps every "
                 "admitted deadline.");
+
+    // ---------------------------------------------- conversation trace
+    // Token-level serving: a Poisson stream of {prompt_len, decode_len}
+    // conversations drives the TokenEngine twice over the identical
+    // trace — continuous batching + SLO lanes vs serial per-request
+    // decode + FIFO (the no-batching baseline).  Deadlines are absolute
+    // per-token schedules calibrated from the modeled full-tier decode
+    // step, so a backlogged serial server cannot recover; the gate is
+    // that continuous batching wins deadline-met token goodput at every
+    // >= 2x overload point.
+    const unsigned conversations = bench::smokeTrim(32u, 12u);
+    const std::vector<double> convLoads = bench::smokeTrim<
+        std::vector<double>>({0.5, 1.0, 2.0, 3.0}, {2.5});
+    const std::vector<std::string> convBackends =
+        bench::smokeTrim<std::vector<std::string>>({"upmem", "host-cpu"},
+                                                   {"upmem"});
+    constexpr unsigned kPromptLens[] = {8, 16, 32};
+    constexpr unsigned kDecodeLens[] = {4, 8, 16};
+
+    for (const std::string& backendName : convBackends) {
+        SessionOptions probeOptions;
+        probeOptions.residencyPolicy = ResidencyPolicy::CostAware;
+        InferenceSession probe(makeBackend(backendName), probeOptions);
+        TokenEngineOptions engineDefaults;
+        const TransformerConfig model = engineDefaults.model;
+        const QuantConfig convQuant = QuantConfig::preset("W4A4");
+        const auto project = [&](const WorkloadSpec& spec) {
+            return probe
+                .projectCost(probe.compileUnsharded(spec, convQuant,
+                                                    DesignPoint::LoCaLut))
+                .totalSeconds();
+        };
+        const unsigned maxPrompt = kPromptLens[2];
+        const unsigned maxCtx = maxPrompt + kDecodeLens[2];
+        const unsigned tier = engineDefaults.maxStreamsPerRank;
+        const double prefillMax =
+            project(WorkloadSpec::prefill(model, 1, maxPrompt));
+        const double stepFull =
+            project(WorkloadSpec::decodeStep(model, tier, maxCtx));
+        const double stepOne =
+            project(WorkloadSpec::decodeStep(model, 1, maxCtx));
+        const std::uint64_t tokenBytes =
+            static_cast<std::uint64_t>(model.layers) *
+            model.kvBytesPerTokenPerLayer(engineDefaults.kvBitsPerValue);
+        const double kvToken =
+            probe.residency()->broadcastSeconds(tokenBytes);
+        const double kvPrompt =
+            probe.residency()->broadcastSeconds(tokenBytes * maxPrompt);
+        const double ttft =
+            tier * (prefillMax + kvPrompt) +
+            kConvTtftStepSlack * (stepFull + tier * kvToken);
+        const double tokenDeadline =
+            kConvTokenDeadlineX * stepFull + 2.0 * tier * kvToken;
+        // A serial server's mean per-conversation service, for sizing
+        // the offered load.
+        const double meanDecodeLen =
+            (kDecodeLens[0] + kDecodeLens[1] + kDecodeLens[2]) / 3.0;
+        const double serialService =
+            prefillMax + kvPrompt + meanDecodeLen * (stepOne + kvToken);
+
+        // Continuous batching only wins where the backend amortizes a
+        // batched step (PIM: one table broadcast serves the whole
+        // tier).  On a backend whose decode cost is linear in batch
+        // (host-cpu), serial service is already optimal — the trace is
+        // still reported, but the win gate binds only where the modeled
+        // batch economy exists.
+        const double batchEconomy = stepFull / (tier * stepOne);
+        const bool gated = batchEconomy < 0.75;
+        bench::section(backendName +
+                       " conversations: continuous batching vs serial "
+                       "decode (svc ~" + bench::fmtSeconds(serialService) +
+                       "/conv, token deadline " +
+                       bench::fmtSeconds(tokenDeadline) +
+                       ", batch economy " + Table::fmt(batchEconomy, 2) +
+                       (gated ? ")" : ", gate informational)"));
+        Table table({"load", "mode", "done", "shed", "tok met",
+                     "tok total", "ttft p95", "token p95"});
+        for (const double load : convLoads) {
+            const double rate = load / serialService;
+            Rng rng(0xdec0de5ull ^
+                    static_cast<std::uint64_t>(load * 1e3));
+            std::vector<ConvArrival> trace;
+            double t = 0;
+            for (unsigned i = 0; i < conversations; ++i) {
+                t += -std::log(1.0 - rng.nextDouble()) / rate;
+                trace.push_back({t, kPromptLens[rng.nextBounded(3)],
+                                 kDecodeLens[rng.nextBounded(3)]});
+            }
+            ConvStats continuous, serial;
+            for (const bool batched : {true, false}) {
+                ConvStats stats =
+                    runConversation(backendName, /*ranks=*/1, load,
+                                    batched, trace, ttft, tokenDeadline);
+                (batched ? continuous : serial) = stats;
+                gConvRuns.push_back(stats);
+                table.addRow(
+                    {Table::fmt(load, 2) + "x", stats.mode,
+                     std::to_string(stats.completed),
+                     std::to_string(stats.shedDeadline +
+                                    stats.shedCapacity),
+                     std::to_string(stats.tokensMet),
+                     std::to_string(stats.tokens),
+                     bench::fmtSeconds(stats.ttftP95),
+                     bench::fmtSeconds(stats.tokenP95)});
+            }
+            if (gated && load >= 2.0 &&
+                continuous.tokensMet <= serial.tokensMet) {
+                gatePassed = false;
+                bench::note("GATE: continuous batching did not beat "
+                            "serial decode on deadline-met tokens at " +
+                            Table::fmt(load, 2) + "x overload (" +
+                            std::to_string(continuous.tokensMet) +
+                            " vs " + std::to_string(serial.tokensMet) +
+                            ")");
+            }
+        }
+        table.print();
+    }
+    bench::note("expected shape: at low load the modes tie; past 2x a "
+                "serial server falls behind the absolute token schedule "
+                "while re-batching every step keeps emitted tokens on "
+                "deadline.");
 
     writeJson(smoke, gatePassed);
     if (smoke && !gatePassed) {

@@ -54,6 +54,7 @@
 #include "serving/session.h"          // IWYU pragma: export
 #include "serving/sharding.h"         // IWYU pragma: export
 #include "serving/telemetry.h"        // IWYU pragma: export
+#include "serving/token_engine.h"     // IWYU pragma: export
 #include "upmem/cost_model.h"         // IWYU pragma: export
 #include "upmem/params.h"             // IWYU pragma: export
 

@@ -24,6 +24,19 @@ struct TransformerConfig {
 
     unsigned headDim() const { return hidden / heads; }
 
+    /**
+     * Raw bytes one token's K and V vectors add to one layer's KV-cache
+     * at @p bitsPerValue quantization (2 * hidden values, rounded up to
+     * whole bytes).  The serving layer multiplies by layers and context
+     * length to size a stream's MRAM-resident KV state
+     * (serving/residency.h).
+     */
+    std::size_t
+    kvBytesPerTokenPerLayer(unsigned bitsPerValue) const
+    {
+        return (2ull * hidden * bitsPerValue + 7) / 8;
+    }
+
     /** Parameter count of the transformer stack (no embeddings). */
     std::size_t
     parameterCount() const

@@ -49,6 +49,17 @@ WorkloadSpec::decode(const TransformerConfig& model, unsigned batch,
     return spec;
 }
 
+WorkloadSpec
+WorkloadSpec::decodeStep(const TransformerConfig& model, unsigned batch,
+                         unsigned seqPos)
+{
+    // A decode step at position p is a one-step decode whose "prompt" is
+    // the p tokens of context already cached: its host attention runs
+    // over p + 1 tokens, matching term t = p - promptLen of a whole
+    // decode()'s context loop.
+    return decode(model, batch, seqPos, /*steps=*/1);
+}
+
 std::vector<WorkloadGemm>
 workloadGemms(const WorkloadSpec& spec)
 {

@@ -42,6 +42,20 @@ struct WorkloadSpec {
     static WorkloadSpec decode(const TransformerConfig& model,
                                unsigned batch, unsigned promptLen,
                                unsigned steps);
+
+    /**
+     * One decode step of @p batch sequences sitting at sequence position
+     * @p seqPos (i.e. @p seqPos tokens of context already exist; the
+     * step attends over seqPos + 1 tokens).  Exactly
+     * decode(model, batch, seqPos, 1): the per-token unit the token
+     * engine (serving/token_engine.h) re-batches every step, so a
+     * token-by-token decode sums to the whole-workload decode() cost —
+     * workloadGemms() shapes are position-independent and
+     * workloadHostOps() is the matching single term of decode()'s
+     * context loop.
+     */
+    static WorkloadSpec decodeStep(const TransformerConfig& model,
+                                   unsigned batch, unsigned seqPos);
 };
 
 /** One distinct PIM GEMM shape of a workload, with its repeat count. */

@@ -26,6 +26,11 @@ residencyPolicyName(ResidencyPolicy policy)
 
 namespace {
 
+/** Sentinel "no stream is protected" id for makeRoomOnRankLocked (stream
+ * ids are engine-assigned and never this value). */
+constexpr std::uint64_t kNoProtectedStream =
+    std::numeric_limits<std::uint64_t>::max();
+
 std::uint64_t
 roundInstances(double instances)
 {
@@ -34,6 +39,15 @@ roundInstances(double instances)
 }
 
 } // namespace
+
+std::size_t
+KvCacheKeyHash::operator()(const KvCacheKey& key) const
+{
+    std::size_t seed = 0;
+    hashCombine(seed, static_cast<std::size_t>(key.stream));
+    hashCombine(seed, key.layer);
+    return seed;
+}
 
 std::size_t
 TableSetKeyHash::operator()(const TableSetKey& key) const
@@ -100,17 +114,46 @@ void
 ResidencyCharge::apply(TimingReport& timing, EnergyReport& energy,
                        KernelCost* cost) const
 {
-    if (hit || (bytes <= 0 && seconds <= 0)) {
+    if (!hit && (bytes > 0 || seconds > 0)) {
+        timing.linkSeconds += seconds;
+        timing.total += seconds;
+        timing.seconds.add(phaseName(Phase::LutBroadcast), seconds);
+        energy.total += joules;
+        energy.joules.add(phaseName(Phase::LutBroadcast), joules);
+        if (cost != nullptr) {
+            cost->addLinkBytes(Phase::LutBroadcast, bytes);
+        }
+    }
+    if (kvSpillBytes > 0 || kvSpillSeconds > 0) {
+        timing.linkSeconds += kvSpillSeconds;
+        timing.total += kvSpillSeconds;
+        timing.seconds.add(phaseName(Phase::LinkOut), kvSpillSeconds);
+        energy.total += kvSpillJoules;
+        energy.joules.add(phaseName(Phase::LinkOut), kvSpillJoules);
+        if (cost != nullptr) {
+            cost->addLinkBytes(Phase::LinkOut, kvSpillBytes);
+        }
+    }
+}
+
+void
+KvCharge::apply(TimingReport& timing, EnergyReport& energy) const
+{
+    if (hit() || shed) {
         return;
     }
-    timing.linkSeconds += seconds;
-    timing.total += seconds;
-    timing.seconds.add(phaseName(Phase::LutBroadcast), seconds);
-    energy.total += joules;
-    energy.joules.add(phaseName(Phase::LutBroadcast), joules);
-    if (cost != nullptr) {
-        cost->addLinkBytes(Phase::LutBroadcast, bytes);
+    if (appendBytes > 0 || appendSeconds > 0) {
+        timing.linkSeconds += appendSeconds;
+        timing.total += appendSeconds;
+        timing.seconds.add(phaseName(Phase::LinkActIn), appendSeconds);
     }
+    if (spillBytes > 0 || spillSeconds > 0) {
+        timing.linkSeconds += spillSeconds;
+        timing.total += spillSeconds;
+        timing.seconds.add(phaseName(Phase::LinkOut), spillSeconds);
+    }
+    energy.total += joules;
+    energy.joules.add(phaseName(Phase::LinkActIn), joules);
 }
 
 ResidencyManager::ResidencyManager(BackendPtr backend, unsigned numRanks,
@@ -126,6 +169,7 @@ ResidencyManager::ResidencyManager(BackendPtr backend, unsigned numRanks,
     budget_ = budgetBytesPerUnit != 0 ? budgetBytesPerUnit
                                       : profile_.lutBytesPerUnit;
     residentBytes_.assign(numRanks, 0);
+    kvFootprint_.assign(numRanks, 0);
 }
 
 unsigned
@@ -154,7 +198,8 @@ ResidencyManager::acquire(const GemmPlan& plan, const std::string& scope,
         return {};
     }
     std::lock_guard<std::mutex> lock(mutex_);
-    return acquireLocked(std::move(key), {{homeRank, bytes}});
+    SpillCost spill;
+    return acquireLocked(std::move(key), {{homeRank, bytes}}, spill);
 }
 
 ResidencyCharge
@@ -201,13 +246,15 @@ ResidencyManager::acquire(const ShardPlan& plan, const std::string& scope,
         }
     }
     std::lock_guard<std::mutex> lock(mutex_);
-    return acquireLocked(std::move(key), std::move(rankBytes));
+    SpillCost spill;
+    return acquireLocked(std::move(key), std::move(rankBytes), spill);
 }
 
 ResidencyCharge
 ResidencyManager::acquireLocked(
     TableSetKey key,
-    std::vector<std::pair<unsigned, std::uint64_t>> rankBytes)
+    std::vector<std::pair<unsigned, std::uint64_t>> rankBytes,
+    SpillCost& spill)
 {
     ++clock_;
     auto [it, inserted] = sets_.try_emplace(std::move(key));
@@ -239,7 +286,7 @@ ResidencyManager::acquireLocked(
     if (set.everResident) {
         ++stats_.rebroadcasts;
     }
-    if (makeRoomLocked(set)) {
+    if (makeRoomLocked(set, spill)) {
         set.resident = true;
         set.everResident = true;
         set.admitOrder = ++admissions_;
@@ -255,6 +302,9 @@ ResidencyManager::acquireLocked(
     charge.bytes = set.broadcastBytes;
     charge.seconds = set.broadcastSeconds;
     charge.joules = set.broadcastJoules;
+    charge.kvSpillBytes = spill.bytes;
+    charge.kvSpillSeconds = spill.seconds;
+    charge.kvSpillJoules = spill.joules;
     return charge;
 }
 
@@ -270,7 +320,7 @@ ResidencyManager::scoreLocked(const TableSet& set) const
 }
 
 bool
-ResidencyManager::makeRoomLocked(const TableSet& incoming)
+ResidencyManager::makeRoomLocked(const TableSet& incoming, SpillCost& spill)
 {
     for (const auto& [rank, bytes] : incoming.rankBytes) {
         LOCALUT_REQUIRE(rank < residentBytes_.size(),
@@ -280,35 +330,78 @@ ResidencyManager::makeRoomLocked(const TableSet& incoming)
         }
     }
     for (const auto& [rank, bytes] : incoming.rankBytes) {
-        while (residentBytes_[rank] + bytes > budget_) {
-            // Victim: lowest score among resident sets occupying this
-            // rank; ties break toward least-recent, then oldest
-            // admission, so eviction is deterministic.
-            TableSet* victim = nullptr;
-            for (auto& [key, candidate] : sets_) {
-                if (!candidate.resident || &candidate == &incoming) {
-                    continue;
-                }
-                const bool onRank = std::any_of(
-                    candidate.rankBytes.begin(), candidate.rankBytes.end(),
-                    [rank](const auto& rb) { return rb.first == rank; });
-                if (!onRank) {
-                    continue;
-                }
-                if (victim == nullptr ||
-                    std::make_tuple(scoreLocked(candidate),
-                                    candidate.lastUse,
-                                    candidate.admitOrder) <
-                        std::make_tuple(scoreLocked(*victim),
-                                        victim->lastUse,
-                                        victim->admitOrder)) {
-                    victim = &candidate;
-                }
+        if (!makeRoomOnRankLocked(rank, bytes, &incoming,
+                                  kNoProtectedStream, spill)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+ResidencyManager::makeRoomOnRankLocked(unsigned rank, std::uint64_t needed,
+                                       const TableSet* keepSet,
+                                       std::uint64_t keepStream,
+                                       SpillCost& spill)
+{
+    while (residentBytes_[rank] + kvFootprint_[rank] + needed > budget_) {
+        // Victim: lowest score across *both* resource classes occupying
+        // this rank — evicting a LUT set costs its future rebroadcast,
+        // spilling a stream's KV costs its writeback + refill round
+        // trip.  Ties break toward least-recent, then oldest admission,
+        // so the choice is deterministic.
+        TableSet* lutVictim = nullptr;
+        for (auto& [key, candidate] : sets_) {
+            if (!candidate.resident || &candidate == keepSet) {
+                continue;
             }
-            if (victim == nullptr) {
-                return false; // nothing left to evict on this rank
+            const bool onRank = std::any_of(
+                candidate.rankBytes.begin(), candidate.rankBytes.end(),
+                [rank](const auto& rb) { return rb.first == rank; });
+            if (!onRank) {
+                continue;
             }
-            evictLocked(*victim);
+            if (lutVictim == nullptr ||
+                std::make_tuple(scoreLocked(candidate), candidate.lastUse,
+                                candidate.admitOrder) <
+                    std::make_tuple(scoreLocked(*lutVictim),
+                                    lutVictim->lastUse,
+                                    lutVictim->admitOrder)) {
+                lutVictim = &candidate;
+            }
+        }
+        KvEntry* kvVictim = nullptr;
+        for (auto& [stream, candidate] : kvStreams_) {
+            if (!candidate.resident || candidate.rank != rank ||
+                stream == keepStream) {
+                continue;
+            }
+            if (kvVictim == nullptr ||
+                std::make_tuple(scoreKvLocked(candidate), candidate.lastUse,
+                                candidate.admitOrder) <
+                    std::make_tuple(scoreKvLocked(*kvVictim),
+                                    kvVictim->lastUse,
+                                    kvVictim->admitOrder)) {
+                kvVictim = &candidate;
+            }
+        }
+        if (lutVictim != nullptr && kvVictim != nullptr) {
+            const bool lutFirst =
+                std::make_tuple(scoreLocked(*lutVictim), lutVictim->lastUse,
+                                lutVictim->admitOrder) <=
+                std::make_tuple(scoreKvLocked(*kvVictim), kvVictim->lastUse,
+                                kvVictim->admitOrder);
+            if (lutFirst) {
+                evictLocked(*lutVictim);
+            } else {
+                spillLocked(*kvVictim, spill);
+            }
+        } else if (lutVictim != nullptr) {
+            evictLocked(*lutVictim);
+        } else if (kvVictim != nullptr) {
+            spillLocked(*kvVictim, spill);
+        } else {
+            return false; // nothing left to evict on this rank
         }
     }
     return true;
@@ -327,6 +420,197 @@ ResidencyManager::evictLocked(TableSet& victim)
     ++stats_.evictions;
     LOCALUT_ASSERT(stats_.tableSets > 0, "eviction with no resident sets");
     --stats_.tableSets;
+}
+
+void
+ResidencyManager::spillLocked(KvEntry& victim, SpillCost& spill)
+{
+    LOCALUT_ASSERT(victim.resident, "spilling a non-resident KV stream");
+    const std::uint64_t raw = victim.rawBytes();
+    const std::uint64_t footprint = kvFootprint(raw);
+    LOCALUT_ASSERT(kvFootprint_[victim.rank] >= footprint,
+                   "KV footprint ledger underflow");
+    kvFootprint_[victim.rank] -= footprint;
+    victim.resident = false;
+    ++stats_.kvSpills;
+    LOCALUT_ASSERT(stats_.kvStreams > 0, "spill with no resident streams");
+    --stats_.kvStreams;
+    LOCALUT_ASSERT(stats_.kvResidentBytes >= raw,
+                   "KV resident-byte counter underflow");
+    stats_.kvResidentBytes -= raw;
+    const double seconds = kvTransferSeconds(static_cast<double>(raw));
+    const double joules =
+        profile_.pjPerBroadcastByte * static_cast<double>(raw) * 1e-12;
+    spill.bytes += static_cast<double>(raw);
+    spill.seconds += seconds;
+    spill.joules += joules;
+    stats_.kvMovedBytes += static_cast<double>(raw);
+    stats_.kvMovedSeconds += seconds;
+}
+
+double
+ResidencyManager::scoreKvLocked(const KvEntry& entry) const
+{
+    if (policy_ == ResidencyPolicy::Lru) {
+        return static_cast<double>(entry.lastUse);
+    }
+    // Cost-aware: spilling costs the PIM -> host writeback now plus the
+    // host -> PIM refill the stream's next decode step must pay — a
+    // round trip of the whole context.
+    return 2.0 * kvTransferSeconds(static_cast<double>(entry.rawBytes()));
+}
+
+std::uint64_t
+ResidencyManager::kvFootprint(std::uint64_t rawBytes) const
+{
+    // KV state is bank-interleaved across a rank's units (unlike LUT
+    // tables, which every unit replicates), so the per-unit footprint
+    // divides by the unit count.
+    const std::uint64_t units = std::max(1u, profile_.unitsPerRank);
+    return (rawBytes + units - 1) / units;
+}
+
+double
+ResidencyManager::kvTransferSeconds(double rawBytes) const
+{
+    if (rawBytes <= 0) {
+        return 0.0;
+    }
+    return profile_.broadcastLatencyUs * 1e-6 +
+           rawBytes / (profile_.broadcastGBs * 1e9);
+}
+
+KvCharge
+ResidencyManager::acquireKv(std::uint64_t stream, unsigned rank,
+                            unsigned layers,
+                            std::uint64_t bytesPerTokenPerLayer,
+                            std::uint64_t contextTokens)
+{
+    if (policy_ == ResidencyPolicy::Disabled) {
+        return {}; // nothing tracked; nothing charged
+    }
+    LOCALUT_REQUIRE(stream != kNoProtectedStream, "reserved stream id");
+    LOCALUT_REQUIRE(layers >= 1 && bytesPerTokenPerLayer >= 1 &&
+                        contextTokens >= 1,
+                    "degenerate KV shape");
+    rank %= numRanks();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++clock_;
+    auto [it, inserted] = kvStreams_.try_emplace(stream);
+    KvEntry& entry = it->second;
+    if (inserted) {
+        entry.rank = rank;
+        entry.layers = layers;
+        entry.bytesPerTokenPerLayer = bytesPerTokenPerLayer;
+    } else {
+        LOCALUT_REQUIRE(entry.rank == rank && entry.layers == layers &&
+                            entry.bytesPerTokenPerLayer ==
+                                bytesPerTokenPerLayer,
+                        "KV stream changed shape or rank mid-flight");
+        LOCALUT_REQUIRE(contextTokens >= entry.tokens,
+                        "KV context must grow monotonically");
+    }
+    entry.lastUse = clock_;
+
+    const std::uint64_t targetRaw =
+        satMulU64(satMulU64(layers, bytesPerTokenPerLayer), contextTokens);
+    const std::uint64_t targetFootprint = kvFootprint(targetRaw);
+    if (lutBytesSaturated(targetRaw) || targetFootprint > budget_) {
+        // This stream's KV alone can never fit the rank, even with every
+        // other resident evicted: shed it (release all state).
+        if (entry.resident) {
+            const std::uint64_t raw = entry.rawBytes();
+            kvFootprint_[rank] -= kvFootprint(raw);
+            --stats_.kvStreams;
+            stats_.kvResidentBytes -= raw;
+        }
+        kvStreams_.erase(it);
+        ++stats_.kvSheds;
+        KvCharge charge;
+        charge.shed = true;
+        return charge;
+    }
+
+    const std::uint64_t oldRaw = entry.rawBytes();
+    const bool wasResident = entry.resident;
+    // Bytes that must move host -> PIM: the appended tokens when the
+    // context is resident, the whole context on first touch or refill.
+    const std::uint64_t moveRaw = wasResident ? targetRaw - oldRaw
+                                              : targetRaw;
+    if (wasResident && moveRaw == 0) {
+        KvCharge charge; // resident, unchanged: a free hit
+        return charge;
+    }
+
+    // Take the stream's old footprint off the ledger while making room
+    // for the new one, so growth is charged on the delta, not double-
+    // counted; the stream itself is protected from victim selection.
+    if (wasResident) {
+        kvFootprint_[rank] -= kvFootprint(oldRaw);
+    }
+    SpillCost spill;
+    const bool admitted = makeRoomOnRankLocked(
+        rank, targetFootprint, /*keepSet=*/nullptr, stream, spill);
+    LOCALUT_ASSERT(admitted,
+                   "KV admission failed despite fitting the budget");
+    kvFootprint_[rank] += targetFootprint;
+    if (!wasResident) {
+        entry.resident = true;
+        if (entry.admitOrder == 0) {
+            entry.admitOrder = ++admissions_;
+        }
+        ++stats_.kvStreams;
+        if (oldRaw > 0) {
+            ++stats_.kvRefills;
+        }
+    }
+    stats_.kvResidentBytes += targetRaw - (wasResident ? oldRaw : 0);
+    entry.tokens = contextTokens;
+
+    KvCharge charge;
+    charge.refill = !wasResident && oldRaw > 0;
+    charge.appendBytes = static_cast<double>(moveRaw);
+    charge.appendSeconds = kvTransferSeconds(charge.appendBytes);
+    charge.spillBytes = spill.bytes;
+    charge.spillSeconds = spill.seconds;
+    charge.joules =
+        profile_.pjPerBroadcastByte * charge.appendBytes * 1e-12 +
+        spill.joules;
+    stats_.kvMovedBytes += charge.appendBytes;
+    stats_.kvMovedSeconds += charge.appendSeconds;
+    return charge;
+}
+
+void
+ResidencyManager::releaseKv(std::uint64_t stream)
+{
+    if (policy_ == ResidencyPolicy::Disabled) {
+        return;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = kvStreams_.find(stream);
+    if (it == kvStreams_.end()) {
+        return;
+    }
+    if (it->second.resident) {
+        const std::uint64_t raw = it->second.rawBytes();
+        kvFootprint_[it->second.rank] -= kvFootprint(raw);
+        --stats_.kvStreams;
+        stats_.kvResidentBytes -= raw;
+    }
+    kvStreams_.erase(it);
+}
+
+bool
+ResidencyManager::kvResident(const KvCacheKey& key) const
+{
+    if (policy_ == ResidencyPolicy::Disabled) {
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = kvStreams_.find(key.stream);
+    return it != kvStreams_.end() && it->second.resident &&
+           key.layer < it->second.layers;
 }
 
 bool
@@ -362,7 +646,23 @@ ResidencyManager::residentBytes(unsigned rank) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     LOCALUT_REQUIRE(rank < residentBytes_.size(), "rank out of range");
+    return residentBytes_[rank] + kvFootprint_[rank];
+}
+
+std::uint64_t
+ResidencyManager::lutBytes(unsigned rank) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    LOCALUT_REQUIRE(rank < residentBytes_.size(), "rank out of range");
     return residentBytes_[rank];
+}
+
+std::uint64_t
+ResidencyManager::kvBytes(unsigned rank) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    LOCALUT_REQUIRE(rank < kvFootprint_.size(), "rank out of range");
+    return kvFootprint_[rank];
 }
 
 void
@@ -371,12 +671,20 @@ ResidencyManager::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     // Keep the entries (usage and everResident history) so post-reset
     // misses on previously-broadcast sets still count as re-broadcasts;
-    // only the residency itself is dropped.
+    // only the residency itself is dropped.  KV streams lose residency
+    // too (their contexts survive on the host: the next acquireKv pays
+    // a refill).
     for (auto& [key, set] : sets_) {
         set.resident = false;
     }
+    for (auto& [stream, entry] : kvStreams_) {
+        entry.resident = false;
+    }
     std::fill(residentBytes_.begin(), residentBytes_.end(), 0);
+    std::fill(kvFootprint_.begin(), kvFootprint_.end(), 0);
     stats_.tableSets = 0;
+    stats_.kvStreams = 0;
+    stats_.kvResidentBytes = 0;
 }
 
 } // namespace localut

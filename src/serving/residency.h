@@ -3,8 +3,8 @@
 
 /**
  * @file
- * The LUT residency manager: MRAM table capacity as a first-class,
- * cost-charged serving resource.
+ * The MRAM residency manager: table capacity *and* KV-cache state as
+ * first-class, cost-charged serving resources.
  *
  * The paper's whole thesis trades LUT *capacity* for *computation*, but a
  * serving loop that re-dispatches the same GEMMs every decode step only
@@ -33,6 +33,22 @@
  *  - Sharded executions compose naturally: each shard's table set
  *    consumes its own rank's budget, and the ShardSpec is part of the
  *    table-set key so re-cut tables never alias.
+ *
+ * Token-level serving (serving/token_engine.h) adds a second resource
+ * class to the same per-rank budgets: the **KV-cache** of each decode
+ * stream.  A stream's KV state (KvCacheKey per stream x layer; sized
+ * from model dims x current context length, growing by one token per
+ * decode step) is bank-interleaved across a rank's units, so b raw
+ * bytes of KV occupy ceil(b / unitsPerRank) per-unit bytes against the
+ * same budget LUT table sets replicate into.  acquireKv() charges the
+ * host -> PIM write of the newly appended tokens each step; under
+ * pressure the manager arbitrates *across classes* with the same
+ * cost-driven score: evicting a cold LUT set costs a future
+ * Phase::LutBroadcast rebroadcast, spilling a stream's KV costs its
+ * PIM -> host writeback now plus the host -> PIM refill its next step
+ * must pay — whichever debt is smaller goes first.  A stream whose KV
+ * alone exceeds the rank budget is shed (KvCharge::shed), which the
+ * token engine surfaces as a capacity shed.
  *
  * Residency only ever affects *costs* (timing, energy, link bytes) —
  * never functional values: a session with residency enabled is bit-exact
@@ -129,11 +145,68 @@ struct ResidencyCharge {
     double bytes = 0;  ///< host -> PIM broadcast bytes (0 on a hit)
     double seconds = 0; ///< modeled broadcast seconds (0 on a hit)
     double joules = 0;  ///< modeled broadcast Joules (0 on a hit)
+    /** Raw KV-cache bytes the admission spilled PIM -> host to make
+     * room (cross-class arbitration; 0 when no stream was spilled). */
+    double kvSpillBytes = 0;
+    double kvSpillSeconds = 0; ///< modeled writeback seconds of the spill
+    double kvSpillJoules = 0;  ///< modeled writeback Joules of the spill
 
     /** Folds the broadcast into a result's reports (and, when @p cost is
-     * given, its Phase::LutBroadcast link-byte accounting). */
+     * given, its Phase::LutBroadcast link-byte accounting); any KV
+     * spill the admission forced lands under Phase::LinkOut. */
     void apply(TimingReport& timing, EnergyReport& energy,
                KernelCost* cost = nullptr) const;
+};
+
+/**
+ * Identity of one stream x layer slice of MRAM-resident KV-cache state.
+ * The layers of one stream gang together — a decode step touches every
+ * layer's K and V, so spill/refill granularity is the whole stream —
+ * but the per-layer identity is what queries and tests reason about.
+ */
+struct KvCacheKey {
+    std::uint64_t stream = 0; ///< token-engine stream id
+    unsigned layer = 0;       ///< transformer layer index
+
+    bool operator==(const KvCacheKey&) const = default; ///< field-wise
+};
+
+/** Hash over both KvCacheKey fields. */
+struct KvCacheKeyHash {
+    /** Combines stream id and layer into one hash. */
+    std::size_t operator()(const KvCacheKey& key) const;
+};
+
+/** The cost acquireKv() charged for one decode-step KV access. */
+struct KvCharge {
+    /** The stream's KV alone can never fit the rank budget: the caller
+     * must shed the stream (its state has been released). */
+    bool shed = false;
+    /** The existing context had been spilled and was transferred back
+     * host -> PIM before appending (counted in appendBytes). */
+    bool refill = false;
+    /** Raw host -> PIM bytes moved: the newly appended tokens plus any
+     * refill of previously spilled context. */
+    double appendBytes = 0;
+    double appendSeconds = 0; ///< modeled host -> PIM transfer seconds
+    /** Raw PIM -> host bytes of *other* streams spilled to make room. */
+    double spillBytes = 0;
+    double spillSeconds = 0;  ///< modeled writeback seconds of the spills
+    double joules = 0;        ///< modeled Joules of all KV movement
+
+    /** Total modeled transfer seconds this access charged. */
+    double seconds() const { return appendSeconds + spillSeconds; }
+
+    /** True when no bytes moved (context resident, no growth). */
+    bool hit() const
+    {
+        return !shed && appendBytes <= 0 && spillBytes <= 0;
+    }
+
+    /** Folds the KV traffic into a result's reports: appends/refills as
+     * host -> PIM activation-state transfer (Phase::LinkActIn), spills
+     * as PIM -> host writeback (Phase::LinkOut). */
+    void apply(TimingReport& timing, EnergyReport& energy) const;
 };
 
 /** Counters for serving code and tests. */
@@ -145,6 +218,13 @@ struct ResidencyStats {
     std::uint64_t tableSets = 0;     ///< currently resident sets
     double broadcastBytes = 0;       ///< total host -> PIM table bytes
     double broadcastSeconds = 0;     ///< total modeled broadcast time
+    std::uint64_t kvStreams = 0;     ///< KV streams currently resident
+    std::uint64_t kvSpills = 0;      ///< streams spilled out under pressure
+    std::uint64_t kvRefills = 0;     ///< spilled streams transferred back
+    std::uint64_t kvSheds = 0;       ///< streams whose KV could never fit
+    std::uint64_t kvResidentBytes = 0; ///< raw KV bytes currently resident
+    double kvMovedBytes = 0;         ///< host <-> PIM KV traffic (raw)
+    double kvMovedSeconds = 0;       ///< modeled KV transfer seconds
 
     /** Fraction of acquires that found tables resident. */
     double
@@ -208,6 +288,33 @@ class ResidencyManager
                             const std::string& scope = "",
                             double instances = 1.0);
 
+    /**
+     * Ensures @p stream's KV-cache — @p layers layers of
+     * @p bytesPerTokenPerLayer raw bytes per token, covering
+     * @p contextTokens tokens — is resident on rank @p rank, charging
+     * the host -> PIM write of the newly appended tokens (and, when the
+     * stream had been spilled, the refill of its whole context).  The
+     * context is monotone: a decode step grows it by one token; an
+     * unchanged, resident context is a free hit.  Under pressure other
+     * streams' KV or LUT table sets are evicted cost-aware (see the
+     * file comment); when the stream's KV alone exceeds the rank
+     * budget, the stream is shed (state released, KvCharge::shed set).
+     * With ResidencyPolicy::Disabled this returns a zero charge and
+     * tracks nothing.
+     */
+    KvCharge acquireKv(std::uint64_t stream, unsigned rank,
+                       unsigned layers,
+                       std::uint64_t bytesPerTokenPerLayer,
+                       std::uint64_t contextTokens);
+
+    /** Drops @p stream's KV state (the stream finished or was shed);
+     * discarding KV is free — nothing transfers. */
+    void releaseKv(std::uint64_t stream);
+
+    /** True when @p key's (stream, layer) KV slice is MRAM-resident
+     * (always false under ResidencyPolicy::Disabled). */
+    bool kvResident(const KvCacheKey& key) const;
+
     /** A consistent copy of the hit/miss/eviction counters. */
     ResidencyStats stats() const;
 
@@ -226,8 +333,18 @@ class ResidencyManager
      */
     double broadcastSeconds(std::uint64_t bytes) const;
 
-    /** Per-copy bytes currently resident on @p rank. */
+    /** Per-unit bytes currently resident on @p rank across both
+     * resource classes (lutBytes + kvBytes; the budget invariant is
+     * residentBytes(rank) <= budgetBytesPerUnit() for every rank). */
     std::uint64_t residentBytes(unsigned rank) const;
+
+    /** Per-unit bytes of LUT table sets resident on @p rank. */
+    std::uint64_t lutBytes(unsigned rank) const;
+
+    /** Per-unit footprint of KV-cache state resident on @p rank (raw
+     * stream bytes are interleaved across the rank's units, so each
+     * stream occupies ceil(raw / unitsPerRank) here). */
+    std::uint64_t kvBytes(unsigned rank) const;
 
     /** Drops all residency (a device reset).  Counters and per-set
      * history survive, so post-reset misses on previously-broadcast
@@ -248,13 +365,56 @@ class ResidencyManager
         bool everResident = false;   ///< a later miss is a re-broadcast
     };
 
+    /** One stream's ganged KV state (all layers live and die together). */
+    struct KvEntry {
+        unsigned rank = 0;            ///< home rank of the stream's KV
+        unsigned layers = 1;          ///< layers ganged in this entry
+        std::uint64_t bytesPerTokenPerLayer = 0; ///< raw bytes per token
+        std::uint64_t tokens = 0;     ///< context tokens tracked
+        bool resident = false;        ///< false = spilled to host
+        std::uint64_t lastUse = 0;    ///< logical clock (LRU)
+        std::uint64_t admitOrder = 0; ///< deterministic tie-break
+
+        /** Raw bytes of the whole context across all layers. */
+        std::uint64_t rawBytes() const
+        {
+            return layers * bytesPerTokenPerLayer * tokens;
+        }
+    };
+
+    /** KV spill traffic one admission forced (folded into its charge). */
+    struct SpillCost {
+        double bytes = 0;   ///< raw PIM -> host bytes written back
+        double seconds = 0; ///< modeled writeback seconds
+        double joules = 0;  ///< modeled writeback Joules
+    };
+
     ResidencyCharge acquireLocked(TableSetKey key,
                                   std::vector<std::pair<unsigned,
                                                         std::uint64_t>>
-                                      rankBytes);
-    bool makeRoomLocked(const TableSet& incoming);
+                                      rankBytes,
+                                  SpillCost& spill);
+    bool makeRoomLocked(const TableSet& incoming, SpillCost& spill);
+    /**
+     * Frees rank capacity until @p needed more per-unit bytes fit on
+     * @p rank, evicting the cheapest victim across both classes each
+     * round (@p keepSet / @p keepStream are never victims); KV spill
+     * traffic accumulates into @p spill.  False only when nothing
+     * evictable remains.
+     */
+    bool makeRoomOnRankLocked(unsigned rank, std::uint64_t needed,
+                              const TableSet* keepSet,
+                              std::uint64_t keepStream, SpillCost& spill);
     void evictLocked(TableSet& victim);
+    void spillLocked(KvEntry& victim, SpillCost& spill);
     double scoreLocked(const TableSet& set) const;
+    /** Cost-aware: the spill + refill round trip a victim stream's
+     * next decode step would pay; LRU: last use. */
+    double scoreKvLocked(const KvEntry& entry) const;
+    /** Per-unit footprint of @p rawBytes interleaved across a rank. */
+    std::uint64_t kvFootprint(std::uint64_t rawBytes) const;
+    /** Modeled seconds of moving @p rawBytes of KV over the host link. */
+    double kvTransferSeconds(double rawBytes) const;
 
     BackendPtr backend_;
     MemoryProfile profile_;
@@ -263,7 +423,9 @@ class ResidencyManager
 
     mutable std::mutex mutex_;
     std::unordered_map<TableSetKey, TableSet, TableSetKeyHash> sets_;
-    std::vector<std::uint64_t> residentBytes_; ///< per-rank ledgers
+    std::unordered_map<std::uint64_t, KvEntry> kvStreams_;
+    std::vector<std::uint64_t> residentBytes_; ///< per-rank LUT ledgers
+    std::vector<std::uint64_t> kvFootprint_;   ///< per-rank KV ledgers
     std::uint64_t clock_ = 0;
     std::uint64_t admissions_ = 0;
     ResidencyStats stats_;

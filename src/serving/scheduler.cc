@@ -54,6 +54,22 @@ ServingRequest::workloadRequest(InferenceSession::CompiledWorkload workload,
     return request;
 }
 
+ServingRequest
+ServingRequest::prefill(InferenceSession::CompiledWorkload workload,
+                        double deadlineSeconds)
+{
+    return workloadRequest(std::move(workload), DeadlineClass::Prefill,
+                           deadlineSeconds);
+}
+
+ServingRequest
+ServingRequest::decodeStep(InferenceSession::CompiledWorkload workload,
+                           double deadlineSeconds)
+{
+    return workloadRequest(std::move(workload), DeadlineClass::Decode,
+                           deadlineSeconds);
+}
+
 RequestScheduler::RequestScheduler(InferenceSession& session,
                                    const SchedulerOptions& options,
                                    Telemetry* telemetry)
@@ -102,7 +118,7 @@ RequestScheduler::outranksLocked(const Entry& a, const Entry& b) const
         return a.seq < b.seq; // pure arrival order
     }
     if (a.lane != b.lane) {
-        return a.lane == DeadlineClass::Interactive;
+        return deadlineClassPriority(a.lane) < deadlineClassPriority(b.lane);
     }
     if (a.deadline != b.deadline) {
         return a.deadline < b.deadline; // EDF within the lane

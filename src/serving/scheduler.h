@@ -130,6 +130,19 @@ struct ServingRequest {
         InferenceSession::CompiledWorkload workload,
         DeadlineClass lane = DeadlineClass::Interactive,
         double deadlineSeconds = std::numeric_limits<double>::infinity());
+
+    /** Builds a prefill-lane workload request (token-engine prompt
+     * ingestion; the deadline is the stream's TTFT bound). */
+    static ServingRequest prefill(
+        InferenceSession::CompiledWorkload workload,
+        double deadlineSeconds = std::numeric_limits<double>::infinity());
+
+    /** Builds a decode-lane workload request (one token-engine decode
+     * step; the deadline is the batch's earliest per-token bound —
+     * decode outranks every other lane, see deadlineClassPriority()). */
+    static ServingRequest decodeStep(
+        InferenceSession::CompiledWorkload workload,
+        double deadlineSeconds = std::numeric_limits<double>::infinity());
 };
 
 /** What submit() decided, with the projections behind the decision. */

@@ -16,6 +16,20 @@ deadlineClassName(DeadlineClass lane)
     switch (lane) {
       case DeadlineClass::Interactive: return "interactive";
       case DeadlineClass::Batch:       return "batch";
+      case DeadlineClass::Prefill:     return "prefill";
+      case DeadlineClass::Decode:      return "decode";
+    }
+    LOCALUT_PANIC("invalid deadline class");
+}
+
+unsigned
+deadlineClassPriority(DeadlineClass lane)
+{
+    switch (lane) {
+      case DeadlineClass::Decode:      return 0;
+      case DeadlineClass::Interactive: return 1;
+      case DeadlineClass::Prefill:     return 2;
+      case DeadlineClass::Batch:       return 3;
     }
     LOCALUT_PANIC("invalid deadline class");
 }
@@ -194,6 +208,37 @@ Telemetry::recordCompletion(const RequestSample& sample)
     state_.lutBroadcastSeconds += sample.lutBroadcastSeconds;
 }
 
+void
+Telemetry::recordTtft(DeadlineClass lane, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_.lanes[static_cast<std::size_t>(lane)].ttft.record(seconds);
+}
+
+void
+Telemetry::recordToken(DeadlineClass lane, double gapSeconds,
+                       bool metDeadline)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    LaneStats& stats = state_.lanes[static_cast<std::size_t>(lane)];
+    if (gapSeconds >= 0) {
+        stats.interToken.record(gapSeconds);
+    }
+    ++stats.tokens;
+    if (metDeadline) {
+        ++stats.tokensMet;
+    } else {
+        ++stats.tokensMissed;
+    }
+}
+
+void
+Telemetry::recordKvResidency(const KvResidencyGauges& gauges)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_.kv = gauges;
+}
+
 TelemetrySnapshot
 Telemetry::snapshot() const
 {
@@ -318,6 +363,12 @@ Telemetry::prometheusText() const
          "Modeled queue delay before execution.", &LaneStats::queueDelay},
         {"localut_request_service_seconds",
          "Modeled service time on the placed rank.", &LaneStats::service},
+        {"localut_ttft_seconds",
+         "Modeled time to first token (arrival to prefill completion).",
+         &LaneStats::ttft},
+        {"localut_inter_token_seconds",
+         "Modeled gap between consecutive decode tokens of a stream.",
+         &LaneStats::interToken},
     };
     for (const auto& h : hists) {
         appendf(out, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help,
@@ -329,6 +380,56 @@ Telemetry::prometheusText() const
                 snap.lanes[lane].*(h.member));
         }
     }
+
+    out += "# HELP localut_tokens_total Decode tokens emitted by lane "
+           "and deadline verdict.\n# TYPE localut_tokens_total counter\n";
+    for (std::size_t lane = 0; lane < kDeadlineClasses; ++lane) {
+        const char* name =
+            deadlineClassName(static_cast<DeadlineClass>(lane));
+        appendf(out,
+                "localut_tokens_total{lane=\"%s\",verdict=\"met\"} %llu\n",
+                name,
+                static_cast<unsigned long long>(snap.lanes[lane].tokensMet));
+        appendf(out,
+                "localut_tokens_total{lane=\"%s\",verdict=\"missed\"} "
+                "%llu\n",
+                name,
+                static_cast<unsigned long long>(
+                    snap.lanes[lane].tokensMissed));
+    }
+
+    const struct {
+        const char* name;
+        const char* help;
+        const char* type;
+        std::uint64_t value;
+    } kvRows[] = {
+        {"localut_kv_resident_bytes",
+         "Raw KV-cache bytes currently MRAM-resident.", "gauge",
+         snap.kv.residentBytes},
+        {"localut_kv_streams", "KV streams currently MRAM-resident.",
+         "gauge", snap.kv.streams},
+        {"localut_kv_spills_total",
+         "KV streams spilled PIM to host under capacity pressure.",
+         "counter", snap.kv.spills},
+        {"localut_kv_refills_total",
+         "Spilled KV streams transferred back host to PIM.", "counter",
+         snap.kv.refills},
+        {"localut_kv_sheds_total",
+         "Streams shed because their KV alone exceeds the rank budget.",
+         "counter", snap.kv.sheds},
+    };
+    for (const auto& row : kvRows) {
+        appendf(out, "# HELP %s %s\n# TYPE %s %s\n%s %llu\n", row.name,
+                row.help, row.name, row.type, row.name,
+                static_cast<unsigned long long>(row.value));
+    }
+    out += "# HELP localut_evictions_total Residency evictions by "
+           "resource class.\n# TYPE localut_evictions_total counter\n";
+    appendf(out, "localut_evictions_total{class=\"lut\"} %llu\n",
+            static_cast<unsigned long long>(snap.kv.lutEvictions));
+    appendf(out, "localut_evictions_total{class=\"kv\"} %llu\n",
+            static_cast<unsigned long long>(snap.kv.spills));
 
     out += "# HELP localut_collective_seconds_total Modeled collective "
            "transfer seconds across completions.\n"

@@ -30,17 +30,34 @@
 
 namespace localut {
 
-/** The two request priority lanes the scheduler serves. */
+/**
+ * The request priority lanes the scheduler serves.  Prefill and Decode
+ * are the token engine's disaggregated lanes (serving/token_engine.h):
+ * decode steps carry per-token deadlines and outrank everything
+ * (a stalled decode stream stalls a live conversation), prefill is a
+ * throughput lane slotted between interactive and batch.  Values are
+ * appended so Interactive/Batch indices stay stable.
+ */
 enum class DeadlineClass {
-    Interactive, ///< latency-sensitive lane, served first
-    Batch,       ///< throughput lane, served when interactive is idle
+    Interactive, ///< latency-sensitive lane
+    Batch,       ///< throughput lane, served when others are idle
+    Prefill,     ///< token-engine prompt ingestion (TTFT throughput lane)
+    Decode,      ///< token-engine decode steps (per-token deadlines)
 };
 
 /** Number of DeadlineClass lanes (array sizing). */
-inline constexpr std::size_t kDeadlineClasses = 2;
+inline constexpr std::size_t kDeadlineClasses = 4;
 
-/** Lane name for reports ("interactive" / "batch"). */
+/** Lane name for reports ("interactive" / "batch" / "prefill" /
+ * "decode"). */
 const char* deadlineClassName(DeadlineClass lane);
+
+/**
+ * Dispatch priority of @p lane (lower serves first): Decode (0) <
+ * Interactive (1) < Prefill (2) < Batch (3).  Distinct from the enum's
+ * declaration order, which is frozen for index stability.
+ */
+unsigned deadlineClassPriority(DeadlineClass lane);
 
 /** What the scheduler decided to do with a submitted request. */
 enum class AdmissionOutcome {
@@ -168,9 +185,33 @@ struct LaneStats {
     LatencyHistogram latency;    ///< end-to-end latency histogram
     LatencyHistogram queueDelay; ///< queue-delay histogram
     LatencyHistogram service;    ///< service-time histogram
+    /** Time-to-first-token histogram (token engine: prefill completion
+     * minus arrival; empty on non-token lanes). */
+    LatencyHistogram ttft;
+    /** Inter-token latency histogram (token engine: gap between
+     * consecutive emitted tokens of a stream). */
+    LatencyHistogram interToken;
     std::uint64_t completed = 0;     ///< requests sequenced to completion
     std::uint64_t deadlineMet = 0;   ///< completions within the deadline
     std::uint64_t deadlineMissed = 0;///< completions past a finite deadline
+    std::uint64_t tokens = 0;        ///< decode tokens emitted on this lane
+    std::uint64_t tokensMet = 0;     ///< tokens within their deadline
+    std::uint64_t tokensMissed = 0;  ///< tokens past a finite deadline
+};
+
+/**
+ * A point-in-time copy of the residency manager's KV gauges plus the
+ * cross-class eviction split, recorded by the token engine after each
+ * step (see ResidencyStats in serving/residency.h for the source
+ * counters).
+ */
+struct KvResidencyGauges {
+    std::uint64_t residentBytes = 0; ///< raw KV bytes currently resident
+    std::uint64_t streams = 0;       ///< KV streams currently resident
+    std::uint64_t spills = 0;        ///< cumulative streams spilled out
+    std::uint64_t refills = 0;       ///< cumulative spilled-stream refills
+    std::uint64_t sheds = 0;         ///< cumulative capacity sheds
+    std::uint64_t lutEvictions = 0;  ///< cumulative LUT sets evicted
 };
 
 /** A consistent copy of all telemetry state (see Telemetry::snapshot). */
@@ -189,10 +230,12 @@ struct TelemetrySnapshot {
     double collectiveSeconds = 0;
     /** Total projected LUT-broadcast seconds across completions. */
     double lutBroadcastSeconds = 0;
+    /** Latest KV-residency gauges (token engine, last recorded step). */
+    KvResidencyGauges kv;
 
-    /** Submissions across both lanes. */
+    /** Submissions across all lanes. */
     std::uint64_t totalSubmitted() const;
-    /** Admissions across both lanes. */
+    /** Admissions across all lanes. */
     std::uint64_t totalAdmitted() const;
 };
 
@@ -217,6 +260,20 @@ class Telemetry
 
     /** Folds one sequenced request into the lane aggregates. */
     void recordCompletion(const RequestSample& sample);
+
+    /** Records one stream's time-to-first-token on @p lane. */
+    void recordTtft(DeadlineClass lane, double seconds);
+
+    /**
+     * Records one emitted decode token on @p lane: its inter-token gap
+     * @p gapSeconds (skipped when negative, i.e. the first token) and
+     * whether it @p metDeadline (tokens with no deadline pass true).
+     */
+    void recordToken(DeadlineClass lane, double gapSeconds,
+                     bool metDeadline);
+
+    /** Replaces the KV-residency gauges with @p gauges. */
+    void recordKvResidency(const KvResidencyGauges& gauges);
 
     /** A consistent copy of every counter and histogram. */
     TelemetrySnapshot snapshot() const;

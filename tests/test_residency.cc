@@ -499,5 +499,237 @@ TEST(ResidencyDifferential, WorkloadsMatchDisabledOnEveryBackend)
     }
 }
 
+// --------------------------------------------------------------- KV class
+
+/** KV tests run on host-cpu: unitsPerRank == 1, so the per-unit KV
+ * footprint equals the raw byte count and the arithmetic is exact. */
+BackendPtr
+kvBackend()
+{
+    return makeBackend("host-cpu");
+}
+
+TEST(ResidencyKv, GrowAppendHitAndRelease)
+{
+    const BackendPtr backend = kvBackend();
+    ResidencyManager manager(backend, 1, /*budget=*/1 << 20,
+                             ResidencyPolicy::CostAware);
+
+    // First touch moves the whole prompt context.
+    const KvCharge prompt = manager.acquireKv(
+        /*stream=*/1, /*rank=*/0, /*layers=*/2,
+        /*bytesPerTokenPerLayer=*/100, /*contextTokens=*/8);
+    EXPECT_FALSE(prompt.shed);
+    EXPECT_FALSE(prompt.refill);
+    EXPECT_FALSE(prompt.hit());
+    EXPECT_DOUBLE_EQ(prompt.appendBytes, 2.0 * 100 * 8);
+    EXPECT_DOUBLE_EQ(prompt.appendSeconds,
+                     manager.broadcastSeconds(2 * 100 * 8));
+    EXPECT_TRUE(manager.kvResident({1, 0}));
+    EXPECT_TRUE(manager.kvResident({1, 1}));
+    EXPECT_FALSE(manager.kvResident({1, 2})); // beyond layer count
+    EXPECT_FALSE(manager.kvResident({2, 0})); // unknown stream
+    EXPECT_EQ(manager.kvBytes(0), 2u * 100 * 8);
+    EXPECT_EQ(manager.lutBytes(0), 0u);
+    EXPECT_EQ(manager.residentBytes(0), 2u * 100 * 8);
+
+    // One decode step appends exactly one token across the layers.
+    const KvCharge step = manager.acquireKv(1, 0, 2, 100, 9);
+    EXPECT_DOUBLE_EQ(step.appendBytes, 2.0 * 100);
+    EXPECT_EQ(manager.kvBytes(0), 2u * 100 * 9);
+
+    // Re-touching the same context moves nothing.
+    EXPECT_TRUE(manager.acquireKv(1, 0, 2, 100, 9).hit());
+
+    const ResidencyStats stats = manager.stats();
+    EXPECT_EQ(stats.kvStreams, 1u);
+    EXPECT_EQ(stats.kvResidentBytes, 2u * 100 * 9);
+    EXPECT_DOUBLE_EQ(stats.kvMovedBytes, 2.0 * 100 * 9);
+    EXPECT_EQ(stats.kvSpills, 0u);
+    EXPECT_EQ(stats.kvSheds, 0u);
+
+    manager.releaseKv(1);
+    EXPECT_FALSE(manager.kvResident({1, 0}));
+    EXPECT_EQ(manager.kvBytes(0), 0u);
+    EXPECT_EQ(manager.stats().kvStreams, 0u);
+    EXPECT_EQ(manager.stats().kvResidentBytes, 0u);
+}
+
+TEST(ResidencyKv, CrossClassEvictionPicksTheCheaperClass)
+{
+    // One LUT set (bytes S, one use) and one KV stream (raw 2S) share a
+    // 4S budget; an incoming 2S KV stream needs room.  CostAware scores:
+    // LUT = broadcastSeconds(S) * 1 use, KV = 2 * broadcastSeconds(2S)
+    // (spill + refill round trip), so the LUT set is strictly cheaper
+    // to sacrifice and must be the victim.
+    const BackendPtr backend = kvBackend();
+    const QuantConfig cfg = QuantConfig::preset("W4A4");
+    const GemmPlan plan = fabricatedPlan(cfg, 2);
+    const std::uint64_t S = tableSetBytes(plan);
+    ASSERT_GT(S, 0u);
+    ResidencyManager manager(backend, 1, 4 * S,
+                             ResidencyPolicy::CostAware);
+
+    EXPECT_FALSE(manager.acquire(plan, "a").hit);
+    EXPECT_FALSE(manager.acquireKv(1, 0, 1, S, 2).shed);
+    EXPECT_EQ(manager.residentBytes(0), 3 * S);
+
+    const KvCharge incoming = manager.acquireKv(2, 0, 1, S, 2);
+    EXPECT_FALSE(incoming.shed);
+    EXPECT_DOUBLE_EQ(incoming.spillBytes, 0.0); // the LUT class paid
+    EXPECT_FALSE(manager.isResident(tableSetKeyFor(plan, "a", 1.0, 0)));
+    EXPECT_TRUE(manager.kvResident({1, 0}));
+    EXPECT_TRUE(manager.kvResident({2, 0}));
+    EXPECT_EQ(manager.stats().evictions, 1u);
+    EXPECT_EQ(manager.stats().kvSpills, 0u);
+    EXPECT_EQ(manager.lutBytes(0), 0u);
+    EXPECT_EQ(manager.kvBytes(0), 4 * S);
+    EXPECT_LE(manager.residentBytes(0), manager.budgetBytesPerUnit());
+}
+
+TEST(ResidencyKv, HotLutSetDeflectsEvictionOntoKvAndSpilledStreamRefills)
+{
+    // Same geometry, but the LUT set is acquired 5 times: its score
+    // 5 * broadcastSeconds(S) exceeds the KV round trip
+    // 2 * broadcastSeconds(2S) <= 4 * broadcastSeconds(S) for every
+    // latency/bandwidth profile, so the cold KV stream is spilled — and
+    // its next acquire pays a whole-context refill.
+    const BackendPtr backend = kvBackend();
+    const QuantConfig cfg = QuantConfig::preset("W4A4");
+    const GemmPlan plan = fabricatedPlan(cfg, 2);
+    const std::uint64_t S = tableSetBytes(plan);
+    ResidencyManager manager(backend, 1, 4 * S,
+                             ResidencyPolicy::CostAware);
+
+    EXPECT_FALSE(manager.acquire(plan, "a").hit);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(manager.acquire(plan, "a").hit);
+    }
+    EXPECT_FALSE(manager.acquireKv(1, 0, 1, S, 2).shed);
+
+    // Stream 2 arrives: stream 1 (not the acquirer, colder than "a") is
+    // spilled, and the writeback is charged to stream 2's access.
+    const KvCharge second = manager.acquireKv(2, 0, 1, S, 2);
+    EXPECT_FALSE(second.shed);
+    EXPECT_DOUBLE_EQ(second.spillBytes, 2.0 * static_cast<double>(S));
+    EXPECT_DOUBLE_EQ(second.spillSeconds,
+                     manager.broadcastSeconds(2 * S));
+    EXPECT_TRUE(manager.isResident(tableSetKeyFor(plan, "a", 1.0, 0)));
+    EXPECT_FALSE(manager.kvResident({1, 0}));
+    EXPECT_EQ(manager.stats().kvSpills, 1u);
+    EXPECT_EQ(manager.stats().evictions, 0u);
+
+    // Stream 1 returns: stream 2 is now the cold one and swaps out,
+    // while stream 1 refills its whole spilled context (plus one new
+    // token) host -> PIM.
+    const KvCharge refill = manager.acquireKv(1, 0, 1, S, 3);
+    EXPECT_FALSE(refill.shed);
+    EXPECT_TRUE(refill.refill);
+    EXPECT_DOUBLE_EQ(refill.appendBytes, 3.0 * static_cast<double>(S));
+    EXPECT_DOUBLE_EQ(refill.spillBytes, 2.0 * static_cast<double>(S));
+    EXPECT_EQ(manager.stats().kvRefills, 1u);
+    EXPECT_EQ(manager.stats().kvSpills, 2u);
+    EXPECT_EQ(manager.kvBytes(0), 3 * S);
+    EXPECT_EQ(manager.lutBytes(0), S);
+    EXPECT_LE(manager.residentBytes(0), manager.budgetBytesPerUnit());
+}
+
+TEST(ResidencyKv, LruPolicyArbitratesAcrossClassesByRecency)
+{
+    const BackendPtr backend = kvBackend();
+    const QuantConfig cfg = QuantConfig::preset("W4A4");
+    const GemmPlan plan = fabricatedPlan(cfg, 2);
+    const std::uint64_t S = tableSetBytes(plan);
+
+    // KV touched after the LUT set: the LUT set is the LRU victim.
+    ResidencyManager stale(backend, 1, 4 * S, ResidencyPolicy::Lru);
+    EXPECT_FALSE(stale.acquire(plan, "a").hit);
+    EXPECT_FALSE(stale.acquireKv(1, 0, 1, S, 2).shed);
+    EXPECT_FALSE(stale.acquireKv(2, 0, 1, S, 2).shed);
+    EXPECT_FALSE(stale.isResident(tableSetKeyFor(plan, "a", 1.0, 0)));
+    EXPECT_EQ(stale.stats().evictions, 1u);
+    EXPECT_EQ(stale.stats().kvSpills, 0u);
+
+    // LUT set touched after the KV stream: the KV stream goes instead.
+    ResidencyManager fresh(backend, 1, 4 * S, ResidencyPolicy::Lru);
+    EXPECT_FALSE(fresh.acquireKv(1, 0, 1, S, 2).shed);
+    EXPECT_FALSE(fresh.acquire(plan, "a").hit);
+    EXPECT_TRUE(fresh.acquire(plan, "a").hit); // a is the most recent
+    EXPECT_FALSE(fresh.acquireKv(2, 0, 1, S, 2).shed);
+    EXPECT_TRUE(fresh.isResident(tableSetKeyFor(plan, "a", 1.0, 0)));
+    EXPECT_FALSE(fresh.kvResident({1, 0}));
+    EXPECT_EQ(fresh.stats().kvSpills, 1u);
+    EXPECT_EQ(fresh.stats().evictions, 0u);
+}
+
+TEST(ResidencyKv, OversizedStreamIsShedAndReleased)
+{
+    const BackendPtr backend = kvBackend();
+    ResidencyManager manager(backend, 1, /*budget=*/1000,
+                             ResidencyPolicy::CostAware);
+
+    // Never fits: shed on first touch, nothing left behind.
+    const KvCharge huge = manager.acquireKv(1, 0, 2, 100, 6); // 1200 raw
+    EXPECT_TRUE(huge.shed);
+    EXPECT_FALSE(manager.kvResident({1, 0}));
+    EXPECT_EQ(manager.stats().kvSheds, 1u);
+    EXPECT_EQ(manager.kvBytes(0), 0u);
+
+    // Fits at first, outgrows the rank later: shed mid-stream, and the
+    // previously resident bytes are returned to the ledger.
+    EXPECT_FALSE(manager.acquireKv(2, 0, 2, 100, 4).shed); // 800 raw
+    EXPECT_EQ(manager.stats().kvStreams, 1u);
+    const KvCharge outgrown = manager.acquireKv(2, 0, 2, 100, 6);
+    EXPECT_TRUE(outgrown.shed);
+    EXPECT_EQ(manager.stats().kvSheds, 2u);
+    EXPECT_EQ(manager.stats().kvStreams, 0u);
+    EXPECT_EQ(manager.stats().kvResidentBytes, 0u);
+    EXPECT_EQ(manager.kvBytes(0), 0u);
+}
+
+TEST(ResidencyKv, DisabledPolicyIsAFreeHit)
+{
+    const BackendPtr backend = kvBackend();
+    ResidencyManager manager(backend, 1, 0, ResidencyPolicy::Disabled);
+    const KvCharge charge = manager.acquireKv(1, 0, 2, 100, 8);
+    EXPECT_TRUE(charge.hit());
+    EXPECT_DOUBLE_EQ(charge.seconds(), 0.0);
+    EXPECT_EQ(manager.kvBytes(0), 0u);
+    EXPECT_EQ(manager.stats().kvStreams, 0u);
+}
+
+TEST(ResidencyKv, LutAcquirerPaysForTheKvItSpills)
+{
+    // The symmetric arbitration direction: an incoming LUT set evicts a
+    // cold KV stream, and the spill writeback lands on the *LUT*
+    // acquirer's charge (kvSpillBytes/Seconds), flowing into its
+    // Phase::LinkOut when applied to a report.
+    const BackendPtr backend = kvBackend();
+    const QuantConfig cfg = QuantConfig::preset("W4A4");
+    const GemmPlan plan = fabricatedPlan(cfg, 2);
+    const std::uint64_t S = tableSetBytes(plan);
+    ResidencyManager manager(backend, 1, 2 * S,
+                             ResidencyPolicy::CostAware);
+
+    EXPECT_FALSE(manager.acquireKv(1, 0, 1, S, 2).shed); // fills 2S
+    const ResidencyCharge lut = manager.acquire(plan, "a");
+    EXPECT_FALSE(lut.hit);
+    EXPECT_DOUBLE_EQ(lut.kvSpillBytes, 2.0 * static_cast<double>(S));
+    EXPECT_DOUBLE_EQ(lut.kvSpillSeconds, manager.broadcastSeconds(2 * S));
+    EXPECT_GT(lut.kvSpillJoules, 0.0);
+    EXPECT_FALSE(manager.kvResident({1, 0}));
+    EXPECT_EQ(manager.stats().kvSpills, 1u);
+    EXPECT_EQ(manager.lutBytes(0), S);
+    EXPECT_EQ(manager.kvBytes(0), 0u);
+
+    TimingReport timing;
+    EnergyReport energy;
+    lut.apply(timing, energy);
+    EXPECT_DOUBLE_EQ(timing.seconds.get(phaseName(Phase::LinkOut)),
+                     lut.kvSpillSeconds);
+    EXPECT_DOUBLE_EQ(timing.seconds.get(phaseName(Phase::LutBroadcast)),
+                     lut.seconds);
+}
+
 } // namespace
 } // namespace localut

@@ -185,6 +185,43 @@ TEST(Scheduler, InteractiveLaneOvertakesBatch)
     EXPECT_LT(rInter.sample.startSeconds, rBatch.sample.startSeconds);
 }
 
+TEST(Scheduler, DecodeLaneOutranksEveryOtherLane)
+{
+    // Token-engine lane separation: while a rank is busy, a queued
+    // decode step overtakes interactive and prefill work regardless of
+    // arrival order, and prefill yields to interactive — the priority
+    // order is decode < interactive < prefill < batch (lower starts
+    // first), decoupled from the enum indices.
+    InferenceSession session(makeBackend("upmem"));
+    RequestScheduler scheduler(session);
+    const TransformerConfig model = TransformerConfig::opt125m();
+    const QuantConfig cfg = QuantConfig::preset("W4A4");
+    const auto prefillGraph = session.compileUnsharded(
+        WorkloadSpec::prefill(model, 1, 8), cfg, DesignPoint::LoCaLut);
+    const auto stepGraph = session.compileUnsharded(
+        WorkloadSpec::decodeStep(model, 1, 8), cfg, DesignPoint::LoCaLut);
+
+    const AdmissionDecision head = scheduler.submit(ServingRequest::gemm(
+        smallProblem(), DesignPoint::LoCaLut, DeadlineClass::Batch, kInf,
+        /*computeValues=*/false));
+    const AdmissionDecision pre =
+        scheduler.submit(ServingRequest::prefill(prefillGraph, kInf));
+    const AdmissionDecision inter = scheduler.submit(ServingRequest::gemm(
+        smallProblem(), DesignPoint::LoCaLut, DeadlineClass::Interactive,
+        kInf, /*computeValues=*/false));
+    const AdmissionDecision step =
+        scheduler.submit(ServingRequest::decodeStep(stepGraph, kInf));
+    EXPECT_EQ(pre.lane, DeadlineClass::Prefill);
+    EXPECT_EQ(step.lane, DeadlineClass::Decode);
+
+    scheduler.wait(head.id);
+    const ServingResult rPre = scheduler.wait(pre.id);
+    const ServingResult rInter = scheduler.wait(inter.id);
+    const ServingResult rStep = scheduler.wait(step.id);
+    EXPECT_LT(rStep.sample.startSeconds, rInter.sample.startSeconds);
+    EXPECT_LT(rInter.sample.startSeconds, rPre.sample.startSeconds);
+}
+
 TEST(Scheduler, FifoPolicyKeepsArrivalOrder)
 {
     SchedulerOptions options;

@@ -197,5 +197,91 @@ TEST(Telemetry, PrometheusTextExposesAllSeries)
     }
 }
 
+TEST(Telemetry, TokenLanesNamesAndPriorities)
+{
+    // Prefill/Decode were appended to the enum (indices are part of the
+    // dump format), and scheduling priority is decoupled from the index:
+    // decode outranks everything, batch yields to everyone.
+    static_assert(kDeadlineClasses == 4);
+    EXPECT_EQ(static_cast<std::size_t>(DeadlineClass::Interactive), 0u);
+    EXPECT_EQ(static_cast<std::size_t>(DeadlineClass::Batch), 1u);
+    EXPECT_EQ(static_cast<std::size_t>(DeadlineClass::Prefill), 2u);
+    EXPECT_EQ(static_cast<std::size_t>(DeadlineClass::Decode), 3u);
+    EXPECT_STREQ(deadlineClassName(DeadlineClass::Prefill), "prefill");
+    EXPECT_STREQ(deadlineClassName(DeadlineClass::Decode), "decode");
+    EXPECT_LT(deadlineClassPriority(DeadlineClass::Decode),
+              deadlineClassPriority(DeadlineClass::Interactive));
+    EXPECT_LT(deadlineClassPriority(DeadlineClass::Interactive),
+              deadlineClassPriority(DeadlineClass::Prefill));
+    EXPECT_LT(deadlineClassPriority(DeadlineClass::Prefill),
+              deadlineClassPriority(DeadlineClass::Batch));
+}
+
+TEST(Telemetry, TokenRecordersFeedPerLaneHistograms)
+{
+    Telemetry telemetry;
+    telemetry.recordTtft(DeadlineClass::Prefill, 2e-3);
+    telemetry.recordToken(DeadlineClass::Decode, 1e-3, /*met=*/true);
+    telemetry.recordToken(DeadlineClass::Decode, 3e-3, /*met=*/false);
+    // A re-batched stream's first token has no predecessor: a negative
+    // gap records the verdict but skips the inter-token histogram.
+    telemetry.recordToken(DeadlineClass::Decode, -1.0, /*met=*/true);
+
+    const TelemetrySnapshot snap = telemetry.snapshot();
+    const auto p = static_cast<std::size_t>(DeadlineClass::Prefill);
+    const auto d = static_cast<std::size_t>(DeadlineClass::Decode);
+    EXPECT_EQ(snap.lanes[p].ttft.count(), 1u);
+    EXPECT_DOUBLE_EQ(snap.lanes[p].ttft.maxSeconds(), 2e-3);
+    EXPECT_EQ(snap.lanes[d].interToken.count(), 2u);
+    EXPECT_DOUBLE_EQ(snap.lanes[d].interToken.maxSeconds(), 3e-3);
+    EXPECT_EQ(snap.lanes[d].tokens, 3u);
+    EXPECT_EQ(snap.lanes[d].tokensMet, 2u);
+    EXPECT_EQ(snap.lanes[d].tokensMissed, 1u);
+
+    telemetry.reset();
+    EXPECT_EQ(telemetry.snapshot().lanes[d].tokens, 0u);
+    EXPECT_EQ(telemetry.snapshot().lanes[p].ttft.count(), 0u);
+}
+
+TEST(Telemetry, KvGaugesLandInSnapshotAndPrometheusDump)
+{
+    Telemetry telemetry;
+    KvResidencyGauges gauges;
+    gauges.residentBytes = 4096;
+    gauges.streams = 3;
+    gauges.spills = 2;
+    gauges.refills = 1;
+    gauges.sheds = 5;
+    gauges.lutEvictions = 7;
+    telemetry.recordKvResidency(gauges);
+    telemetry.recordTtft(DeadlineClass::Prefill, 2e-3);
+    telemetry.recordToken(DeadlineClass::Decode, 1e-3, true);
+    telemetry.recordToken(DeadlineClass::Decode, 2e-3, false);
+
+    const TelemetrySnapshot snap = telemetry.snapshot();
+    EXPECT_EQ(snap.kv.residentBytes, 4096u);
+    EXPECT_EQ(snap.kv.streams, 3u);
+    EXPECT_EQ(snap.kv.lutEvictions, 7u);
+
+    const std::string text = telemetry.prometheusText();
+    for (const char* needle : {
+             "# TYPE localut_kv_resident_bytes gauge",
+             "localut_kv_resident_bytes 4096",
+             "localut_kv_streams 3",
+             "localut_kv_spills_total 2",
+             "localut_kv_refills_total 1",
+             "localut_kv_sheds_total 5",
+             "localut_evictions_total{class=\"lut\"} 7",
+             "localut_evictions_total{class=\"kv\"} 2",
+             "localut_ttft_seconds_count{lane=\"prefill\"} 1",
+             "localut_inter_token_seconds_count{lane=\"decode\"} 2",
+             "localut_tokens_total{lane=\"decode\",verdict=\"met\"} 1",
+             "localut_tokens_total{lane=\"decode\",verdict=\"missed\"} 1",
+         }) {
+        EXPECT_NE(text.find(needle), std::string::npos)
+            << "missing series: " << needle << "\nin dump:\n" << text;
+    }
+}
+
 } // namespace
 } // namespace localut
