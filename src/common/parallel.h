@@ -19,11 +19,34 @@
  * executor yields bit-identical results regardless of scheduling; the
  * contract is merely "invoke fn(0..tiles-1) exactly once each and
  * return when all have finished".
+ *
+ * Scaling model (why the batch looks the way it does):
+ *
+ *  - `next` and `done` live on their own cache lines.  Packed together
+ *    (with the error mutex on top), every claim invalidated every
+ *    retirement counter read across all participants — measurable
+ *    false sharing once tiles get small.
+ *  - Claims are CHUNKED: one fetch_add hands out `claimChunk` tiles,
+ *    sized so the whole batch still splits into several chunks per
+ *    participant (load balance) while fine-grained batches stop
+ *    hammering the claim counter once per tile.
+ *  - A TilePool holds a QUEUE of in-flight batches, not a single slot
+ *    guarded by a submit mutex.  Concurrent submitters (per-rank
+ *    session queues all fanning tiles at once) previously degraded to
+ *    lockstep — each waited for the previous batch to fully settle
+ *    before its own could start claiming.  Now a fully-claimed batch
+ *    is popped so workers flow into the next one while the last tiles
+ *    of the previous batch finish.
+ *  - A tile closure that re-enters run() on the executor it is already
+ *    draining (nested GEMM, a workload node executing inside a tile)
+ *    is detected via a thread-local marker and drained INLINE on the
+ *    calling thread instead of deadlocking on submission state.
  */
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -43,18 +66,42 @@ namespace localut {
 struct TileBatch {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::size_t count = 0;
-    std::atomic<std::size_t> next{0};
-    std::atomic<std::size_t> done{0};
-    std::mutex errorMutex;
-    std::exception_ptr error;
+    /** Tiles handed out per claim (>= 1).  Coarser claims amortize the
+     * fetch_add; finer claims balance load.  See claimChunkFor(). */
+    std::size_t claimChunk = 1;
 
-    /** Claims and runs tiles until the range is exhausted; returns true
-     * when this call retired the batch's last tile. */
+    /** Claim cursor, alone on its cache line: claims are the hot
+     * cross-thread traffic and must not invalidate `done` readers. */
+    alignas(64) std::atomic<std::size_t> next{0};
+    /** Retirement counter, alone on its cache line. */
+    alignas(64) std::atomic<std::size_t> done{0};
+
+    alignas(64) std::mutex errorMutex;
+    std::exception_ptr error;
+    /** Tile index that raised `error`; first-error-wins is DETERMINISTIC:
+     * the surviving exception is the one from the lowest-indexed failed
+     * tile, regardless of which thread ran it or finished first. */
+    std::size_t errorTile = static_cast<std::size_t>(-1);
+
+    /** Claims and runs tile chunks until the range is exhausted; returns
+     * true when this call retired the batch's last tile. */
     bool drain();
 
     /** Every tile has finished (not merely been claimed). */
     bool settled() const;
+
+    /** Every tile has been claimed (workers should move on; the last
+     * tiles may still be running on their claimants). */
+    bool fullyClaimed() const;
+
+    /** Rethrows the recorded error, if any.  Call only after settled(). */
+    void rethrowIfError() const;
 };
+
+/** Claim granularity for @p tiles split across @p participants: the
+ * largest chunk that still leaves every participant several claims for
+ * load balance (at least 4 chunks per participant, min 1 tile). */
+std::size_t claimChunkFor(std::size_t tiles, unsigned participants);
 
 /** Runs a batch of independent tile closures to completion. */
 class TileExecutor
@@ -81,8 +128,11 @@ const TileExecutor& serialTiles();
 /**
  * A persistent worker pool implementing TileExecutor.  The calling
  * thread participates in the batch (a TilePool(1) still uses 2 threads'
- * worth of hands, its own plus the caller's claim loop), and run() is
- * serialized internally so several threads may share one pool.
+ * worth of hands, its own plus the caller's claim loop).  Concurrent
+ * run() callers enqueue independent batches that are claimed in FIFO
+ * order but overlap in flight: a fully-claimed batch no longer blocks
+ * the next batch from starting.  A nested run() from inside a tile of
+ * this same pool drains inline on the calling thread (no deadlock).
  */
 class TilePool final : public TileExecutor
 {
@@ -98,15 +148,20 @@ class TilePool final : public TileExecutor
     void run(std::size_t tiles,
              const std::function<void(std::size_t)>& fn) const override;
 
+    /** Batches currently queued or claiming (test/diagnostic hook). */
+    std::size_t inFlightBatches() const;
+
   private:
     void workerLoop();
+    /** Pops @p batch from queue_ if still present (mutex_ held). */
+    void retireLocked(const std::shared_ptr<TileBatch>& batch) const;
 
-    mutable std::mutex submitMutex_; ///< serializes run() callers
     mutable std::mutex mutex_;
-    mutable std::condition_variable workCv_;
-    mutable std::condition_variable doneCv_;
-    /** Current batch (guarded by mutex_; null = idle). */
-    mutable std::shared_ptr<TileBatch> batch_;
+    mutable std::condition_variable workCv_; ///< workers: queue non-empty
+    mutable std::condition_variable doneCv_; ///< submitters: batch settled
+    /** In-flight batches, claimed front-first (guarded by mutex_).  A
+     * fully-claimed front batch is popped so workers flow onward. */
+    mutable std::deque<std::shared_ptr<TileBatch>> queue_;
     bool stopping_ = false;
     std::vector<std::thread> workers_;
 };

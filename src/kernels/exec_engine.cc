@@ -10,6 +10,23 @@
 #include "kernels/cost_tables.h"
 #include "lut/table_cache.h"
 
+// Portable vectorization hints for the fused lookup-accumulate loops.
+// LOCALUT_SIMD_PRAGMA is defined by the build when the compiler accepts
+// -fopenmp-simd (the pragma alone, no OpenMP runtime); without it the
+// "simd" path compiles to the same scalar loop and the ExecOptions::simd
+// flag is a no-op.  Correctness never depends on the pragma: the
+// vectorized dimension is independent output elements.
+#if defined(LOCALUT_SIMD_PRAGMA)
+#define LOCALUT_OMP_SIMD _Pragma("omp simd")
+#else
+#define LOCALUT_OMP_SIMD
+#endif
+#if defined(__GNUC__) || defined(__clang__)
+#define LOCALUT_RESTRICT __restrict__
+#else
+#define LOCALUT_RESTRICT
+#endif
+
 namespace localut {
 
 // ---------------------------------------------------------------- arena
@@ -399,16 +416,29 @@ struct TileRange {
 };
 
 /**
- * Cuts the output into disjoint tiles: across columns when there are
- * enough of them to feed every worker, else across rows (each tile then
- * spans all columns).  Returns the per-tile ranges count; rangeOf()
+ * Column tiles are never cut finer than one cache line of the
+ * row-major output (16 x 4-byte columns = 64 bytes): slivered column
+ * tiles — the historical bug on fig09-class shapes, which emitted
+ * 4-column tiles — put four concurrent writers on every output line,
+ * and the resulting false sharing erased the entire tile-parallel
+ * speedup.
+ */
+constexpr std::size_t kMinColChunk = 16;
+
+/**
+ * Cuts the output into a disjoint [rowTiles x colTiles] grid.  Columns
+ * are cut first (per-column setup — fused slices, LTC tables, decoded
+ * columns — is paid once per column regardless of how the columns are
+ * divided, but is DUPLICATED by every row cut), no finer than
+ * kMinColChunk; rows are cut only when the columns alone cannot feed
+ * the target tile count, and keep >= 16 rows per tile.  rangeOf()
  * recovers the bounds from a tile index.
  */
 struct Tiling {
     std::size_t m = 0, n = 0;
     std::size_t tiles = 1;
-    std::size_t chunk = 0;
-    bool overColumns = false;
+    std::size_t rowTiles = 1, colTiles = 1;
+    std::size_t rowChunk = 0, colChunk = 0;
 
     TileRange
     rangeOf(std::size_t tile) const
@@ -416,12 +446,12 @@ struct Tiling {
         if (tiles <= 1) {
             return {0, m, 0, n};
         }
-        if (overColumns) {
-            const std::size_t n0 = tile * chunk;
-            return {0, m, n0, std::min(n, n0 + chunk)};
-        }
-        const std::size_t m0 = tile * chunk;
-        return {std::min(m, m0), std::min(m, m0 + chunk), 0, n};
+        const std::size_t m0 =
+            std::min(m, (tile / colTiles) * rowChunk);
+        const std::size_t n0 =
+            std::min(n, (tile % colTiles) * colChunk);
+        return {m0, std::min(m, m0 + rowChunk), n0,
+                std::min(n, n0 + colChunk)};
     }
 };
 
@@ -431,50 +461,46 @@ chooseTiling(std::size_t m, std::size_t n, const TileExecutor* tiles)
     Tiling t;
     t.m = m;
     t.n = n;
+    t.rowChunk = m;
+    t.colChunk = n;
     const unsigned conc = tiles != nullptr ? tiles->concurrency() : 1;
     if (conc <= 1 || m * n == 0) {
         return t;
     }
-    // A few tiles per worker for load balance, but no slivers: row
-    // tiles keep >= 16 rows.  Column tiles are preferred whenever the
-    // columns can feed every worker: the kernels do per-column setup
-    // (fused slices, LTC tables, decoded columns), and a row tile
-    // spans all columns, so row tiling duplicates that setup per tile.
+    // A few tiles per worker for load balance.
     const std::size_t target = static_cast<std::size_t>(conc) * 4;
-    if (n >= conc) {
-        t.overColumns = true;
-        t.tiles = std::min(n, target);
-        t.chunk = ceilDiv(n, t.tiles);
-        t.tiles = ceilDiv(n, t.chunk);
-    } else if (m >= 32) {
-        t.overColumns = false;
-        t.tiles = std::min(ceilDiv(m, std::size_t{16}), target);
-        t.chunk = ceilDiv(m, t.tiles);
-        t.tiles = ceilDiv(m, t.chunk);
+    t.colTiles = std::max<std::size_t>(
+        1, std::min(ceilDiv(n, kMinColChunk), target));
+    t.colChunk = ceilDiv(n, t.colTiles);
+    t.colTiles = ceilDiv(n, t.colChunk);
+    if (t.colTiles < target && m >= 32) {
+        const std::size_t want = ceilDiv(target, t.colTiles);
+        t.rowTiles = std::min(ceilDiv(m, std::size_t{16}), want);
+        t.rowChunk = ceilDiv(m, t.rowTiles);
+        t.rowTiles = ceilDiv(m, t.rowChunk);
     }
+    t.tiles = t.rowTiles * t.colTiles;
     return t;
 }
 
 /**
- * Shrinks a row tiling to at most @p maxTiles (kernels whose
- * per-column setup is duplicated across row tiles call this with the
- * tile count that keeps the duplicated work a small fraction of the
- * sweep).  No-op for column tilings.
+ * Shrinks the ROW dimension of a tiling to at most @p maxRowTiles
+ * (kernels whose per-column setup is duplicated across row tiles call
+ * this with the row-cut count that keeps the duplicated work a small
+ * fraction of the sweep).  Column tiles are untouched — they duplicate
+ * nothing.
  */
 void
-capRowTiles(Tiling& t, std::size_t maxTiles)
+capRowTiles(Tiling& t, std::size_t maxRowTiles)
 {
-    if (t.overColumns || t.tiles <= 1) {
+    maxRowTiles = std::max<std::size_t>(1, maxRowTiles);
+    if (t.rowTiles <= maxRowTiles) {
         return;
     }
-    t.tiles = std::max<std::size_t>(1, std::min(t.tiles, maxTiles));
-    if (t.tiles <= 1) {
-        t.tiles = 1;
-        t.chunk = 0;
-        return;
-    }
-    t.chunk = ceilDiv(t.m, t.tiles);
-    t.tiles = ceilDiv(t.m, t.chunk);
+    t.rowTiles = maxRowTiles;
+    t.rowChunk = ceilDiv(t.m, t.rowTiles);
+    t.rowTiles = ceilDiv(t.m, t.rowChunk);
+    t.tiles = t.rowTiles * t.colTiles;
 }
 
 /** Runs @p fn over every tile — inline when serial (no std::function
@@ -626,6 +652,78 @@ writeColumn(const T* acc, T* out, std::size_t n, std::size_t nn,
     }
 }
 
+// ------------------------------------------- fused inner-loop helpers
+//
+// The fused lookup-accumulate sweeps vectorize along the OUTPUT-ROW
+// dimension: acc[i] += slice[idx[i]] advances independent output
+// elements in lockstep, so no per-element accumulation order changes —
+// the simd and scalar paths are bit-exact on integer AND float data
+// (reordering would only occur if the reduction dimension, the groups,
+// were vectorized; it never is).  The scalar variants are kept as
+// separate loops (not just a disabled pragma) so the bench's
+// simd-vs-scalar comparison measures real codegen, with restrict
+// qualifiers confined to the simd path.
+
+/** acc[i] += slice[idx[i]] over [0, span). */
+template <typename T, typename I>
+inline void
+gatherAccumulate(bool simd, T* acc, const T* slice, const I* idx,
+                 std::size_t span)
+{
+    if (simd) {
+        T* LOCALUT_RESTRICT a = acc;
+        const T* LOCALUT_RESTRICT s = slice;
+        const I* LOCALUT_RESTRICT ix = idx;
+        LOCALUT_OMP_SIMD
+        for (std::size_t i = 0; i < span; ++i) {
+            a[i] += s[ix[i]];
+        }
+    } else {
+        for (std::size_t i = 0; i < span; ++i) {
+            acc[i] += slice[idx[i]];
+        }
+    }
+}
+
+/** dst[i] = src[idx[i]] over [0, span) (fused-slice construction). */
+template <typename T, typename I>
+inline void
+gatherInto(bool simd, T* dst, const T* src, const I* idx, std::size_t span)
+{
+    if (simd) {
+        T* LOCALUT_RESTRICT d = dst;
+        const T* LOCALUT_RESTRICT s = src;
+        const I* LOCALUT_RESTRICT ix = idx;
+        LOCALUT_OMP_SIMD
+        for (std::size_t i = 0; i < span; ++i) {
+            d[i] = s[ix[i]];
+        }
+    } else {
+        for (std::size_t i = 0; i < span; ++i) {
+            dst[i] = src[idx[i]];
+        }
+    }
+}
+
+/** acc[i] += addend[i] over [0, span) (slice-window fold). */
+template <typename T>
+inline void
+vectorAdd(bool simd, T* acc, const T* addend, std::size_t span)
+{
+    if (simd) {
+        T* LOCALUT_RESTRICT a = acc;
+        const T* LOCALUT_RESTRICT b = addend;
+        LOCALUT_OMP_SIMD
+        for (std::size_t i = 0; i < span; ++i) {
+            a[i] += b[i];
+        }
+    } else {
+        for (std::size_t i = 0; i < span; ++i) {
+            acc[i] += addend[i];
+        }
+    }
+}
+
 /** Narrow-width packed weight index dispatch: invokes @p fn with the
  * populated wIdxT pointer (exactly one variant is filled). */
 template <typename Fn>
@@ -646,7 +744,8 @@ template <typename T, typename I>
 void
 opKernel(const PreparedGemm& prep, const I* wIdxT,
          const std::uint64_t* aIdx, const T* table, std::uint64_t rows,
-         std::size_t n, const TileRange& range, ExecArena& arena, T* out)
+         bool simd, std::size_t n, const TileRange& range, ExecArena& arena,
+         T* out)
 {
     const std::size_t m = prep.m;
     const unsigned groups = prep.groups;
@@ -663,9 +762,7 @@ opKernel(const PreparedGemm& prep, const I* wIdxT,
         for (unsigned g = 0; g < groups; ++g) {
             const T* slice = table + aCol[g] * rows;
             const I* wg = wIdxT + static_cast<std::size_t>(g) * m;
-            for (std::size_t mm = range.m0; mm < range.m1; ++mm) {
-                acc[mm - range.m0] += slice[wg[mm]];
-            }
+            gatherAccumulate(simd, acc, slice, wg + range.m0, span);
         }
         writeColumn(acc, out, n, nn, range.m0, range.m1);
     }
@@ -683,7 +780,7 @@ template <typename T, bool kInt, typename I>
 void
 canonicalFusedKernel(const PreparedGemm& prep, const I* wIdxT,
                      const CanonicalActs& acts, Mode mode, unsigned batch,
-                     std::size_t n, const TileRange& range,
+                     bool simd, std::size_t n, const TileRange& range,
                      ExecArena& arena, T* out)
 {
     const std::size_t m = prep.m;
@@ -762,9 +859,8 @@ canonicalFusedKernel(const PreparedGemm& prep, const I* wIdxT,
         } else {
             const std::uint32_t* rCol =
                 reorderData + acts.permRank[at] * rows;
-            for (std::uint64_t wi = 0; wi < rows; ++wi) {
-                dst[wi] = col[rCol[wi]];
-            }
+            gatherInto(simd, dst, col, rCol,
+                       static_cast<std::size_t>(rows));
         }
     };
 
@@ -798,9 +894,7 @@ canonicalFusedKernel(const PreparedGemm& prep, const I* wIdxT,
             for (unsigned g = 0; g < groups; ++g) {
                 const T* f = static_cast<const T*>(slice[g]);
                 const I* wg = wIdxT + static_cast<std::size_t>(g) * m;
-                for (std::size_t mm = range.m0; mm < range.m1; ++mm) {
-                    acc[mm - range.m0] += f[wg[mm]];
-                }
+                gatherAccumulate(simd, acc, f, wg + range.m0, span);
             }
         } else {
             for (unsigned g0 = 0; g0 < groups; g0 += batch) {
@@ -809,13 +903,10 @@ canonicalFusedKernel(const PreparedGemm& prep, const I* wIdxT,
                 for (unsigned g = g0; g < gEnd; ++g) {
                     const T* f = static_cast<const T*>(slice[g]);
                     const I* wg = wIdxT + static_cast<std::size_t>(g) * m;
-                    for (std::size_t mm = range.m0; mm < range.m1; ++mm) {
-                        accBatch[mm - range.m0] += f[wg[mm]];
-                    }
+                    gatherAccumulate(simd, accBatch, f, wg + range.m0,
+                                     span);
                 }
-                for (std::size_t i = 0; i < span; ++i) {
-                    acc[i] += accBatch[i];
-                }
+                vectorAdd(simd, acc, accBatch, span);
             }
         }
         writeColumn(acc, out, n, nn, range.m0, range.m1);
@@ -1083,8 +1174,8 @@ executeTyped(const GemmProblem& problem, const GemmPlan& plan,
                         "element type");
         runTiles(tiling, tiles, [&](std::size_t tile) {
             withWeightIndices(*prep, [&](const auto* wIdxT) {
-                opKernel<T>(*prep, wIdxT, aIdx, table, lut.rows(), n,
-                            tiling.rangeOf(tile),
+                opKernel<T>(*prep, wIdxT, aIdx, table, lut.rows(),
+                            options.simd, n, tiling.rangeOf(tile),
                             tileArena(tiling, tiles, arena), outData);
             });
         });
@@ -1109,7 +1200,7 @@ executeTyped(const GemmProblem& problem, const GemmPlan& plan,
             runTiles(fusedTiling, tiles, [&](std::size_t tile) {
                 withWeightIndices(*prep, [&](const auto* wIdxT) {
                     canonicalFusedKernel<T, kInt>(
-                        *prep, wIdxT, acts, mode, batch, n,
+                        *prep, wIdxT, acts, mode, batch, options.simd, n,
                         fusedTiling.rangeOf(tile),
                         tileArena(fusedTiling, tiles, arena), outData);
                 });

@@ -209,6 +209,17 @@ struct ExecOptions {
     ExecArena* arena = nullptr;
     /** Tile executor; null runs tiles serially on the calling thread. */
     const TileExecutor* tiles = nullptr;
+    /**
+     * Vectorize the fused lookup-accumulate inner loops (portable
+     * `omp simd`-style autovectorization hints; no ISA assumptions).
+     * Bit-exact against the scalar path on every backend: the
+     * vectorized dimension is the OUTPUT rows, so each element's
+     * accumulation order (activation groups ascending, slice windows
+     * ascending under streaming) is untouched — only independent
+     * output elements advance in lockstep.  False turns the hints off
+     * (the scalar baseline the bench and parity fuzz compare against).
+     */
+    bool simd = true;
 };
 
 /**

@@ -9,6 +9,31 @@
 
 namespace localut {
 
+namespace {
+
+/**
+ * The session whose tile batch this thread is currently draining (null
+ * when not inside a tile).  A tile closure that re-enters
+ * runTileBatch() on the same session must drain inline: re-submitting
+ * from inside a tile would have this thread compete with (and wait on)
+ * the batch it is itself a tile of.  Mirrors the TilePool nested-run
+ * guard in common/parallel.cc.
+ */
+thread_local const InferenceSession* tlDrainingSession = nullptr;
+
+struct SessionDrainScope {
+    const InferenceSession* previous;
+
+    explicit SessionDrainScope(const InferenceSession* session)
+        : previous(tlDrainingSession)
+    {
+        tlDrainingSession = session;
+    }
+    ~SessionDrainScope() { tlDrainingSession = previous; }
+};
+
+} // namespace
+
 double
 InferenceSession::CompiledWorkload::predictedGemmSeconds() const
 {
@@ -375,6 +400,7 @@ InferenceSession::execOptions(bool computeValues) const
 {
     ExecOptions options;
     options.computeValues = computeValues;
+    options.simd = options_.simdKernels;
     if (options_.tileParallel && workerCount() > 1) {
         options.tiles = &poolTiles_;
     }
@@ -473,7 +499,10 @@ InferenceSession::runTileBatch(std::size_t tiles,
     if (tiles == 0) {
         return;
     }
-    if (tiles == 1 || workerCount() <= 1) {
+    if (tiles == 1 || workerCount() <= 1 || tlDrainingSession == this) {
+        // Serial shapes, a single-worker session, and NESTED
+        // submissions (a tile closure re-entering the session executor
+        // it is already draining a tile of) all drain inline.
         for (std::size_t i = 0; i < tiles; ++i) {
             fn(i);
         }
@@ -482,6 +511,7 @@ InferenceSession::runTileBatch(std::size_t tiles,
     auto batch = std::make_shared<TileBatch>();
     batch->fn = &fn;
     batch->count = tiles;
+    batch->claimChunk = claimChunkFor(tiles, workerCount() + 1);
     {
         std::unique_lock<std::mutex> lock(mutex_);
         // Front of every rank queue: an idle worker's next pop helps
@@ -494,7 +524,12 @@ InferenceSession::runTileBatch(std::size_t tiles,
     queueCv_.notify_all();
     // Participate: the submitting thread claims tiles too, so the batch
     // completes even if every worker is busy elsewhere.
-    if (batch->drain()) {
+    bool last;
+    {
+        SessionDrainScope scope(this);
+        last = batch->drain();
+    }
+    if (last) {
         std::unique_lock<std::mutex> lock(mutex_);
         doneCv_.notify_all();
     }
@@ -502,16 +537,19 @@ InferenceSession::runTileBatch(std::size_t tiles,
         std::unique_lock<std::mutex> lock(mutex_);
         doneCv_.wait(lock, [&batch] { return batch->settled(); });
     }
-    if (batch->error) {
-        std::rethrow_exception(batch->error);
-    }
+    batch->rethrowIfError();
 }
 
 void
 InferenceSession::runTask(const Task& task)
 {
     if (task.shard == kTileTask) {
-        if (task.tiles->drain()) {
+        bool last;
+        {
+            SessionDrainScope scope(this);
+            last = task.tiles->drain();
+        }
+        if (last) {
             std::unique_lock<std::mutex> lock(mutex_);
             doneCv_.notify_all();
         }

@@ -98,6 +98,15 @@ struct SessionOptions {
      * bit-identical to serial execution.
      */
     bool tileParallel = true;
+    /**
+     * Vectorize the fused lookup-accumulate inner loops
+     * (ExecOptions::simd) on every GEMM this session executes.
+     * Bit-exact either way — the vectorized dimension is independent
+     * output elements, never the reduction — so this is purely a
+     * throughput knob; false pins the scalar loops (the bench
+     * baseline).
+     */
+    bool simdKernels = true;
 };
 
 /**

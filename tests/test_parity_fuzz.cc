@@ -133,7 +133,7 @@ TEST(ParityFuzz, ShardedMatchesUnshardedAcrossBackends)
  * Prepared-operand parity: prepared (cached PreparedGemm + arena +
  * tile-parallel) execution is bit-exact against unprepared execution
  * across upmem/bankpim/host-cpu x ranks {1, 2, 4} x tile threads
- * {1, 4}, unsharded and sharded alike.
+ * {1, 4} x simd {off, on}, unsharded and sharded alike.
  */
 TEST(ParityFuzz, PreparedMatchesUnpreparedAcrossBackendsRanksThreads)
 {
@@ -162,29 +162,35 @@ TEST(ParityFuzz, PreparedMatchesUnpreparedAcrossBackendsRanksThreads)
                   referenceGemmInt(problem.w, problem.a));
 
         for (unsigned threads : {1u, 4u}) {
-            ExecOptions options;
-            const std::shared_ptr<const PreparedGemm> prepared =
-                cache.preparedFor(*backend, problem, plan);
-            options.prepared = prepared.get();
-            if (threads > 1) {
-                options.tiles = &pool;
-            }
-            const GemmResult prep =
-                backend->execute(problem, plan, options);
-            EXPECT_EQ(prep.outInt, baseline.outInt)
-                << "threads=" << threads;
+            for (bool simd : {false, true}) {
+                ExecOptions options;
+                const std::shared_ptr<const PreparedGemm> prepared =
+                    cache.preparedFor(*backend, problem, plan);
+                options.prepared = prepared.get();
+                options.simd = simd;
+                if (threads > 1) {
+                    options.tiles = &pool;
+                }
+                const GemmResult prep =
+                    backend->execute(problem, plan, options);
+                EXPECT_EQ(prep.outInt, baseline.outInt)
+                    << "threads=" << threads << " simd=" << simd;
 
-            for (unsigned ranks : {2u, 4u}) {
-                ShardSpec spec;
-                spec.numRanks = ranks;
-                const ShardPlan shardPlan = cache.shardPlanFor(
-                    *backend, problem, DesignPoint::LoCaLut, spec);
-                ExecOptions shardOptions;
-                shardOptions.tiles = options.tiles;
-                const GemmResult sharded = executeSharded(
-                    *backend, problem, shardPlan, shardOptions, &cache);
-                EXPECT_EQ(sharded.outInt, baseline.outInt)
-                    << "ranks=" << ranks << " threads=" << threads;
+                for (unsigned ranks : {2u, 4u}) {
+                    ShardSpec spec;
+                    spec.numRanks = ranks;
+                    const ShardPlan shardPlan = cache.shardPlanFor(
+                        *backend, problem, DesignPoint::LoCaLut, spec);
+                    ExecOptions shardOptions;
+                    shardOptions.tiles = options.tiles;
+                    shardOptions.simd = simd;
+                    const GemmResult sharded = executeSharded(
+                        *backend, problem, shardPlan, shardOptions,
+                        &cache);
+                    EXPECT_EQ(sharded.outInt, baseline.outInt)
+                        << "ranks=" << ranks << " threads=" << threads
+                        << " simd=" << simd;
+                }
             }
         }
     }
@@ -193,6 +199,85 @@ TEST(ParityFuzz, PreparedMatchesUnpreparedAcrossBackendsRanksThreads)
     const PlanCache::Stats stats = cache.stats();
     EXPECT_GT(stats.preparedHits, 0u);
     EXPECT_GT(stats.preparedMisses, 0u);
+}
+
+/**
+ * ExecOptions::simd is a pure speed knob: vectorized fused
+ * lookup-accumulate runs bit-exact against the scalar loops on ALL
+ * four backends (including host-gpu), serial and tile-parallel, int
+ * and float (streaming on and off — the float accumulation order is
+ * part of the contract).
+ */
+TEST(ParityFuzz, SimdMatchesScalarAcrossAllBackends)
+{
+    Rng rng(0x51d0);
+    const std::vector<QuantConfig> configs = QuantConfig::paperConfigs();
+    const char* backends[] = {"upmem", "bankpim", "host-cpu", "host-gpu"};
+    PlanCache cache;
+    TilePool pool(4);
+    for (const char* name : backends) {
+        const BackendPtr backend = makeBackend(name);
+        for (unsigned i = 0; i < 8; ++i) {
+            const std::size_t m = 1 + rng.nextBounded(80);
+            const std::size_t k = 2 + rng.nextBounded(80);
+            const std::size_t n = 1 + rng.nextBounded(24);
+            const QuantConfig cfg =
+                configs[rng.nextBounded(configs.size())];
+            const GemmProblem problem =
+                makeRandomProblem(m, k, n, cfg, 0x51d0 + i);
+            SCOPED_TRACE(std::string(name) + " case " + std::to_string(i) +
+                         ": m=" + std::to_string(m) + " k=" +
+                         std::to_string(k) + " n=" + std::to_string(n) +
+                         " " + cfg.name());
+            const GemmPlan plan =
+                cache.planFor(*backend, problem, DesignPoint::LoCaLut);
+            const std::shared_ptr<const PreparedGemm> prepared =
+                cache.preparedFor(*backend, problem, plan);
+            for (unsigned threads : {1u, 4u}) {
+                ExecOptions scalar;
+                scalar.prepared = prepared.get();
+                scalar.simd = false;
+                if (threads > 1) {
+                    scalar.tiles = &pool;
+                }
+                ExecOptions simd = scalar;
+                simd.simd = true;
+                const GemmResult a = backend->execute(problem, plan, scalar);
+                const GemmResult b = backend->execute(problem, plan, simd);
+                EXPECT_EQ(a.outInt, b.outInt) << "threads=" << threads;
+                EXPECT_EQ(a.outInt, referenceGemmInt(problem.w, problem.a))
+                    << "threads=" << threads;
+            }
+        }
+    }
+
+    // Float path: the vectorized dimension is independent output rows,
+    // never the group reduction, so even float accumulation is
+    // bit-identical — with and without slice streaming.
+    const QuantConfig fpCfg = QuantConfig::fpPreset(1, 8);
+    const GemmProblem fpProblem = makeRandomProblem(33, 48, 6, fpCfg, 17);
+    for (bool streaming : {false, true}) {
+        GemmPlan plan(DesignPoint::LoCaLut, fpProblem.config());
+        plan.m = fpProblem.m();
+        plan.k = fpProblem.k();
+        plan.n = fpProblem.n();
+        plan.p = 2;
+        plan.streaming = streaming;
+        plan.kSlices = streaming ? 4 : 1;
+        plan.groups =
+            static_cast<unsigned>((plan.k + plan.p - 1) / std::size_t{plan.p});
+        const auto prepared = prepareGemm(fpProblem, plan);
+        ExecOptions scalar;
+        scalar.prepared = prepared.get();
+        scalar.simd = false;
+        scalar.tiles = &pool;
+        ExecOptions simd = scalar;
+        simd.simd = true;
+        std::vector<float> scalarOut, simdOut;
+        executeGemmFloat(fpProblem, plan, scalar, scalarOut);
+        executeGemmFloat(fpProblem, plan, simd, simdOut);
+        EXPECT_EQ(scalarOut, simdOut) << "streaming=" << streaming;
+    }
 }
 
 TEST(ParityFuzz, CollectiveBytesMonotoneInRanks)
