@@ -1,0 +1,58 @@
+#ifndef LOCALUT_COMMON_TOPOLOGY_H_
+#define LOCALUT_COMMON_TOPOLOGY_H_
+
+/**
+ * @file
+ * The node x rank grid the serving stack schedules over.
+ *
+ * The flat rank model (PR 2) stops at the ranks behind one host link.
+ * Scale-out adds a second interconnect tier: CXL/PCIe-attached PIM
+ * *nodes*, each carrying its own set of ranks behind its own local
+ * host link.  Topology names that grid once so every layer that used
+ * to hardcode `numRanks` (sharding, residency, scheduler placement,
+ * rank queues) agrees on the same flat<->(node, rank) mapping.
+ *
+ * Flat rank ids are node-major: flat = node * ranksPerNode + local.
+ * A single-node topology ({1, R}) is bit-identical to the old flat
+ * model everywhere — the hierarchy only changes costs when nodes > 1.
+ */
+
+namespace localut {
+
+/** A nodes x ranks-per-node grid of PIM ranks. */
+struct Topology {
+    /** CXL/PCIe-attached PIM nodes (1 = single host, the flat model). */
+    unsigned nodes = 1;
+    /** Ranks behind each node's local host link. */
+    unsigned ranksPerNode = 1;
+
+    bool operator==(const Topology&) const = default;
+
+    /** Flat logical ranks across the whole grid. */
+    unsigned totalRanks() const { return nodes * ranksPerNode; }
+
+    /** True when an inter-node tier exists. */
+    bool multiNode() const { return nodes > 1; }
+
+    /** Node owning @p flatRank (node-major layout). */
+    unsigned nodeOf(unsigned flatRank) const
+    {
+        return ranksPerNode ? (flatRank / ranksPerNode) % nodes : 0;
+    }
+
+    /** Rank index of @p flatRank within its node. */
+    unsigned localRank(unsigned flatRank) const
+    {
+        return ranksPerNode ? flatRank % ranksPerNode : 0;
+    }
+
+    /** Flat id of local rank @p local on node @p node. */
+    unsigned flatRank(unsigned node, unsigned local) const
+    {
+        return node * ranksPerNode + local;
+    }
+};
+
+} // namespace localut
+
+#endif // LOCALUT_COMMON_TOPOLOGY_H_

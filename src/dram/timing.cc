@@ -86,6 +86,31 @@ collectiveDrainCost(const DramTimingParams& t, const DramEnergyParams& e,
     return cost;
 }
 
+CollectiveCost
+collectiveHopCost(const DramTimingParams& t, const DramEnergyParams& e,
+                  const CollectiveHop& hop, const LinkTierParams& tier)
+{
+    LOCALUT_REQUIRE(hop.perSourceDrainBytes >= 0 && hop.totalDrainBytes >= 0 &&
+                        hop.paceLinkBytes >= 0 && hop.totalLinkBytes >= 0,
+                    "negative collective hop bytes");
+    CollectiveCost cost;
+    if (hop.totalDrainBytes <= 0 && hop.totalLinkBytes <= 0)
+        return cost;
+    CollectiveCost drain;
+    if (hop.drainBanks > 0 && hop.perSourceDrainBytes > 0)
+        drain = collectiveDrainCost(t, e, hop.drainBanks,
+                                    hop.perSourceDrainBytes);
+    const double linkSeconds = hop.paceLinkBytes / (tier.gbPerSec * 1e9);
+    cost.seconds =
+        tier.launchLatencyUs * 1e-6 + std::max(drain.seconds, linkSeconds);
+    CollectiveCost drainAll;
+    if (hop.drainBanks > 0 && hop.totalDrainBytes > 0)
+        drainAll = collectiveDrainCost(t, e, hop.drainBanks,
+                                       hop.totalDrainBytes);
+    cost.joules = drainAll.joules + tier.pjPerByte * hop.totalLinkBytes * 1e-12;
+    return cost;
+}
+
 DramBank::DramBank(const DramTimingParams& timing) : timing_(timing) {}
 
 std::uint64_t

@@ -220,6 +220,15 @@ struct ExecOptions {
      * (the scalar baseline the bench and parity fuzz compare against).
      */
     bool simd = true;
+    /**
+     * Flat (node-major) rank this execution is placed on — purely
+     * informational provenance for multi-node serving: the sharded
+     * executors and the session's rank queues stamp each shard's home
+     * rank here so arena reuse, tracing hooks, and tests can attribute
+     * work to a Topology position.  Never read by the kernels
+     * themselves (values and costs are rank-independent).
+     */
+    unsigned flatRank = 0;
 };
 
 /**

@@ -1,0 +1,367 @@
+#include "lut/broadcast_codec.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "common/logging.h"
+#include "lut/lut_shape.h"
+#include "lut/table_cache.h"
+
+namespace localut {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'L', 'B', 'C', '1'};
+
+// RLE token space: control < 0x80 => (control + 1) literal bytes
+// follow; control >= 0x80 => (control & 0x7f) + 1 zero bytes.
+constexpr std::size_t kMaxRun = 128;
+// A zero run shorter than this stays literal: a 1-2 byte run saves at
+// most what its control byte costs, and splitting literal blocks adds
+// control bytes of its own.
+constexpr std::size_t kMinZeroRun = 3;
+
+/**
+ * One trial transform: an optional byte-plane shuffle (all entries'
+ * byte 0, then all byte 1, ... — groups the near-constant sign-
+ * extension planes of int32 entries into giant runs) followed by an
+ * optional byte-wise delta at a small stride.  Trialed in a fixed
+ * order; the first smallest body wins, so the encoding is a pure
+ * function of the raw bytes.
+ */
+struct Transform {
+    unsigned shuffle; ///< element width to plane-split (0 = none)
+    unsigned stride;  ///< post-shuffle delta stride (0 = identity)
+};
+
+constexpr Transform kTransforms[] = {{0, 0}, {0, 1}, {0, 2}, {0, 4},
+                                     {0, 8}, {4, 1}, {8, 1}};
+
+std::size_t
+zeroRunAt(const std::vector<std::uint8_t>& d, std::size_t i)
+{
+    std::size_t j = i;
+    while (j < d.size() && d[j] == 0) {
+        ++j;
+    }
+    return j - i;
+}
+
+/** RLE of @p delta appended to @p out; returns bytes appended. */
+std::size_t
+rleEncode(const std::vector<std::uint8_t>& delta,
+          std::vector<std::uint8_t>& out)
+{
+    const std::size_t start = out.size();
+    std::size_t i = 0;
+    while (i < delta.size()) {
+        std::size_t zeros = zeroRunAt(delta, i);
+        if (zeros >= kMinZeroRun) {
+            while (zeros > 0) {
+                const std::size_t run = std::min(zeros, kMaxRun);
+                out.push_back(static_cast<std::uint8_t>(0x80 | (run - 1)));
+                zeros -= run;
+                i += run;
+            }
+            continue;
+        }
+        // Literal block: up to the next worthwhile zero run or the cap.
+        std::size_t end = i;
+        while (end < delta.size() && end - i < kMaxRun) {
+            if (delta[end] == 0 && zeroRunAt(delta, end) >= kMinZeroRun) {
+                break;
+            }
+            ++end;
+        }
+        out.push_back(static_cast<std::uint8_t>(end - i - 1));
+        out.insert(out.end(), delta.begin() + static_cast<std::ptrdiff_t>(i),
+                   delta.begin() + static_cast<std::ptrdiff_t>(end));
+        i = end;
+    }
+    return out.size() - start;
+}
+
+/**
+ * Byte-plane shuffle: for elements of @p width bytes, emit every
+ * element's byte 0, then every byte 1, ...; the tail (size % width)
+ * passes through at the end.  Self-inverse via unshuffleBytes().
+ */
+std::vector<std::uint8_t>
+shuffleBytes(const std::uint8_t* data, std::size_t size, unsigned width)
+{
+    std::vector<std::uint8_t> out(size);
+    const std::size_t elems = size / width;
+    std::size_t idx = 0;
+    for (unsigned plane = 0; plane < width; ++plane) {
+        for (std::size_t i = 0; i < elems; ++i) {
+            out[idx++] = data[i * width + plane];
+        }
+    }
+    for (std::size_t i = elems * width; i < size; ++i) {
+        out[idx++] = data[i];
+    }
+    return out;
+}
+
+void
+unshuffleBytes(std::vector<std::uint8_t>& data, unsigned width)
+{
+    const std::size_t elems = data.size() / width;
+    std::vector<std::uint8_t> out(data.size());
+    std::size_t idx = 0;
+    for (unsigned plane = 0; plane < width; ++plane) {
+        for (std::size_t i = 0; i < elems; ++i) {
+            out[i * width + plane] = data[idx++];
+        }
+    }
+    for (std::size_t i = elems * width; i < data.size(); ++i) {
+        out[i] = data[idx++];
+    }
+    data = std::move(out);
+}
+
+std::vector<std::uint8_t>
+applyTransform(const std::uint8_t* data, std::size_t size,
+               const Transform& transform)
+{
+    std::vector<std::uint8_t> work =
+        transform.shuffle > 0 ? shuffleBytes(data, size, transform.shuffle)
+                              : std::vector<std::uint8_t>(data, data + size);
+    if (transform.stride > 0) {
+        for (std::size_t i = work.size(); i-- > transform.stride;) {
+            work[i] =
+                static_cast<std::uint8_t>(work[i] - work[i - transform.stride]);
+        }
+    }
+    return work;
+}
+
+} // namespace
+
+std::size_t
+lutBroadcastMaxEncodedSize(std::size_t rawSize)
+{
+    // One control byte per literal block of up to kMaxRun bytes.
+    return kLutBroadcastHeaderBytes + rawSize + rawSize / kMaxRun + 1;
+}
+
+std::vector<std::uint8_t>
+lutBroadcastEncode(const std::uint8_t* data, std::size_t size)
+{
+    LOCALUT_REQUIRE(data != nullptr || size == 0,
+                    "null broadcast codec input");
+    Transform best{0, 0};
+    std::vector<std::uint8_t> bestBody;
+    bool haveBest = false;
+    for (const Transform& transform : kTransforms) {
+        const std::vector<std::uint8_t> delta =
+            applyTransform(data, size, transform);
+        std::vector<std::uint8_t> body;
+        body.reserve(size + size / kMaxRun + 1);
+        rleEncode(delta, body);
+        if (!haveBest || body.size() < bestBody.size()) {
+            haveBest = true;
+            best = transform;
+            bestBody = std::move(body);
+        }
+    }
+    std::vector<std::uint8_t> out;
+    out.reserve(kLutBroadcastHeaderBytes + bestBody.size());
+    for (const std::uint8_t byte : kMagic) {
+        out.push_back(byte);
+    }
+    out.push_back(
+        static_cast<std::uint8_t>((best.shuffle << 4) | best.stride));
+    for (unsigned b = 0; b < 8; ++b) {
+        out.push_back(static_cast<std::uint8_t>(
+            (static_cast<std::uint64_t>(size) >> (8 * b)) & 0xff));
+    }
+    out.insert(out.end(), bestBody.begin(), bestBody.end());
+    return out;
+}
+
+std::vector<std::uint8_t>
+lutBroadcastEncode(const std::vector<std::uint8_t>& raw)
+{
+    return lutBroadcastEncode(raw.data(), raw.size());
+}
+
+std::vector<std::uint8_t>
+lutBroadcastDecode(const std::uint8_t* data, std::size_t size)
+{
+    LOCALUT_REQUIRE(size >= kLutBroadcastHeaderBytes &&
+                        std::memcmp(data, kMagic, 4) == 0,
+                    "malformed broadcast codec header");
+    const unsigned shuffle = data[4] >> 4;
+    const unsigned stride = data[4] & 0x0f;
+    std::uint64_t rawSize = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+        rawSize |= static_cast<std::uint64_t>(data[5 + b]) << (8 * b);
+    }
+    std::vector<std::uint8_t> raw;
+    raw.reserve(rawSize);
+    std::size_t i = kLutBroadcastHeaderBytes;
+    while (i < size) {
+        const std::uint8_t control = data[i++];
+        if (control & 0x80) {
+            raw.insert(raw.end(), (control & 0x7f) + std::size_t{1}, 0);
+        } else {
+            const std::size_t len = control + std::size_t{1};
+            LOCALUT_REQUIRE(i + len <= size,
+                            "truncated broadcast codec body");
+            raw.insert(raw.end(), data + i, data + i + len);
+            i += len;
+        }
+    }
+    LOCALUT_REQUIRE(raw.size() == rawSize,
+                    "broadcast codec size mismatch: expected ", rawSize,
+                    ", decoded ", raw.size());
+    if (stride > 0) {
+        for (std::size_t j = stride; j < raw.size(); ++j) {
+            raw[j] = static_cast<std::uint8_t>(raw[j] + raw[j - stride]);
+        }
+    }
+    if (shuffle > 0) {
+        unshuffleBytes(raw, shuffle);
+    }
+    return raw;
+}
+
+std::vector<std::uint8_t>
+lutBroadcastDecode(const std::vector<std::uint8_t>& encoded)
+{
+    return lutBroadcastDecode(encoded.data(), encoded.size());
+}
+
+namespace {
+
+/** Sample cap: enough columns to be representative, cheap to encode. */
+constexpr std::size_t kRatioSampleBytes = std::size_t{4} << 20;
+
+void
+appendBytes(std::vector<std::uint8_t>& out, const void* data,
+            std::size_t bytes)
+{
+    const std::size_t take =
+        std::min(bytes, kRatioSampleBytes - std::min(kRatioSampleBytes,
+                                                     out.size()));
+    if (take == 0) {
+        return;
+    }
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    out.insert(out.end(), p, p + take);
+}
+
+/** Serializes a bounded sample of the tables @p design broadcasts. */
+std::vector<std::uint8_t>
+sampleTableSet(DesignPoint design, const QuantConfig& config, unsigned p)
+{
+    const LutShape shape(config, std::max(1u, p));
+    std::vector<std::uint8_t> sample;
+    LutTableCache& cache = LutTableCache::global();
+    switch (design) {
+      case DesignPoint::NaivePim:
+      case DesignPoint::Ltc:
+        return sample; // no broadcast tables
+      case DesignPoint::OpLutDram:
+      case DesignPoint::OpLut: {
+        const auto lut = cache.opLut(shape);
+        if (lut->dataInt() != nullptr) {
+            appendBytes(sample, lut->dataInt(),
+                        lut->rows() * lut->cols() * sizeof(std::int32_t));
+        } else if (lut->dataFloat() != nullptr) {
+            appendBytes(sample, lut->dataFloat(),
+                        lut->rows() * lut->cols() * sizeof(float));
+        }
+        return sample;
+      }
+      case DesignPoint::OpLc:
+      case DesignPoint::OpLcRc:
+      case DesignPoint::LoCaLut: {
+        const auto lut = cache.canonicalLut(shape);
+        if (lut->dataInt() != nullptr) {
+            appendBytes(sample, lut->dataInt(),
+                        lut->rows() * lut->cols() * sizeof(std::int32_t));
+        } else if (lut->dataFloat() != nullptr) {
+            appendBytes(sample, lut->dataFloat(),
+                        lut->rows() * lut->cols() * sizeof(float));
+        } else {
+            // Virtual canonical table (materialization limit): sample
+            // column slices through the allocation-free accessor.
+            const std::uint64_t rows = lut->rows();
+            std::vector<std::int32_t> column(rows);
+            for (std::uint64_t col = 0;
+                 col < lut->cols() &&
+                 sample.size() < kRatioSampleBytes;
+                 ++col) {
+                lut->columnIntInto(col, column.data());
+                appendBytes(sample, column.data(),
+                            rows * sizeof(std::int32_t));
+            }
+        }
+        if (design != DesignPoint::OpLc) {
+            const auto reorder = cache.reorderingLut(shape);
+            appendBytes(sample, reorder->data(),
+                        reorder->rows() * reorder->cols() *
+                            sizeof(std::uint32_t));
+        }
+        return sample;
+      }
+    }
+    LOCALUT_PANIC("invalid design point");
+}
+
+} // namespace
+
+double
+measuredTableSetRatio(DesignPoint design, const QuantConfig& config,
+                      unsigned p)
+{
+    struct Key {
+        int design;
+        CodecKind wKind;
+        unsigned wBits;
+        CodecKind aKind;
+        unsigned aBits;
+        unsigned p;
+        bool operator<(const Key& o) const
+        {
+            return std::tie(design, wKind, wBits, aKind, aBits, p) <
+                   std::tie(o.design, o.wKind, o.wBits, o.aKind, o.aBits,
+                            o.p);
+        }
+    };
+    static std::mutex mutex;
+    static std::map<Key, double> memo;
+    const Key key{static_cast<int>(design),
+                  config.weightCodec.kind(),
+                  config.weightCodec.bits(),
+                  config.actCodec.kind(),
+                  config.actCodec.bits(),
+                  std::max(1u, p)};
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto it = memo.find(key);
+        if (it != memo.end()) {
+            return it->second;
+        }
+    }
+    const std::vector<std::uint8_t> sample =
+        sampleTableSet(design, config, key.p);
+    double ratio = 1.0;
+    if (!sample.empty()) {
+        const std::vector<std::uint8_t> encoded = lutBroadcastEncode(sample);
+        if (!encoded.empty()) {
+            ratio = static_cast<double>(sample.size()) /
+                    static_cast<double>(encoded.size());
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    memo.emplace(key, ratio);
+    return ratio;
+}
+
+} // namespace localut

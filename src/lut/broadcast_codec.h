@@ -1,0 +1,82 @@
+#ifndef LOCALUT_LUT_BROADCAST_CODEC_H_
+#define LOCALUT_LUT_BROADCAST_CODEC_H_
+
+/**
+ * @file
+ * Deterministic delta/RLE codec for LUT table-set broadcasts over the
+ * inter-node (CXL/PCIe) link.
+ *
+ * LUT tables are highly structured: canonical and operation-packed
+ * tables store small-magnitude integers column-major, so consecutive
+ * entries move slowly and the three high bytes of each little-endian
+ * int32 are almost all sign extension.  A byte-plane shuffle (all
+ * entries' byte 0, then all byte 1, ... — the blosc/HDF5 shuffle
+ * filter) groups those near-constant planes, a byte-wise delta turns
+ * them into zero runs, and a zero-run RLE removes them.  Nothing here
+ * is entropy-coded — the point is a cheap, allocation-light transform
+ * whose cost model (MemoryProfile::codecGBs) stays honest.
+ *
+ * Determinism: the encoder's only inputs are the raw bytes.  Transform
+ * selection trial-encodes a fixed candidate list (identity, delta at
+ * stride 1/2/4/8, and 4/8-byte plane shuffle + delta) and picks the
+ * smallest body (first candidate wins ties), so the same bytes always
+ * produce the same encoded stream on every host — a requirement for
+ * charging "compressed bytes" as a reproducible cost and for bit-exact
+ * decode on the receiving node (argued in DESIGN.md Section 8).
+ *
+ * Round trip is bit-exact for every input, including empty and
+ * incompressible ones; worst-case expansion is bounded by
+ * lutBroadcastMaxEncodedSize() (one control byte per 128 literals plus
+ * the fixed header).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/design_point.h"
+#include "quant/quantizer.h"
+
+namespace localut {
+
+/** Encoded-stream header size (magic + stride + raw size). */
+constexpr std::size_t kLutBroadcastHeaderBytes = 13;
+
+/** Upper bound on lutBroadcastEncode() output for @p rawSize bytes. */
+std::size_t lutBroadcastMaxEncodedSize(std::size_t rawSize);
+
+/** Encodes @p size bytes at @p data; deterministic in the bytes alone. */
+std::vector<std::uint8_t> lutBroadcastEncode(const std::uint8_t* data,
+                                             std::size_t size);
+
+/** Vector convenience overload of lutBroadcastEncode(). */
+std::vector<std::uint8_t>
+lutBroadcastEncode(const std::vector<std::uint8_t>& raw);
+
+/**
+ * Decodes a lutBroadcastEncode() stream back to the raw bytes.
+ * Aborts (LOCALUT_REQUIRE) on a malformed header or truncated body —
+ * encoded streams only ever come from the encoder in-process.
+ */
+std::vector<std::uint8_t> lutBroadcastDecode(const std::uint8_t* data,
+                                             std::size_t size);
+
+/** Vector convenience overload of lutBroadcastDecode(). */
+std::vector<std::uint8_t>
+lutBroadcastDecode(const std::vector<std::uint8_t>& encoded);
+
+/**
+ * Measured compression ratio (raw bytes / encoded bytes, >= some
+ * epsilon above 0; > 1 when the codec wins) of the LUT table set a
+ * (design, config, p) plan broadcasts, obtained by serializing the
+ * actual materialized tables (through LutTableCache) and encoding a
+ * bounded sample.  Returns 1.0 for designs that broadcast no tables.
+ * Memoized per shape — the serving path calls this once per table-set
+ * family, not per broadcast.
+ */
+double measuredTableSetRatio(DesignPoint design, const QuantConfig& config,
+                             unsigned p);
+
+} // namespace localut
+
+#endif // LOCALUT_LUT_BROADCAST_CODEC_H_

@@ -9,6 +9,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "common/saturate.h"
+#include "lut/broadcast_codec.h"
 #include "lut/capacity.h"
 
 namespace localut {
@@ -67,6 +68,7 @@ TableSetKeyHash::operator()(const TableSetKey& key) const
     hashCombine(seed, key.shard.numRanks);
     hashCombine(seed, static_cast<std::size_t>(key.shard.strategy));
     hashCombine(seed, key.shard.align);
+    hashCombine(seed, key.shard.numNodes);
     hashCombine(seed, static_cast<std::size_t>(key.instances));
     hashCombine(seed, key.homeRank);
     return seed;
@@ -159,17 +161,28 @@ KvCharge::apply(TimingReport& timing, EnergyReport& energy) const
 ResidencyManager::ResidencyManager(BackendPtr backend, unsigned numRanks,
                                    std::uint64_t budgetBytesPerUnit,
                                    ResidencyPolicy policy)
-    : backend_(std::move(backend)), policy_(policy)
+    : ResidencyManager(std::move(backend), Topology{1, numRanks},
+                       budgetBytesPerUnit, policy,
+                       /*interNodeCodec=*/false)
+{}
+
+ResidencyManager::ResidencyManager(BackendPtr backend,
+                                   const Topology& topology,
+                                   std::uint64_t budgetBytesPerUnit,
+                                   ResidencyPolicy policy,
+                                   bool interNodeCodec)
+    : backend_(std::move(backend)), policy_(policy), topo_(topology),
+      codec_(interNodeCodec)
 {
     LOCALUT_REQUIRE(backend_ != nullptr,
                     "ResidencyManager needs a backend");
-    LOCALUT_REQUIRE(numRanks >= 1,
+    LOCALUT_REQUIRE(topo_.nodes >= 1 && topo_.ranksPerNode >= 1,
                     "ResidencyManager needs at least one rank");
     profile_ = backend_->memoryProfile();
     budget_ = budgetBytesPerUnit != 0 ? budgetBytesPerUnit
                                       : profile_.lutBytesPerUnit;
-    residentBytes_.assign(numRanks, 0);
-    kvFootprint_.assign(numRanks, 0);
+    residentBytes_.assign(topo_.totalRanks(), 0);
+    kvFootprint_.assign(topo_.totalRanks(), 0);
 }
 
 unsigned
@@ -197,14 +210,21 @@ ResidencyManager::acquire(const GemmPlan& plan, const std::string& scope,
         // never enter budget arithmetic).
         return {};
     }
+    // The measured codec ratio materializes tables under its own lock;
+    // compute it before taking ours (it is memoized per shape).
+    const double ratio = (codec_ && topo_.nodeOf(homeRank) != 0)
+                             ? codecRatioFor(plan.design, plan.config,
+                                             std::max(1u, plan.p))
+                             : 1.0;
     std::lock_guard<std::mutex> lock(mutex_);
     SpillCost spill;
-    return acquireLocked(std::move(key), {{homeRank, bytes}}, spill);
+    return acquireLocked(std::move(key), {{homeRank, bytes}}, ratio,
+                         spill);
 }
 
 ResidencyCharge
 ResidencyManager::acquire(const ShardPlan& plan, const std::string& scope,
-                          double instances)
+                          double instances, unsigned rankOffset)
 {
     if (policy_ == ResidencyPolicy::Disabled || plan.shards.empty()) {
         return {};
@@ -220,6 +240,10 @@ ResidencyManager::acquire(const ShardPlan& plan, const std::string& scope,
     key.shard = plan.spec;
     const std::uint64_t inst = roundInstances(instances);
     key.instances = inst;
+    // The offset relocates a node-local cut onto a pipeline stage's
+    // ranks; it is part of the set identity (stage 0's tables and stage
+    // 1's tables never alias even when the cut is identical).
+    key.homeRank = rankOffset % numRanks();
     // Coalesce per rank: when the plan carries more shards than this
     // manager has ranks, the wrapped entries must be budget-checked as
     // one aggregate — per-entry checks would admit a rank over budget.
@@ -231,7 +255,7 @@ ResidencyManager::acquire(const ShardPlan& plan, const std::string& scope,
         if (lutBytesSaturated(bytes)) {
             return {}; // unrepresentably large: untracked (see above)
         }
-        const unsigned rank = shard.rank % numRanks();
+        const unsigned rank = (shard.rank + rankOffset) % numRanks();
         perRank[rank] = satAddU64(perRank[rank], bytes);
         total += static_cast<double>(bytes);
     }
@@ -245,32 +269,68 @@ ResidencyManager::acquire(const ShardPlan& plan, const std::string& scope,
             rankBytes.emplace_back(rank, perRank[rank]);
         }
     }
+    // Ratio before the lock (see the GemmPlan overload).
+    const double ratio =
+        (codec_ && crossesNodes(rankBytes))
+            ? codecRatioFor(plan.design, plan.config, key.p)
+            : 1.0;
     std::lock_guard<std::mutex> lock(mutex_);
     SpillCost spill;
-    return acquireLocked(std::move(key), std::move(rankBytes), spill);
+    return acquireLocked(std::move(key), std::move(rankBytes), ratio,
+                         spill);
 }
 
 ResidencyCharge
 ResidencyManager::acquireLocked(
     TableSetKey key,
     std::vector<std::pair<unsigned, std::uint64_t>> rankBytes,
-    SpillCost& spill)
+    double codecRatio, SpillCost& spill)
 {
     ++clock_;
     auto [it, inserted] = sets_.try_emplace(std::move(key));
     TableSet& set = it->second;
     if (inserted) {
         set.rankBytes = std::move(rankBytes);
-        double totalBytes = 0;
+        // Split the broadcast by tier: node-0 shares ride the intra-host
+        // rank-parallel broadcast link, remote nodes' shares cross the
+        // inter-node (CXL) tier — compressed when the codec is on, plus
+        // its encode time.  With one node this degenerates to the flat
+        // formula bit-for-bit (interRaw == 0).
+        double intraBytes = 0;
+        double interRaw = 0;
         for (const auto& [rank, bytes] : set.rankBytes) {
-            totalBytes += static_cast<double>(bytes);
+            if (topo_.nodeOf(rank) == 0) {
+                intraBytes += static_cast<double>(bytes);
+            } else {
+                interRaw += static_cast<double>(bytes);
+            }
         }
-        set.broadcastBytes = totalBytes;
-        set.broadcastSeconds =
-            profile_.broadcastLatencyUs * 1e-6 +
-            totalBytes / (profile_.broadcastGBs * 1e9);
-        set.broadcastJoules =
-            profile_.pjPerBroadcastByte * totalBytes * 1e-12;
+        const double interBytes =
+            interRaw > 0 ? interRaw / std::max(1.0, codecRatio) : 0.0;
+        double seconds = 0;
+        double joules = 0;
+        double codecSeconds = 0;
+        if (intraBytes > 0) {
+            seconds += profile_.broadcastLatencyUs * 1e-6 +
+                       intraBytes / (profile_.broadcastGBs * 1e9);
+            joules += profile_.pjPerBroadcastByte * intraBytes * 1e-12;
+        }
+        if (interRaw > 0) {
+            if (codec_) {
+                codecSeconds = interRaw / (profile_.codecGBs * 1e9);
+            }
+            seconds += profile_.interNodeLatencyUs * 1e-6 +
+                       interBytes / (profile_.interNodeGBs * 1e9) +
+                       codecSeconds;
+            joules += profile_.pjPerInterNodeByte * interBytes * 1e-12;
+        }
+        set.broadcastBytes = intraBytes + interBytes;
+        set.intraBytes = intraBytes;
+        set.interRawBytes = interRaw;
+        set.interBytes = interBytes;
+        set.codecSeconds = codecSeconds;
+        set.broadcastSeconds = seconds;
+        set.broadcastJoules = joules;
     }
     set.lastUse = clock_;
     ++set.uses;
@@ -297,11 +357,17 @@ ResidencyManager::acquireLocked(
     }
     stats_.broadcastBytes += set.broadcastBytes;
     stats_.broadcastSeconds += set.broadcastSeconds;
+    stats_.broadcastIntraBytes += set.intraBytes;
+    stats_.broadcastInterRawBytes += set.interRawBytes;
+    stats_.broadcastInterBytes += set.interBytes;
     ResidencyCharge charge;
     charge.hit = false;
     charge.bytes = set.broadcastBytes;
     charge.seconds = set.broadcastSeconds;
     charge.joules = set.broadcastJoules;
+    charge.interNodeRawBytes = set.interRawBytes;
+    charge.interNodeBytes = set.interBytes;
+    charge.codecSeconds = set.codecSeconds;
     charge.kvSpillBytes = spill.bytes;
     charge.kvSpillSeconds = spill.seconds;
     charge.kvSpillJoules = spill.joules;
@@ -632,6 +698,65 @@ ResidencyManager::broadcastSeconds(std::uint64_t bytes) const
     }
     return profile_.broadcastLatencyUs * 1e-6 +
            static_cast<double>(bytes) / (profile_.broadcastGBs * 1e9);
+}
+
+double
+ResidencyManager::projectedBroadcastSeconds(const GemmPlan& plan,
+                                            std::uint64_t bytes,
+                                            unsigned homeRank) const
+{
+    if (bytes == 0) {
+        return 0.0;
+    }
+    if (topo_.nodeOf(homeRank % numRanks()) == 0) {
+        return broadcastSeconds(bytes);
+    }
+    // No lock needed: the topology, codec flag, and memory profile are
+    // immutable after construction, and the measured ratio locks itself.
+    const double raw = static_cast<double>(bytes);
+    const double ratio = codecRatioFor(plan.design, plan.config,
+                                       std::max(1u, plan.p));
+    double seconds = profile_.interNodeLatencyUs * 1e-6 +
+                     (raw / ratio) / (profile_.interNodeGBs * 1e9);
+    if (codec_) {
+        seconds += raw / (profile_.codecGBs * 1e9);
+    }
+    return seconds;
+}
+
+std::vector<ResidencyManager::NodeResidency>
+ResidencyManager::nodeResidency() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<NodeResidency> nodes(topo_.nodes);
+    for (unsigned rank = 0; rank < residentBytes_.size(); ++rank) {
+        NodeResidency& node = nodes[topo_.nodeOf(rank)];
+        node.lutBytes += residentBytes_[rank];
+        node.kvBytes += kvFootprint_[rank];
+    }
+    return nodes;
+}
+
+double
+ResidencyManager::codecRatioFor(DesignPoint design,
+                                const QuantConfig& config,
+                                unsigned p) const
+{
+    if (!codec_) {
+        return 1.0;
+    }
+    return std::max(1.0, measuredTableSetRatio(design, config, p));
+}
+
+bool
+ResidencyManager::crossesNodes(
+    const std::vector<std::pair<unsigned, std::uint64_t>>& rankBytes)
+    const
+{
+    return std::any_of(rankBytes.begin(), rankBytes.end(),
+                       [this](const auto& rb) {
+                           return topo_.nodeOf(rb.first) != 0;
+                       });
 }
 
 ResidencyStats

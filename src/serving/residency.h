@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "backend/backend.h"
+#include "common/topology.h"
 #include "serving/sharding.h"
 
 namespace localut {
@@ -142,9 +143,21 @@ TableSetKey tableSetKeyFor(const GemmPlan& plan,
 /** The cost acquire() charged for one table-set access. */
 struct ResidencyCharge {
     bool hit = true;   ///< tables were resident; nothing was transferred
-    double bytes = 0;  ///< host -> PIM broadcast bytes (0 on a hit)
+    /** Host -> PIM broadcast bytes charged (0 on a hit): intra-tier raw
+     * bytes plus the *compressed* inter-node bytes — what actually
+     * crossed each tier's link. */
+    double bytes = 0;
     double seconds = 0; ///< modeled broadcast seconds (0 on a hit)
     double joules = 0;  ///< modeled broadcast Joules (0 on a hit)
+    /** Pre-codec table bytes bound for ranks on remote nodes (the
+     * inter-node share of the broadcast before compression). */
+    double interNodeRawBytes = 0;
+    /** Post-codec bytes that crossed the inter-node tier (== the raw
+     * share when the codec is disabled). */
+    double interNodeBytes = 0;
+    /** Host-side encode time of the inter-node share, already included
+     * in seconds (0 when the codec is off or nothing crossed nodes). */
+    double codecSeconds = 0;
     /** Raw KV-cache bytes the admission spilled PIM -> host to make
      * room (cross-class arbitration; 0 when no stream was spilled). */
     double kvSpillBytes = 0;
@@ -218,6 +231,13 @@ struct ResidencyStats {
     std::uint64_t tableSets = 0;     ///< currently resident sets
     double broadcastBytes = 0;       ///< total host -> PIM table bytes
     double broadcastSeconds = 0;     ///< total modeled broadcast time
+    double broadcastIntraBytes = 0;  ///< share charged at the intra tier
+    /** Pre-codec table bytes bound for remote nodes (raw inter share). */
+    double broadcastInterRawBytes = 0;
+    /** Post-codec bytes charged at the inter-node tier (== the raw
+     * share when the codec is disabled; the CI gate pins raw/charged
+     * >= 2 on OPT-class table sets with the codec on). */
+    double broadcastInterBytes = 0;
     std::uint64_t kvStreams = 0;     ///< KV streams currently resident
     std::uint64_t kvSpills = 0;      ///< streams spilled out under pressure
     std::uint64_t kvRefills = 0;     ///< spilled streams transferred back
@@ -253,18 +273,36 @@ class ResidencyManager
     /**
      * @p budgetBytesPerUnit overrides the backend memory profile's
      * per-unit LUT budget when non-zero.  @p numRanks mirrors the
-     * session's logical ranks (each gets its own ledger).
+     * session's logical ranks (each gets its own ledger); equivalent to
+     * the Topology constructor with a single node.
      */
     ResidencyManager(BackendPtr backend, unsigned numRanks,
                      std::uint64_t budgetBytesPerUnit,
                      ResidencyPolicy policy);
 
+    /**
+     * Hierarchical-topology constructor: one ledger per flat rank of
+     * @p topology (node-major).  Table bytes bound for a rank on node
+     * > 0 are charged at the inter-node tier of the backend's memory
+     * profile instead of the local broadcast link — compressed through
+     * the delta/RLE broadcast codec when @p interNodeCodec is set
+     * (compressed bytes at the link rate plus a measured-ratio codec
+     * time term).
+     */
+    ResidencyManager(BackendPtr backend, const Topology& topology,
+                     std::uint64_t budgetBytesPerUnit,
+                     ResidencyPolicy policy, bool interNodeCodec);
+
     /** The eviction / tracking policy in force. */
     ResidencyPolicy policy() const { return policy_; }
     /** Per-unit MRAM byte budget each rank's ledger enforces. */
     std::uint64_t budgetBytesPerUnit() const { return budget_; }
-    /** Logical ranks tracked (one ledger each). */
+    /** Flat logical ranks tracked (one ledger each). */
     unsigned numRanks() const;
+    /** The node x rank grid the ledgers are keyed by. */
+    Topology topology() const { return topo_; }
+    /** True when inter-node broadcasts are codec-compressed. */
+    bool interNodeCodec() const { return codec_; }
 
     /**
      * Ensures the table set of @p plan (scoped by @p scope; @p instances
@@ -281,12 +319,16 @@ class ResidencyManager
                             double instances = 1.0,
                             unsigned homeRank = 0);
 
-    /** Sharded counterpart: shard i's table set consumes rank i's
-     * budget; the broadcast moves every rank's tables (scatter over the
-     * rank-parallel broadcast link, one launch). */
+    /** Sharded counterpart: shard i's table set consumes flat rank
+     * (i + @p rankOffset)'s budget; the broadcast moves every rank's
+     * tables (scatter over each node's rank-parallel broadcast link,
+     * one launch; remote nodes' shares cross the inter-node tier).
+     * @p rankOffset places a node-local cut onto a pipeline stage's
+     * ranks (node * ranksPerNode) and is part of the set identity. */
     ResidencyCharge acquire(const ShardPlan& plan,
                             const std::string& scope = "",
-                            double instances = 1.0);
+                            double instances = 1.0,
+                            unsigned rankOffset = 0);
 
     /**
      * Ensures @p stream's KV-cache — @p layers layers of
@@ -328,10 +370,33 @@ class ResidencyManager
 
     /**
      * The modeled host -> PIM broadcast seconds of moving @p bytes of
-     * tables (one launch + bytes over the rank-parallel broadcast
-     * link) — what a miss on a set of that size would charge.
+     * tables over the *intra-host* tier (one launch + bytes over the
+     * rank-parallel broadcast link) — what a miss on a set of that size
+     * homed on node 0 would charge.
      */
     double broadcastSeconds(std::uint64_t bytes) const;
+
+    /**
+     * Tier-aware projection of what a miss on @p plan's table set
+     * (@p bytes total) homed on flat rank @p homeRank would charge:
+     * the intra-host broadcast for node-0 ranks, the inter-node hop —
+     * with the codec's measured ratio and encode time when enabled —
+     * for ranks on remote nodes.  Const and side-effect free: the
+     * scheduler's node-locality-aware placement runs this per
+     * candidate rank.
+     */
+    double projectedBroadcastSeconds(const GemmPlan& plan,
+                                     std::uint64_t bytes,
+                                     unsigned homeRank) const;
+
+    /** Per-node residency gauges (summed over the node's ranks). */
+    struct NodeResidency {
+        std::uint64_t lutBytes = 0; ///< resident LUT table bytes
+        std::uint64_t kvBytes = 0;  ///< resident KV footprint bytes
+    };
+
+    /** One gauge entry per node of the topology, in node order. */
+    std::vector<NodeResidency> nodeResidency() const;
 
     /** Per-unit bytes currently resident on @p rank across both
      * resource classes (lutBytes + kvBytes; the budget invariant is
@@ -355,9 +420,13 @@ class ResidencyManager
     struct TableSet {
         /** (rank, per-copy bytes x instances) this set occupies. */
         std::vector<std::pair<unsigned, std::uint64_t>> rankBytes;
-        double broadcastBytes = 0;   ///< rebroadcast size (all ranks)
+        double broadcastBytes = 0;   ///< rebroadcast size (all tiers, charged)
         double broadcastSeconds = 0; ///< rebroadcast cost (the score input)
         double broadcastJoules = 0;
+        double intraBytes = 0;       ///< node-0 share (intra tier, raw)
+        double interRawBytes = 0;    ///< remote-node share before the codec
+        double interBytes = 0;       ///< remote-node share as charged
+        double codecSeconds = 0;     ///< encode time inside broadcastSeconds
         std::uint64_t uses = 0;      ///< touches while resident (reuse)
         std::uint64_t lastUse = 0;   ///< logical clock (LRU)
         std::uint64_t admitOrder = 0;///< deterministic tie-break
@@ -393,7 +462,7 @@ class ResidencyManager
                                   std::vector<std::pair<unsigned,
                                                         std::uint64_t>>
                                       rankBytes,
-                                  SpillCost& spill);
+                                  double codecRatio, SpillCost& spill);
     bool makeRoomLocked(const TableSet& incoming, SpillCost& spill);
     /**
      * Frees rank capacity until @p needed more per-unit bytes fit on
@@ -415,11 +484,20 @@ class ResidencyManager
     std::uint64_t kvFootprint(std::uint64_t rawBytes) const;
     /** Modeled seconds of moving @p rawBytes of KV over the host link. */
     double kvTransferSeconds(double rawBytes) const;
+    /** The codec's measured ratio for @p plan's tables (1 when off). */
+    double codecRatioFor(DesignPoint design, const QuantConfig& config,
+                         unsigned p) const;
+    /** True when any entry of @p rankBytes lives on a node > 0. */
+    bool crossesNodes(
+        const std::vector<std::pair<unsigned, std::uint64_t>>& rankBytes)
+        const;
 
     BackendPtr backend_;
     MemoryProfile profile_;
     std::uint64_t budget_ = 0; ///< per-unit bytes each rank may hold
     ResidencyPolicy policy_;
+    Topology topo_{1, 1};      ///< the node x rank grid of the ledgers
+    bool codec_ = false;       ///< compress inter-node broadcasts
 
     mutable std::mutex mutex_;
     std::unordered_map<TableSetKey, TableSet, TableSetKeyHash> sets_;

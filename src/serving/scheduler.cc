@@ -74,7 +74,7 @@ RequestScheduler::RequestScheduler(InferenceSession& session,
                                    const SchedulerOptions& options,
                                    Telemetry* telemetry)
     : session_(session), options_(options),
-      numRanks_(session.options().numRanks)
+      numRanks_(session.totalRanks())
 {
     LOCALUT_REQUIRE(options_.maxQueuedPerRank >= 1,
                     "the admission bound must admit at least one request");
@@ -254,8 +254,12 @@ RequestScheduler::projectColdStartLocked(
             residency->isResident(key)) {
             continue; // warm (or untracked) on this rank
         }
+        // Tier-aware: a rank on a remote node pays the inter-node hop
+        // (codec-compressed when enabled) instead of the local
+        // broadcast — node-locality-aware placement falls out of the
+        // earliest-completion search pricing remote cold starts higher.
         projection.rankBroadcastSeconds[rank] +=
-            residency->broadcastSeconds(bytes);
+            residency->projectedBroadcastSeconds(plan, bytes, rank);
         projection.rankKeys[rank].push_back(std::move(key));
     }
 }
@@ -334,11 +338,17 @@ RequestScheduler::submit(ServingRequest request)
 
     const bool gang = request.isWorkload && request.workload.sharded();
     if (gang) {
-        LOCALUT_REQUIRE(request.workload.numRanks == numRanks_,
+        const SessionOptions& sessionOptions = session_.options();
+        LOCALUT_REQUIRE(request.workload.numRanks ==
+                                sessionOptions.numRanks &&
+                            request.workload.numNodes ==
+                                sessionOptions.numNodes,
                         "sharded workload compiled for ",
+                        request.workload.numNodes, "x",
                         request.workload.numRanks,
-                        " rank(s) submitted to a scheduler over ",
-                        numRanks_);
+                        " (nodes x ranks) submitted to a scheduler over ",
+                        sessionOptions.numNodes, "x",
+                        sessionOptions.numRanks);
     }
 
     auto reject = [&](AdmissionOutcome outcome) {
@@ -461,6 +471,15 @@ RequestScheduler::submit(ServingRequest request)
     decision.projectedCompletionSeconds = bestCompletion;
     telemetry_->recordAdmission(decision.lane,
                                 AdmissionOutcome::Admitted);
+    const Topology topo = session_.topology();
+    if (best.rank == kAllRanks) {
+        // A gang occupies every rank: count it once per node.
+        for (unsigned node = 0; node < topo.nodes; ++node) {
+            telemetry_->recordPlacement(node);
+        }
+    } else {
+        telemetry_->recordPlacement(topo.nodeOf(best.rank));
+    }
 
     // Real execution: pin the request to its placement rank (gangs
     // shard across every rank, exactly as an unpinned submit would).
@@ -541,6 +560,22 @@ RequestScheduler::wait(std::uint64_t id)
         result.report = session_.waitReport(sessionId);
     } else {
         result.gemm = session_.wait(sessionId);
+    }
+    // The execution just updated residency: refresh the node-labeled
+    // gauges and per-tier broadcast counters the Prometheus dump
+    // exposes (localut_node_*, localut_broadcast_bytes_total).
+    if (const ResidencyManager* residency = session_.residency()) {
+        const ResidencyStats stats = residency->stats();
+        BroadcastTierBytes tiers;
+        tiers.intraBytes = stats.broadcastIntraBytes;
+        tiers.interRawBytes = stats.broadcastInterRawBytes;
+        tiers.interBytes = stats.broadcastInterBytes;
+        telemetry_->recordBroadcastTiers(tiers);
+        std::vector<NodeResidencyGauge> nodes;
+        for (const auto& node : residency->nodeResidency()) {
+            nodes.push_back({node.lutBytes, node.kvBytes});
+        }
+        telemetry_->recordNodeResidency(std::move(nodes));
     }
     return result;
 }

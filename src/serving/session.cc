@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <exception>
-#include <type_traits>
 #include <utility>
 
 #include "common/logging.h"
@@ -33,6 +32,16 @@ struct SessionDrainScope {
 };
 
 } // namespace
+
+const char*
+nodePlacementName(NodePlacement placement)
+{
+    switch (placement) {
+      case NodePlacement::TensorParallel:   return "tensor-parallel";
+      case NodePlacement::PipelineParallel: return "pipeline-parallel";
+    }
+    LOCALUT_PANIC("invalid node placement");
+}
 
 double
 InferenceSession::CompiledWorkload::predictedGemmSeconds() const
@@ -85,19 +94,22 @@ InferenceSession::InferenceSession(BackendPtr backend,
     LOCALUT_REQUIRE(backend_ != nullptr, "InferenceSession needs a backend");
     LOCALUT_REQUIRE(options_.numRanks >= 1,
                     "a session needs at least one rank");
+    LOCALUT_REQUIRE(options_.numNodes >= 1,
+                    "a session needs at least one node");
+    const unsigned flatRanks = options_.numNodes * options_.numRanks;
     if (options_.residencyPolicy != ResidencyPolicy::Disabled) {
         residency_ = std::make_unique<ResidencyManager>(
-            backend_, options_.numRanks, options_.mramBudgetBytes,
-            options_.residencyPolicy);
+            backend_, topology(), options_.mramBudgetBytes,
+            options_.residencyPolicy, options_.interNodeCodec);
     }
-    rankQueues_.resize(options_.numRanks);
+    rankQueues_.resize(flatRanks);
     unsigned workers = options_.workers;
     if (workers == 0) {
         const unsigned base = std::max(
             1u, std::min(8u, std::thread::hardware_concurrency()));
         // Enough workers that every rank's shard of a sharded GEMM can
         // be in flight at once.
-        workers = std::max(base, std::min(options_.numRanks, 8u));
+        workers = std::max(base, std::min(flatRanks, 8u));
     }
     workers_.reserve(workers);
     for (unsigned i = 0; i < workers; ++i) {
@@ -140,7 +152,8 @@ InferenceSession::shardPlan(const GemmProblem& problem, DesignPoint design,
                             const PlanOverrides& overrides,
                             std::size_t align)
 {
-    const ShardSpec spec{options_.numRanks, options_.shardStrategy, align};
+    const ShardSpec spec{options_.numRanks, options_.shardStrategy, align,
+                         options_.numNodes};
     return cache_.shardPlanFor(*backend_, problem, design, spec, overrides);
 }
 
@@ -191,7 +204,7 @@ InferenceSession::enqueue(std::unique_ptr<Request> request,
     const bool pinned = submitOptions.rank >= 0;
     if (pinned) {
         raw->homeRank = static_cast<unsigned>(submitOptions.rank) %
-                        options_.numRanks;
+                        static_cast<unsigned>(rankQueues_.size());
     }
     RequestId id;
     {
@@ -202,8 +215,8 @@ InferenceSession::enqueue(std::unique_ptr<Request> request,
         requests_.emplace(id, std::move(request));
         // A pinned request executes whole (unsharded) on its rank; an
         // unpinned GEMM on a multi-rank session shards across ranks.
-        const bool shardedGemm =
-            !pinned && !raw->isWorkload && options_.numRanks > 1;
+        const bool shardedGemm = !pinned && !raw->isWorkload &&
+                                 rankQueues_.size() > 1;
         const unsigned rank = pinned ? raw->homeRank : pickRankLocked();
         rankQueues_[rank].push_back(
             {raw, shardedGemm ? kPlanTask : kWholeTask, {}});
@@ -265,7 +278,8 @@ InferenceSession::CompiledWorkload
 InferenceSession::compile(const WorkloadSpec& spec, const QuantConfig& quant,
                           DesignPoint design, const PlanOverrides& overrides)
 {
-    return compileWith(spec, quant, design, overrides, options_.numRanks);
+    return compileWith(spec, quant, design, overrides, options_.numRanks,
+                       options_.numNodes);
 }
 
 InferenceSession::CompiledWorkload
@@ -274,14 +288,15 @@ InferenceSession::compileUnsharded(const WorkloadSpec& spec,
                                    DesignPoint design,
                                    const PlanOverrides& overrides)
 {
-    return compileWith(spec, quant, design, overrides, /*numRanks=*/1);
+    return compileWith(spec, quant, design, overrides, /*numRanks=*/1,
+                       /*numNodes=*/1);
 }
 
 InferenceSession::CompiledWorkload
 InferenceSession::compileWith(const WorkloadSpec& spec,
                               const QuantConfig& quant, DesignPoint design,
                               const PlanOverrides& overrides,
-                              unsigned numRanks)
+                              unsigned numRanks, unsigned numNodes)
 {
     CompiledWorkload workload;
     workload.spec = spec;
@@ -289,16 +304,39 @@ InferenceSession::compileWith(const WorkloadSpec& spec,
     workload.design = design;
     workload.overrides = overrides;
     workload.numRanks = numRanks;
+    workload.numNodes = numNodes;
+    workload.nodePlacement = options_.nodePlacement;
     workload.backendName = backend_->name();
     workload.backendFingerprint = backend_->configFingerprint();
-    for (const WorkloadGemm& gemm : workloadGemms(spec)) {
+    const bool pipeline =
+        numNodes > 1 &&
+        options_.nodePlacement == NodePlacement::PipelineParallel;
+    const std::vector<WorkloadGemm> gemms = workloadGemms(spec);
+    for (const WorkloadGemm& gemm : gemms) {
         const GemmProblem problem =
             makeShapeOnlyProblem(gemm.m, gemm.k, gemm.n, quant);
-        if (numRanks > 1) {
-            // Column-parallel cut, aligned to the GEMM's row grouping —
-            // attention heads for QKV (head-parallel), 1 elsewhere.
+        if (pipeline) {
+            // Pipeline-parallel: whole layers are dealt across nodes, so
+            // each node executes a *node-local* rank cut of its share of
+            // the repeats.  Splitting the (double) repeat count keeps
+            // the aggregate work identical to the single-node graph —
+            // the functional path is untouched (shape-only nodes) and
+            // costs scale by exact count arithmetic.
             const ShardSpec shard{numRanks, options_.shardStrategy,
-                                  gemm.rowAlign};
+                                  gemm.rowAlign, 1};
+            const ShardPlan plan = cache_.shardPlanFor(
+                *backend_, problem, design, shard, overrides);
+            for (unsigned node = 0; node < numNodes; ++node) {
+                WorkloadGemm stage = gemm;
+                stage.count = gemm.count / numNodes;
+                workload.shardedNodes.push_back({stage, plan, node});
+            }
+        } else if (numRanks * numNodes > 1) {
+            // Tensor-parallel column cut across the whole grid, aligned
+            // to the GEMM's row grouping — attention heads for QKV
+            // (head-parallel), 1 elsewhere.
+            const ShardSpec shard{numRanks, options_.shardStrategy,
+                                  gemm.rowAlign, numNodes};
             workload.shardedNodes.push_back(
                 {gemm, cache_.shardPlanFor(*backend_, problem, design,
                                            shard, overrides)});
@@ -309,19 +347,49 @@ InferenceSession::compileWith(const WorkloadSpec& spec,
         }
     }
     workload.hostOps = workloadHostOps(spec);
+    if (pipeline && !gemms.empty()) {
+        // Inter-stage activation traffic: each pass hands the layer
+        // activations (the first GEMM's k x n input tensor, at the
+        // activation codec's width) across every stage boundary; a
+        // decode request crosses them once per step.  Priced as one
+        // inter-node hop per crossing so projections and reports agree.
+        const WorkloadGemm& first = gemms.front();
+        const double actBytes =
+            static_cast<double>(first.k) * static_cast<double>(first.n) *
+            (static_cast<double>(quant.actCodec.bits()) / 8.0);
+        const double steps = spec.phase == WorkloadPhase::Decode
+                                 ? static_cast<double>(
+                                       std::max(1u, spec.steps))
+                                 : 1.0;
+        const double crossings =
+            static_cast<double>(numNodes - 1) * steps;
+        const CollectiveLinkProfile prof = backend_->collectiveProfile();
+        const CollectiveCost hop = collectiveHopCost(
+            prof.dram, prof.dramEnergy, {0, 0, 0, actBytes, actBytes},
+            prof.interNode);
+        workload.pipelineHopBytes = actBytes * crossings;
+        workload.pipelineHopSeconds = hop.seconds * crossings;
+        workload.pipelineHopJoules = hop.joules * crossings;
+    }
     return workload;
 }
 
 WorkloadCostProjection
 InferenceSession::projectCost(const CompiledWorkload& workload) const
 {
-    return workload.sharded()
-               ? projectShardedWorkloadCost(*backend_,
-                                            workload.shardedNodes,
-                                            workload.quant,
-                                            workload.hostOps)
-               : projectWorkloadCost(*backend_, workload.nodes,
-                                     workload.quant, workload.hostOps);
+    WorkloadCostProjection projection =
+        workload.sharded()
+            ? projectShardedWorkloadCost(*backend_,
+                                         workload.shardedNodes,
+                                         workload.quant,
+                                         workload.hostOps)
+            : projectWorkloadCost(*backend_, workload.nodes,
+                                  workload.quant, workload.hostOps);
+    // Pipeline-stage activation hops are steady-state per-request cost
+    // too; fold them into the collective share so projection matches
+    // what runAt() reports.
+    projection.collectiveSeconds += workload.pipelineHopSeconds;
+    return projection;
 }
 
 InferenceReport
@@ -344,12 +412,14 @@ InferenceSession::runAt(const CompiledWorkload& workload,
                     "\"");
     // Unsharded workloads occupy one rank and are valid on any session
     // of this backend (the scheduler serves them data-parallel); a
-    // sharded cut must match the session's rank count exactly.
+    // sharded cut must match the session's topology exactly.
     LOCALUT_REQUIRE(!workload.sharded() ||
-                        workload.numRanks == options_.numRanks,
-                    "workload compiled for ", workload.numRanks,
-                    " rank(s) submitted to a session with ",
-                    options_.numRanks,
+                        (workload.numRanks == options_.numRanks &&
+                         workload.numNodes == options_.numNodes),
+                    "workload compiled for ", workload.numNodes, "x",
+                    workload.numRanks,
+                    " (nodes x ranks) submitted to a session with ",
+                    options_.numNodes, "x", options_.numRanks,
                     " (recompile on this session to re-cut the shards)");
     const ExecOptions nodeOptions = execOptions(/*computeValues=*/false);
     InferenceReport report =
@@ -359,6 +429,20 @@ InferenceSession::runAt(const CompiledWorkload& workload,
                                      nodeOptions)
             : executeWorkload(*backend_, workload.nodes, workload.quant,
                               workload.hostOps, nodeOptions);
+    if (workload.pipelineHopSeconds > 0 ||
+        workload.pipelineHopJoules > 0) {
+        // Pipeline-stage activation handoffs over the inter-node tier
+        // (precomputed at compile; see compileWith).
+        report.timing.linkSeconds += workload.pipelineHopSeconds;
+        report.timing.total += workload.pipelineHopSeconds;
+        report.timing.seconds.add("link.internode",
+                                  workload.pipelineHopSeconds);
+        report.energy.total += workload.pipelineHopJoules;
+        report.energy.joules.add("link.internode",
+                                 workload.pipelineHopJoules);
+        report.collectiveSeconds += workload.pipelineHopSeconds;
+        report.interNodeSeconds += workload.pipelineHopSeconds;
+    }
     if (residency_ == nullptr) {
         return report;
     }
@@ -370,27 +454,24 @@ InferenceSession::runAt(const CompiledWorkload& workload,
     const double steps = workload.spec.phase == WorkloadPhase::Decode
                              ? std::max(1u, workload.spec.steps)
                              : 1.0;
-    auto chargeNode = [&](const WorkloadGemm& gemm, const auto& plan) {
+    auto chargeNode = [&](const WorkloadGemm& gemm, const auto& plan,
+                          unsigned rankOrOffset) {
         // count aggregates layers (and decode steps); the per-layer
         // table instances are count / steps.  Unsharded sets home on
-        // the request's placement rank; sharded sets span every rank.
-        ResidencyCharge charge;
-        if constexpr (std::is_same_v<std::decay_t<decltype(plan)>,
-                                     ShardPlan>) {
-            charge = residency_->acquire(plan, gemm.role,
-                                         gemm.count / steps);
-        } else {
-            charge = residency_->acquire(plan, gemm.role,
-                                         gemm.count / steps, homeRank);
-        }
+        // the request's placement rank; sharded sets span their cut's
+        // ranks, offset onto the owning pipeline stage's node (overload
+        // resolution picks the GemmPlan or ShardPlan acquire).
+        const ResidencyCharge charge = residency_->acquire(
+            plan, gemm.role, gemm.count / steps, rankOrOffset);
         charge.apply(report.timing, report.energy);
         report.lutBroadcastSeconds += charge.seconds;
     };
     for (const PlanNode& node : workload.nodes) {
-        chargeNode(node.gemm, node.plan);
+        chargeNode(node.gemm, node.plan, homeRank);
     }
     for (const ShardedGemm& node : workload.shardedNodes) {
-        chargeNode(node.gemm, node.plan);
+        chargeNode(node.gemm, node.plan,
+                   node.node * options_.numRanks);
     }
     return report;
 }
@@ -418,6 +499,7 @@ InferenceSession::runWhole(Request& request)
     const GemmPlan plan = cache_.planFor(*backend_, request.problem,
                                          request.design, request.overrides);
     ExecOptions options = execOptions(request.computeValues);
+    options.flatRank = request.homeRank;
     // Prepared operands are memoized alongside the plan (keyed by the
     // plan key + weight fingerprint), so repeated requests against the
     // same weights skip packing and table construction entirely.
@@ -445,7 +527,8 @@ InferenceSession::runPlanStage(Request& request)
 {
     // Cut the GEMM (memoized) and fan one shard task onto each rank's
     // queue; the submitting thread never pays the planning cost.
-    const ShardSpec spec{options_.numRanks, options_.shardStrategy, 1};
+    const ShardSpec spec{options_.numRanks, options_.shardStrategy, 1,
+                         options_.numNodes};
     request.shardPlan = cache_.shardPlanFor(
         *backend_, request.problem, request.design, spec,
         request.overrides);
@@ -472,6 +555,8 @@ InferenceSession::runShard(Request& request, unsigned shardIndex)
         shardProblem(request.problem, request.shardPlan, shardIndex);
     const GemmPlan& plan = request.shardPlan.shards[shardIndex].plan;
     ExecOptions options = execOptions(request.computeValues);
+    options.flatRank = request.shardPlan.shards[shardIndex].rank %
+                       static_cast<unsigned>(rankQueues_.size());
     std::shared_ptr<const PreparedGemm> prepared;
     if (options_.prepareOperands && request.computeValues &&
         !backend_->capabilities().referenceFunctionalOnly &&

@@ -52,6 +52,22 @@
 
 namespace localut {
 
+/** How a multi-node session lays workloads onto its nodes. */
+enum class NodePlacement {
+    /** Every GEMM is cut across all nodes' ranks (the node dimension
+     * widens the tensor-parallel cut; collectives gather intra-node
+     * then hop the inter-node tier). */
+    TensorParallel,
+    /** Whole layers are assigned to nodes (each node runs a node-local
+     * rank cut of its share) and activations hop the inter-node tier
+     * once per stage boundary — the deep-workload regime where a
+     * tensor-parallel cut would be collective-bound. */
+    PipelineParallel,
+};
+
+/** Placement name for reports ("tensor-parallel" / "pipeline-parallel"). */
+const char* nodePlacementName(NodePlacement placement);
+
 /** Session-wide knobs. */
 struct SessionOptions {
     /** Worker threads; 0 picks min(hardware_concurrency, 8). */
@@ -59,13 +75,32 @@ struct SessionOptions {
     /** Default functional pass for submitted GEMM requests. */
     bool computeValues = false;
     /**
-     * Logical PIM ranks (num_ranks).  1 executes exactly as before; > 1
-     * shards every GEMM across the ranks and executes the shards
-     * concurrently on per-rank work queues, bit-exact with 1.
+     * Logical PIM ranks *per node* (num_ranks).  1 executes exactly as
+     * before; > 1 shards every GEMM across the ranks and executes the
+     * shards concurrently on per-rank work queues, bit-exact with 1.
      */
     unsigned numRanks = 1;
-    /** How GEMMs are cut across ranks when numRanks > 1. */
+    /** How GEMMs are cut across ranks when the topology is sharded. */
     ShardStrategy shardStrategy = ShardStrategy::ColumnParallel;
+    /**
+     * CXL-attached PIM nodes the session scales out across.  1 keeps
+     * the single-host model (and its exact costs); > 1 models
+     * numNodes * numRanks flat ranks (node-major), with cross-node
+     * transfers charged at the backend's inter-node tier.  Results stay
+     * bit-exact with numNodes = 1 under either placement.
+     */
+    unsigned numNodes = 1;
+    /** How workloads are laid onto the nodes when numNodes > 1. */
+    NodePlacement nodePlacement = NodePlacement::TensorParallel;
+    /**
+     * Compress inter-node LUT table-set broadcasts through the
+     * deterministic delta/RLE codec (lut/broadcast_codec.h): the
+     * residency manager charges the *measured* compressed bytes at the
+     * inter-node tier plus an explicit encode-time term.  Purely a cost
+     * knob — functional values never cross the codec.  Irrelevant while
+     * numNodes is 1.
+     */
+    bool interNodeCodec = true;
     /**
      * LUT residency tracking (serving/residency.h).  Disabled (the
      * default) reproduces the pre-residency cost model: tables are never
@@ -152,10 +187,21 @@ class InferenceSession
         PlanOverrides overrides;     ///< planner overrides in effect
         std::vector<PlanNode> nodes; ///< one per distinct GEMM shape
         /** Sharded plan graph; populated instead of `nodes` when the
-         * session compiles with numRanks > 1. */
+         * session compiles with a sharded topology. */
         std::vector<ShardedGemm> shardedNodes;
-        unsigned numRanks = 1;       ///< ranks the nodes were cut for
+        unsigned numRanks = 1;       ///< ranks per node the cut was for
+        unsigned numNodes = 1;       ///< nodes the cut was laid across
+        /** Placement regime the sharded nodes realize (meaningless on a
+         * single node; pipeline stages set ShardedGemm::node). */
+        NodePlacement nodePlacement = NodePlacement::TensorParallel;
         double hostOps = 0;          ///< non-GEMM host work (scalar ops)
+        /** Per-request inter-node activation traffic of a pipeline-
+         * parallel layout: every stage boundary crossing of every pass
+         * (decode: every step), priced at the backend's inter-node
+         * tier.  All zero for tensor-parallel or single-node layouts. */
+        double pipelineHopBytes = 0;
+        double pipelineHopSeconds = 0; ///< modeled hop seconds per request
+        double pipelineHopJoules = 0;  ///< modeled hop Joules per request
         /** Identity of the backend that compiled the plans; a session
          * refuses to execute another backend's workload. */
         std::string backendName;
@@ -188,6 +234,16 @@ class InferenceSession
     const Backend& backend() const { return *backend_; }
     /** The options the session was opened with. */
     const SessionOptions& options() const { return options_; }
+    /** The node x ranks-per-node grid the session models. */
+    Topology topology() const
+    {
+        return {options_.numNodes, options_.numRanks};
+    }
+    /** Flat ranks across the whole grid (one work queue each). */
+    unsigned totalRanks() const
+    {
+        return static_cast<unsigned>(rankQueues_.size());
+    }
     /** Worker threads serving the rank queues. */
     unsigned workerCount() const;
 
@@ -350,7 +406,7 @@ class InferenceSession
                                  const QuantConfig& quant,
                                  DesignPoint design,
                                  const PlanOverrides& overrides,
-                                 unsigned numRanks);
+                                 unsigned numRanks, unsigned numNodes);
     InferenceReport runAt(const CompiledWorkload& workload,
                           unsigned homeRank) const;
     RequestId enqueue(std::unique_ptr<Request> request,

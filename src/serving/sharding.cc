@@ -49,7 +49,17 @@ chargeHostReduce(const Backend& backend, const ShardPlan& plan,
     backend.chargeHostOps(plan.hostReduceOps, timing, energy);
 }
 
-/** Charges the reduction collective of @p plan (> 1 shard only). */
+/**
+ * Charges the reduction collective of @p plan (> 1 shard only) as a
+ * hierarchical two-hop transfer: every rank drains its slice over its
+ * node's local host link (nodes gather concurrently; the busiest node's
+ * link paces the hop), then the remote nodes' contributions hop the
+ * CXL inter-node tier to the root node.  RowParallel additionally
+ * reduces partials hierarchically — each node's head combines its local
+ * partials before one partial per remote node crosses the fabric.  On a
+ * single-node topology the inter hop vanishes and the charge reproduces
+ * the flat model bit-exactly (golden-pinned in test_golden_costs).
+ */
 void
 chargeCollective(const Backend& backend, ShardPlan& plan)
 {
@@ -58,39 +68,85 @@ chargeCollective(const Backend& backend, ShardPlan& plan)
         return;
     }
     const CollectiveLinkProfile prof = backend.collectiveProfile();
+    const Topology topo = plan.spec.topology();
     const double outElems =
         static_cast<double>(plan.m) * static_cast<double>(plan.n);
-    double totalBytes;   // moved rank -> host, summed over ranks
-    double perRankBytes; // the largest single rank's contribution
-    if (plan.spec.strategy == ShardStrategy::RowParallel) {
-        // Every rank drains a full MxN partial-sum matrix; the host adds
-        // them (in rank order — deterministic and, for int32, exact).
-        perRankBytes = outElems * kOutBytes;
-        totalBytes = static_cast<double>(shards) * perRankBytes;
-        plan.hostReduceOps = static_cast<double>(shards - 1) * outElems;
-    } else {
-        std::size_t maxRows = 0;
-        for (const GemmShard& shard : plan.shards) {
-            maxRows = std::max(maxRows, shard.extent());
-        }
-        perRankBytes = static_cast<double>(maxRows) *
-                       static_cast<double>(plan.n) * kOutBytes;
-        totalBytes = outElems * kOutBytes;
+    const bool rowPar = plan.spec.strategy == ShardStrategy::RowParallel;
+
+    // Per-node aggregates of the bytes the cut's shards actually drain.
+    std::vector<double> nodeBytes(topo.nodes, 0.0);
+    std::vector<unsigned> nodeShards(topo.nodes, 0);
+    double perRankBytes = 0; // the largest single rank's contribution
+    double totalBytes = 0;   // moved rank -> host, summed over ranks
+    for (const GemmShard& shard : plan.shards) {
+        const double bytes =
+            rowPar ? outElems * kOutBytes
+                   : static_cast<double>(shard.extent()) *
+                         static_cast<double>(plan.n) * kOutBytes;
+        const unsigned node = topo.nodeOf(shard.rank % topo.totalRanks());
+        nodeBytes[node] += bytes;
+        nodeShards[node] += 1;
+        perRankBytes = std::max(perRankBytes, bytes);
+        totalBytes += bytes;
     }
-    // Ranks drain concurrently; the host link then serializes the
-    // aggregate.  The slower of the two paces the transfer, plus one
-    // bulk-launch latency (rank-parallel transfers share a launch).
-    const CollectiveCost drain = collectiveDrainCost(
-        prof.dram, prof.dramEnergy, prof.banksPerRank, perRankBytes);
-    const double linkSeconds =
-        totalBytes / (prof.link.pimToHostGBs * 1e9);
+
+    if (rowPar) {
+        // Hierarchical partial-sum reduce: each node's head adds its
+        // local partials (nodes work concurrently — the busiest node
+        // paces), then the root adds one partial per active node.
+        unsigned maxIntra = 0, activeNodes = 0;
+        for (unsigned node = 0; node < topo.nodes; ++node) {
+            if (nodeShards[node] == 0) {
+                continue;
+            }
+            ++activeNodes;
+            maxIntra = std::max(maxIntra, nodeShards[node] - 1);
+        }
+        plan.hostReduceOps =
+            static_cast<double>(maxIntra + (activeNodes - 1)) * outElems;
+    }
+
+    // Intra-node hop: ranks drain concurrently; each node's host link
+    // serializes that node's aggregate (nodes transfer in parallel, so
+    // the busiest node paces); energy pays for every byte drained and
+    // crossed.  One bulk-launch latency covers the rank-parallel hop.
+    double maxNodeBytes = 0;
+    for (const double bytes : nodeBytes) {
+        maxNodeBytes = std::max(maxNodeBytes, bytes);
+    }
+    const CollectiveCost intra = collectiveHopCost(
+        prof.dram, prof.dramEnergy,
+        {prof.banksPerRank, perRankBytes, totalBytes, maxNodeBytes,
+         totalBytes},
+        prof.intraTier());
+
+    // Inter-node hop: what remote nodes contribute crosses the fabric
+    // to the root (node 0) — gathered slices for ColumnParallel, one
+    // node-reduced partial per active remote node for RowParallel.
+    double interBytes = 0;
+    if (topo.multiNode()) {
+        if (rowPar) {
+            for (unsigned node = 1; node < topo.nodes; ++node) {
+                if (nodeShards[node] > 0) {
+                    interBytes += outElems * kOutBytes;
+                }
+            }
+        } else {
+            interBytes = totalBytes - nodeBytes[0];
+        }
+    }
+    CollectiveCost inter;
+    if (interBytes > 0) {
+        inter = collectiveHopCost(prof.dram, prof.dramEnergy,
+                                  {0, 0, 0, interBytes, interBytes},
+                                  prof.interNode);
+    }
+
     plan.collectiveBytes = totalBytes;
-    plan.collectiveSeconds = prof.link.launchLatencyUs * 1e-6 +
-                             std::max(drain.seconds, linkSeconds);
-    const CollectiveCost drainAll = collectiveDrainCost(
-        prof.dram, prof.dramEnergy, prof.banksPerRank, totalBytes);
-    plan.collectiveJoules =
-        drainAll.joules + prof.pjPerLinkByte * totalBytes * 1e-12;
+    plan.interNodeBytes = interBytes;
+    plan.interNodeSeconds = inter.seconds;
+    plan.collectiveSeconds = intra.seconds + inter.seconds;
+    plan.collectiveJoules = intra.joules + inter.joules;
     if (plan.hostReduceOps > 0) {
         TimingReport reduceTiming;
         EnergyReport reduceEnergy;
@@ -107,6 +163,7 @@ makeShardPlan(const Backend& backend, const GemmProblem& problem,
               const PlanOverrides& overrides, PlanCache* cache)
 {
     LOCALUT_REQUIRE(spec.numRanks >= 1, "a shard plan needs >= 1 rank");
+    LOCALUT_REQUIRE(spec.numNodes >= 1, "a shard plan needs >= 1 node");
     ShardPlan plan;
     plan.spec = spec;
     plan.design = design;
@@ -123,14 +180,16 @@ makeShardPlan(const Backend& backend, const GemmProblem& problem,
                     "bit-exact only for integer configs (got ",
                     plan.config.name(), ")");
 
-    // Cut the shard axis into numRanks contiguous, alignment-respecting
-    // slices (ceil split: the tail shard may be shorter or absent when
-    // the axis is small).
+    // Cut the shard axis into totalRanks() contiguous, alignment-
+    // respecting slices (ceil split: the tail shard may be shorter or
+    // absent when the axis is small).  Flat rank ids are node-major, so
+    // consecutive shards fill one node's ranks before the next node's.
     const std::size_t axis = rowPar ? plan.k : plan.m;
     const std::size_t align = std::max<std::size_t>(1, spec.align);
     const std::size_t groups = ceilDiv(axis, align);
     const std::size_t step =
-        ceilDiv(groups, static_cast<std::size_t>(spec.numRanks)) * align;
+        ceilDiv(groups, static_cast<std::size_t>(spec.totalRanks())) *
+        align;
     for (unsigned r = 0; static_cast<std::size_t>(r) * step < axis; ++r) {
         const std::size_t begin = static_cast<std::size_t>(r) * step;
         const std::size_t end = std::min(axis, begin + step);
@@ -276,14 +335,26 @@ reduceShardResults(const Backend& backend, const ShardPlan& plan,
         }
     }
 
-    // Charge the collective on top of the critical shard.
+    // Charge the collective on top of the critical shard, split by tier
+    // so the breakdown shows what the CXL fabric (not the host links)
+    // cost.
     if (plan.collectiveSeconds > 0 || plan.collectiveJoules > 0) {
         out.timing.linkSeconds += plan.collectiveSeconds;
         out.timing.total += plan.collectiveSeconds;
-        out.timing.seconds.add("link.collective", plan.collectiveSeconds);
+        out.timing.seconds.add("link.collective",
+                               plan.collectiveSeconds -
+                                   plan.interNodeSeconds);
+        if (plan.interNodeSeconds > 0) {
+            out.timing.seconds.add("link.internode",
+                                   plan.interNodeSeconds);
+        }
         out.energy.total += plan.collectiveJoules;
         out.energy.joules.add("link.collective", plan.collectiveJoules);
         out.cost.addLinkBytes(Phase::LinkOut, plan.collectiveBytes);
+        if (plan.interNodeBytes > 0) {
+            out.cost.addLinkBytes(Phase::LinkInterNode,
+                                  plan.interNodeBytes);
+        }
     }
     if (plan.hostReduceOps > 0) {
         TimingReport reduceTiming;
@@ -316,6 +387,8 @@ executeSharded(const Backend& backend, const GemmProblem& problem,
         const GemmProblem slice = shardProblem(problem, plan, i);
         ExecOptions shardOptions = options;
         shardOptions.prepared = nullptr;
+        shardOptions.flatRank =
+            plan.shards[i].rank % plan.spec.totalRanks();
         std::shared_ptr<const PreparedGemm> prepared;
         if (cache != nullptr && shardOptions.computeValues &&
             !backend.capabilities().referenceFunctionalOnly &&
@@ -364,6 +437,8 @@ executeShardedWorkload(const Backend& backend,
         report.hostOpSeconds += reduceSeconds * node.gemm.count;
         report.collectiveSeconds +=
             node.plan.collectiveSeconds * node.gemm.count;
+        report.interNodeSeconds +=
+            node.plan.interNodeSeconds * node.gemm.count;
     }
     TimingReport hostTiming;
     EnergyReport hostEnergy;

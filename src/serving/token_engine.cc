@@ -93,7 +93,7 @@ TokenEngine::TokenEngine(InferenceSession& session,
                     "TokenEngine needs at least one stream per rank");
     LOCALUT_REQUIRE(options_.kvBitsPerValue >= 1,
                     "TokenEngine needs a KV quantization width");
-    rankFreeAt_.assign(session_.options().numRanks, 0.0);
+    rankFreeAt_.assign(session_.totalRanks(), 0.0);
     nextStream_ = nextEngineSalt();
 }
 

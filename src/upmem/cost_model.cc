@@ -23,6 +23,7 @@ phaseName(Phase p)
       case Phase::LinkWeightIn:    return "link.weight_in";
       case Phase::LinkOut:         return "link.out";
       case Phase::LutBroadcast:    return "link.lut_broadcast";
+      case Phase::LinkInterNode:   return "link.internode";
       case Phase::LutLoadDma:      return "dpu.lut_load_dma";
       case Phase::OperandDma:      return "dpu.operand_dma";
       case Phase::TableBuild:      return "dpu.table_build";
@@ -61,6 +62,7 @@ isLinkPhase(Phase p)
       case Phase::LinkWeightIn:
       case Phase::LinkOut:
       case Phase::LutBroadcast:
+      case Phase::LinkInterNode:
         return true;
       default:
         return false;
@@ -206,7 +208,11 @@ CostEvaluator::timing(const KernelCost& cost, unsigned nDpusUsed) const
             report.hostSeconds += seconds;
         } else if (isLinkPhase(p)) {
             if (pc.linkBytes > 0) {
-                const double gbs = (p == Phase::LinkOut)
+                // LinkInterNode bytes are priced here at the output-
+                // gather rate as a conservative fallback; the serving
+                // layers charge the actual tiered hop seconds directly.
+                const double gbs = (p == Phase::LinkOut ||
+                                    p == Phase::LinkInterNode)
                                        ? config_.link.pimToHostGBs
                                        : config_.link.hostToPimGBs;
                 seconds = pc.linkBytes / (gbs * 1e9) +

@@ -35,6 +35,7 @@ enum class Phase : unsigned {
     LinkWeightIn,    ///< host -> PIM weight transfer (init-time; reported)
     LinkOut,         ///< PIM -> host output gather
     LutBroadcast,    ///< host -> PIM LUT table-set broadcast (cold start)
+    LinkInterNode,   ///< CXL/PCIe inter-node hop (multi-node collectives)
     LutLoadDma,      ///< MRAM -> WRAM LUT slice streaming
     OperandDma,      ///< MRAM -> WRAM weight/activation tile traffic
     TableBuild,      ///< runtime LUT construction (LTC-style baselines)

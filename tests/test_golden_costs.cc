@@ -15,7 +15,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "backend/backend.h"
+#include "dram/timing.h"
 #include "nn/inference.h"
 #include "serving/scheduler.h"
 #include "serving/session.h"
@@ -116,6 +120,71 @@ TEST(GoldenCosts, GemmDesignPointsMatchFrozenValues)
         }
         EXPECT_NEAR(seconds, g.seconds, g.seconds * kRelTol);
         EXPECT_NEAR(joules, g.joules, g.joules * kRelTol);
+    }
+}
+
+/**
+ * The single-node collective charge, pinned against the pre-topology
+ * flat closed form evaluated inline: launch latency plus the slower of
+ * the per-rank bank drain and the host link serializing the aggregate,
+ * with drain energy on every byte plus link energy per byte.  The
+ * hierarchical two-hop refactor (serving/sharding.cc chargeCollective +
+ * dram/timing's collectiveHopCost) must reproduce these numbers
+ * bit-for-bit at numNodes = 1 — EXPECT_DOUBLE_EQ, no tolerance.
+ */
+TEST(GoldenCosts, SingleNodeCollectiveMatchesFlatClosedForm)
+{
+    const BackendPtr backend = makeBackend("upmem");
+    const QuantConfig cfg = QuantConfig::preset("W4A4");
+    const GemmProblem problem = makeShapeOnlyProblem(768, 768, 32, cfg);
+    const CollectiveLinkProfile prof = backend->collectiveProfile();
+
+    for (const ShardStrategy strategy :
+         {ShardStrategy::ColumnParallel, ShardStrategy::RowParallel}) {
+        for (const unsigned ranks : {2u, 4u}) {
+            SCOPED_TRACE(std::string(shardStrategyName(strategy)) +
+                         " ranks=" + std::to_string(ranks));
+            ShardSpec spec;
+            spec.numRanks = ranks;
+            spec.strategy = strategy;
+            const ShardPlan plan = makeShardPlan(
+                *backend, problem, DesignPoint::LoCaLut, spec);
+
+            // The flat model: per-shard drained bytes are the output
+            // slice (ColumnParallel) or a full MxN partial (RowParallel).
+            const double outElems = 768.0 * 32.0;
+            double perRank = 0, total = 0;
+            for (const GemmShard& shard : plan.shards) {
+                const double bytes =
+                    strategy == ShardStrategy::RowParallel
+                        ? outElems * 4.0
+                        : static_cast<double>(shard.extent()) * 32.0 * 4.0;
+                perRank = std::max(perRank, bytes);
+                total += bytes;
+            }
+            const CollectiveCost drainPace = collectiveDrainCost(
+                prof.dram, prof.dramEnergy, prof.banksPerRank, perRank);
+            const CollectiveCost drainAll = collectiveDrainCost(
+                prof.dram, prof.dramEnergy, prof.banksPerRank, total);
+            const double seconds =
+                prof.link.launchLatencyUs * 1e-6 +
+                std::max(drainPace.seconds,
+                         total / (prof.link.pimToHostGBs * 1e9));
+            const double joules =
+                drainAll.joules + prof.pjPerLinkByte * total * 1e-12;
+
+            EXPECT_DOUBLE_EQ(plan.collectiveBytes, total);
+            EXPECT_DOUBLE_EQ(plan.collectiveSeconds, seconds);
+            EXPECT_DOUBLE_EQ(plan.collectiveJoules, joules);
+            EXPECT_DOUBLE_EQ(plan.interNodeBytes, 0.0);
+            EXPECT_DOUBLE_EQ(plan.interNodeSeconds, 0.0);
+            if (strategy == ShardStrategy::RowParallel) {
+                // Flat reduce: shards-1 partial-sum adds over the output.
+                EXPECT_DOUBLE_EQ(
+                    plan.hostReduceOps,
+                    static_cast<double>(plan.shards.size() - 1) * outElems);
+            }
+        }
     }
 }
 

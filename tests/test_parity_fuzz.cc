@@ -3,7 +3,8 @@
  * Differential fuzzing of the cross-backend / sharded-vs-unsharded
  * parity invariant: ~200 randomized GemmProblem shapes x quantization
  * configs execute on the upmem, bankpim, and host-cpu backends, sharded
- * (num_ranks in {2, 4, 8}, both strategies) and unsharded, asserting
+ * (nodes in {1, 2} x num_ranks in {2, 4, 8}, both strategies) and
+ * unsharded, asserting
  *
  *  - bit-exact functional outputs everywhere (the reference is
  *    referenceGemmInt on the raw codes), and
@@ -39,6 +40,7 @@ struct FuzzCase {
                        ValueCodec::signedBinary()};
     std::string backend;
     unsigned ranks;
+    unsigned nodes;
     ShardStrategy strategy;
     std::uint64_t seed;
 
@@ -47,8 +49,8 @@ struct FuzzCase {
     {
         return "m=" + std::to_string(m) + " k=" + std::to_string(k) +
                " n=" + std::to_string(n) + " " + config.name() + " " +
-               backend + " ranks=" + std::to_string(ranks) + " " +
-               shardStrategyName(strategy);
+               backend + " topology=" + std::to_string(nodes) + "x" +
+               std::to_string(ranks) + " " + shardStrategyName(strategy);
     }
 };
 
@@ -69,6 +71,9 @@ drawCases(std::size_t count)
         c.config = configs[rng.nextBounded(configs.size())];
         c.backend = backends[rng.nextBounded(3)];
         c.ranks = rankChoices[rng.nextBounded(3)];
+        // Topology dimension: half the cases scale the same cut out
+        // across two CXL-attached nodes (ranks stay per-node).
+        c.nodes = 1 + rng.nextBounded(2);
         // Row-parallel on a minority of the integer cases; k >= 2 keeps
         // the cut non-degenerate.
         c.strategy = rng.nextBounded(4) == 0
@@ -101,9 +106,12 @@ TEST(ParityFuzz, ShardedMatchesUnshardedAcrossBackends)
         const GemmResult unsharded = backend->execute(problem, plain);
         EXPECT_EQ(unsharded.outInt, reference);
 
-        // Sharded execution: bit-exact with the unsharded output.
+        // Sharded execution: bit-exact with the unsharded output (the
+        // node dimension widens the cut but never reorders any
+        // element's accumulation).
         ShardSpec spec;
         spec.numRanks = c.ranks;
+        spec.numNodes = c.nodes;
         spec.strategy = c.strategy;
         const ShardPlan plan = cache.shardPlanFor(
             *backend, problem, DesignPoint::LoCaLut, spec);
@@ -116,6 +124,11 @@ TEST(ParityFuzz, ShardedMatchesUnshardedAcrossBackends)
         EXPECT_GE(plan.collectiveSeconds, 0.0);
         EXPECT_GE(plan.collectiveJoules, 0.0);
         EXPECT_GE(plan.collectiveBytes, 0.0);
+        EXPECT_GE(plan.interNodeSeconds, 0.0);
+        EXPECT_LE(plan.interNodeSeconds, plan.collectiveSeconds);
+        if (c.nodes == 1) {
+            EXPECT_DOUBLE_EQ(plan.interNodeBytes, 0.0);
+        }
         double criticalShardSeconds = 0.0;
         for (unsigned s = 0; s < plan.shards.size(); ++s) {
             const GemmResult part = backend->execute(
