@@ -111,6 +111,17 @@ collectiveHopCost(const DramTimingParams& t, const DramEnergyParams& e,
     return cost;
 }
 
+double
+retryBackoffSeconds(double baseSeconds, double capSeconds, unsigned attempt)
+{
+    LOCALUT_REQUIRE(baseSeconds >= 0 && capSeconds >= 0,
+                    "negative retry backoff parameters");
+    double interval = baseSeconds;
+    for (unsigned i = 0; i < attempt && interval < capSeconds; ++i)
+        interval *= 2.0;
+    return std::min(interval, capSeconds);
+}
+
 DramBank::DramBank(const DramTimingParams& timing) : timing_(timing) {}
 
 std::uint64_t

@@ -115,6 +115,14 @@ CollectiveCost collectiveHopCost(const DramTimingParams& t,
                                  const LinkTierParams& tier);
 
 /**
+ * Capped exponential backoff interval before retry number @p attempt
+ * (0-based): `min(baseSeconds * 2^attempt, capSeconds)`.  Virtual-time
+ * seconds charged into a TimingReport; never a wall-clock sleep.
+ */
+double retryBackoffSeconds(double baseSeconds, double capSeconds,
+                           unsigned attempt);
+
+/**
  * Single-bank command scheduler: accepts commands at the earliest legal
  * cycle and tracks activation/read/write counts for the energy model.
  *

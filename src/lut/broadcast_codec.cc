@@ -1,6 +1,7 @@
 #include "lut/broadcast_codec.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <map>
 #include <mutex>
@@ -39,6 +40,51 @@ struct Transform {
 
 constexpr Transform kTransforms[] = {{0, 0}, {0, 1}, {0, 2}, {0, 4},
                                      {0, 8}, {4, 1}, {8, 1}};
+
+bool
+knownTransform(unsigned shuffle, unsigned stride)
+{
+    for (const Transform& t : kTransforms) {
+        if (t.shuffle == shuffle && t.stride == stride) {
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320).  CRC detects every
+ * single-bit and double-bit error in the payload, which is exactly the
+ * guarantee the bit-flip fuzz tests and the fault injector's corruption
+ * model rely on (an FNV-style hash would not give it).
+ */
+std::uint32_t
+crc32Update(std::uint32_t crc, const std::uint8_t* data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t n = 0; n < 256; ++n) {
+            std::uint32_t c = n;
+            for (int k = 0; k < 8; ++k) {
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            }
+            t[n] = c;
+        }
+        return t;
+    }();
+    for (std::size_t i = 0; i < size; ++i) {
+        crc = table[(crc ^ data[i]) & 0xffu] ^ (crc >> 8);
+    }
+    return crc;
+}
+
+std::uint32_t
+crc32Finish(std::uint32_t crc)
+{
+    return crc ^ 0xffffffffu;
+}
+
+constexpr std::uint32_t kCrc32Init = 0xffffffffu;
 
 std::size_t
 zeroRunAt(const std::vector<std::uint8_t>& d, std::size_t i)
@@ -179,6 +225,14 @@ lutBroadcastEncode(const std::uint8_t* data, std::size_t size)
         out.push_back(static_cast<std::uint8_t>(
             (static_cast<std::uint64_t>(size) >> (8 * b)) & 0xff));
     }
+    // CRC32 over transform byte + raw-size field + body: any bit flip
+    // outside the magic (caught by the magic check) or the checksum
+    // itself (caught by the mismatch) is detected.
+    std::uint32_t crc = crc32Update(kCrc32Init, out.data() + 4, 9);
+    crc = crc32Finish(crc32Update(crc, bestBody.data(), bestBody.size()));
+    for (unsigned b = 0; b < 4; ++b) {
+        out.push_back(static_cast<std::uint8_t>((crc >> (8 * b)) & 0xff));
+    }
     out.insert(out.end(), bestBody.begin(), bestBody.end());
     return out;
 }
@@ -189,36 +243,89 @@ lutBroadcastEncode(const std::vector<std::uint8_t>& raw)
     return lutBroadcastEncode(raw.data(), raw.size());
 }
 
-std::vector<std::uint8_t>
-lutBroadcastDecode(const std::uint8_t* data, std::size_t size)
+const char*
+lutCodecStatusName(LutCodecStatus status)
 {
-    LOCALUT_REQUIRE(size >= kLutBroadcastHeaderBytes &&
-                        std::memcmp(data, kMagic, 4) == 0,
-                    "malformed broadcast codec header");
+    switch (status) {
+    case LutCodecStatus::Ok:
+        return "ok";
+    case LutCodecStatus::BadHeader:
+        return "bad_header";
+    case LutCodecStatus::BadTransform:
+        return "bad_transform";
+    case LutCodecStatus::BadChecksum:
+        return "bad_checksum";
+    case LutCodecStatus::Truncated:
+        return "truncated";
+    case LutCodecStatus::SizeMismatch:
+        return "size_mismatch";
+    }
+    return "unknown";
+}
+
+LutCodecStatus
+lutBroadcastTryDecode(const std::uint8_t* data, std::size_t size,
+                      std::vector<std::uint8_t>& raw)
+{
+    raw.clear();
+    if (data == nullptr || size < kLutBroadcastHeaderBytes ||
+        std::memcmp(data, kMagic, 4) != 0) {
+        return LutCodecStatus::BadHeader;
+    }
     const unsigned shuffle = data[4] >> 4;
     const unsigned stride = data[4] & 0x0f;
+    if (!knownTransform(shuffle, stride)) {
+        return LutCodecStatus::BadTransform;
+    }
     std::uint64_t rawSize = 0;
     for (unsigned b = 0; b < 8; ++b) {
         rawSize |= static_cast<std::uint64_t>(data[5 + b]) << (8 * b);
     }
-    std::vector<std::uint8_t> raw;
-    raw.reserve(rawSize);
+    std::uint32_t stored = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+        stored |= static_cast<std::uint32_t>(data[13 + b]) << (8 * b);
+    }
+    const std::size_t bodySize = size - kLutBroadcastHeaderBytes;
+    std::uint32_t crc = crc32Update(kCrc32Init, data + 4, 9);
+    crc = crc32Finish(
+        crc32Update(crc, data + kLutBroadcastHeaderBytes, bodySize));
+    if (crc != stored) {
+        return LutCodecStatus::BadChecksum;
+    }
+    // Each body byte expands to at most kMaxRun raw bytes, so a header
+    // claiming more than that is lying — reject before reserving.
+    if (rawSize > static_cast<std::uint64_t>(bodySize) * kMaxRun) {
+        return LutCodecStatus::SizeMismatch;
+    }
+    raw.reserve(static_cast<std::size_t>(rawSize));
     std::size_t i = kLutBroadcastHeaderBytes;
     while (i < size) {
         const std::uint8_t control = data[i++];
         if (control & 0x80) {
-            raw.insert(raw.end(), (control & 0x7f) + std::size_t{1}, 0);
+            const std::size_t zeros = (control & 0x7f) + std::size_t{1};
+            if (raw.size() + zeros > rawSize) {
+                raw.clear();
+                return LutCodecStatus::SizeMismatch;
+            }
+            raw.insert(raw.end(), zeros, 0);
         } else {
             const std::size_t len = control + std::size_t{1};
-            LOCALUT_REQUIRE(i + len <= size,
-                            "truncated broadcast codec body");
+            if (i + len > size) {
+                raw.clear();
+                return LutCodecStatus::Truncated;
+            }
+            if (raw.size() + len > rawSize) {
+                raw.clear();
+                return LutCodecStatus::SizeMismatch;
+            }
             raw.insert(raw.end(), data + i, data + i + len);
             i += len;
         }
     }
-    LOCALUT_REQUIRE(raw.size() == rawSize,
-                    "broadcast codec size mismatch: expected ", rawSize,
-                    ", decoded ", raw.size());
+    if (raw.size() != rawSize) {
+        raw.clear();
+        return LutCodecStatus::SizeMismatch;
+    }
     if (stride > 0) {
         for (std::size_t j = stride; j < raw.size(); ++j) {
             raw[j] = static_cast<std::uint8_t>(raw[j] + raw[j - stride]);
@@ -227,6 +334,17 @@ lutBroadcastDecode(const std::uint8_t* data, std::size_t size)
     if (shuffle > 0) {
         unshuffleBytes(raw, shuffle);
     }
+    return LutCodecStatus::Ok;
+}
+
+std::vector<std::uint8_t>
+lutBroadcastDecode(const std::uint8_t* data, std::size_t size)
+{
+    std::vector<std::uint8_t> raw;
+    const LutCodecStatus status = lutBroadcastTryDecode(data, size, raw);
+    LOCALUT_REQUIRE(status == LutCodecStatus::Ok,
+                    "malformed broadcast codec stream: ",
+                    lutCodecStatusName(status));
     return raw;
 }
 

@@ -39,8 +39,26 @@
 
 namespace localut {
 
-/** Encoded-stream header size (magic + stride + raw size). */
-constexpr std::size_t kLutBroadcastHeaderBytes = 13;
+/** Encoded-stream header size (magic + stride + raw size + CRC32). */
+constexpr std::size_t kLutBroadcastHeaderBytes = 17;
+
+/**
+ * Outcome of lutBroadcastTryDecode().  Anything but Ok means the stream
+ * is rejected whole: no partial table bytes are ever returned, so a
+ * corrupted broadcast is detected and re-sent instead of decoded into
+ * garbage.
+ */
+enum class LutCodecStatus {
+    Ok,           ///< decoded; @p raw holds the exact original bytes
+    BadHeader,    ///< too short for a header or wrong magic
+    BadTransform, ///< transform byte names no known shuffle/stride pair
+    BadChecksum,  ///< CRC32 over transform + size + body does not match
+    Truncated,    ///< a literal block runs past the end of the stream
+    SizeMismatch, ///< decoded byte count disagrees with the header size
+};
+
+/** Stable lower-case name of @p status (for logs and error text). */
+const char* lutCodecStatusName(LutCodecStatus status);
 
 /** Upper bound on lutBroadcastEncode() output for @p rawSize bytes. */
 std::size_t lutBroadcastMaxEncodedSize(std::size_t rawSize);
@@ -54,9 +72,21 @@ std::vector<std::uint8_t>
 lutBroadcastEncode(const std::vector<std::uint8_t>& raw);
 
 /**
+ * Decodes a lutBroadcastEncode() stream into @p raw without aborting.
+ * Every malformed input — truncated, bit-flipped, or outright garbage —
+ * returns a typed error and leaves @p raw empty; only Ok fills it.
+ * Allocation is bounded by the header's raw-size field, which is itself
+ * validated against the maximum RLE expansion of the body before any
+ * memory is reserved.
+ */
+LutCodecStatus lutBroadcastTryDecode(const std::uint8_t* data,
+                                     std::size_t size,
+                                     std::vector<std::uint8_t>& raw);
+
+/**
  * Decodes a lutBroadcastEncode() stream back to the raw bytes.
- * Aborts (LOCALUT_REQUIRE) on a malformed header or truncated body —
- * encoded streams only ever come from the encoder in-process.
+ * Aborts (LOCALUT_REQUIRE) on any malformed stream — callers that can
+ * recover (e.g. by requesting a re-send) use lutBroadcastTryDecode().
  */
 std::vector<std::uint8_t> lutBroadcastDecode(const std::uint8_t* data,
                                              std::size_t size);

@@ -11,6 +11,7 @@
 #include "common/saturate.h"
 #include "lut/broadcast_codec.h"
 #include "lut/capacity.h"
+#include "serving/fault.h"
 
 namespace localut {
 
@@ -355,15 +356,57 @@ ResidencyManager::acquireLocked(
         }
         ++stats_.tableSets;
     }
+    // Fault modeling on the inter-node share: a degraded fabric link
+    // stretches the hop (latency + transfer, not the host-side encode),
+    // and a corrupted payload — detected by the codec's CRC32 on the
+    // receiving node — is re-sent over the same stretched hop, each
+    // send decided deterministically from the set identity and its
+    // per-set send count.  set.broadcastSeconds stays the clean
+    // rebroadcast cost so eviction scores are fault-independent.
+    double faultSeconds = 0;
+    if (set.interRawBytes > 0) {
+        const double interLinkSeconds =
+            profile_.interNodeLatencyUs * 1e-6 +
+            set.interBytes / (profile_.interNodeGBs * 1e9);
+        double degrade = 1.0;
+        if (injector_ != nullptr) {
+            for (const auto& [rank, bytes] : set.rankBytes) {
+                const unsigned node = topo_.nodeOf(rank);
+                if (node != 0) {
+                    degrade =
+                        std::max(degrade, injector_->linkFactor(node));
+                }
+            }
+        }
+        faultSeconds += (degrade - 1.0) * interLinkSeconds;
+        if (injector_ != nullptr && codec_) {
+            const std::uint64_t payload =
+                static_cast<std::uint64_t>(
+                    TableSetKeyHash{}(it->first)) ^
+                (set.sends << 1);
+            // Each corrupted send charges a full re-send of the
+            // degraded hop; cap the deterministic retry chain so a
+            // rate of 1.0 cannot loop forever.
+            for (unsigned attempt = 0; attempt < 8; ++attempt) {
+                if (!injector_->broadcastCorrupted(payload, attempt)) {
+                    break;
+                }
+                faultSeconds += degrade * interLinkSeconds;
+                injector_->noteResend();
+                ++stats_.broadcastResends;
+            }
+        }
+        ++set.sends;
+    }
     stats_.broadcastBytes += set.broadcastBytes;
-    stats_.broadcastSeconds += set.broadcastSeconds;
+    stats_.broadcastSeconds += set.broadcastSeconds + faultSeconds;
     stats_.broadcastIntraBytes += set.intraBytes;
     stats_.broadcastInterRawBytes += set.interRawBytes;
     stats_.broadcastInterBytes += set.interBytes;
     ResidencyCharge charge;
     charge.hit = false;
     charge.bytes = set.broadcastBytes;
-    charge.seconds = set.broadcastSeconds;
+    charge.seconds = set.broadcastSeconds + faultSeconds;
     charge.joules = set.broadcastJoules;
     charge.interNodeRawBytes = set.interRawBytes;
     charge.interNodeBytes = set.interBytes;
@@ -569,6 +612,14 @@ ResidencyManager::acquireKv(std::uint64_t stream, unsigned rank,
         entry.layers = layers;
         entry.bytesPerTokenPerLayer = bytesPerTokenPerLayer;
     } else {
+        if (entry.displaced) {
+            // The stream's home rank died.  invalidateRank() already
+            // dropped its residency, so adopting the caller's rank here
+            // charges the full-context refill on the survivor — the one
+            // sanctioned way a stream changes rank mid-flight.
+            entry.rank = rank;
+            entry.displaced = false;
+        }
         LOCALUT_REQUIRE(entry.rank == rank && entry.layers == layers &&
                             entry.bytesPerTokenPerLayer ==
                                 bytesPerTokenPerLayer,
@@ -648,6 +699,73 @@ ResidencyManager::acquireKv(std::uint64_t stream, unsigned rank,
 }
 
 void
+ResidencyManager::setFaultInjector(FaultInjector* injector)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    LOCALUT_REQUIRE(injector == nullptr ||
+                        injector->topology().totalRanks() ==
+                            topo_.totalRanks(),
+                    "fault injector topology does not match residency");
+    injector_ = injector;
+}
+
+ResidencyManager::RankLoss
+ResidencyManager::invalidateRank(unsigned rank)
+{
+    RankLoss loss;
+    if (policy_ == ResidencyPolicy::Disabled) {
+        return loss;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    LOCALUT_REQUIRE(rank < residentBytes_.size(), "rank out of range");
+    // Every table set with bytes on the dead rank loses residency whole:
+    // a partial set cannot serve a sharded GEMM, and the re-shard that
+    // follows the death keys a different set anyway.  everResident is
+    // kept so a later re-acquire counts as a rebroadcast.
+    for (auto& [key, set] : sets_) {
+        if (!set.resident) {
+            continue;
+        }
+        const bool onRank = std::any_of(
+            set.rankBytes.begin(), set.rankBytes.end(),
+            [rank](const auto& rb) { return rb.first == rank; });
+        if (!onRank) {
+            continue;
+        }
+        for (const auto& [r, bytes] : set.rankBytes) {
+            loss.lutBytesDropped += bytes;
+        }
+        evictLocked(set);
+        ++loss.lutSetsDropped;
+    }
+    // KV streams homed on the rank lose their device-resident context
+    // and become displaced: the next acquireKv() may re-home them to a
+    // survivor at full-refill cost.
+    for (auto& [stream, entry] : kvStreams_) {
+        if (entry.rank != rank) {
+            continue;
+        }
+        if (entry.resident) {
+            const std::uint64_t raw = entry.rawBytes();
+            LOCALUT_ASSERT(kvFootprint_[rank] >= kvFootprint(raw),
+                           "KV footprint ledger underflow");
+            kvFootprint_[rank] -= kvFootprint(raw);
+            entry.resident = false;
+            --stats_.kvStreams;
+            stats_.kvResidentBytes -= raw;
+        }
+        if (!entry.displaced) {
+            entry.displaced = true;
+            ++stats_.kvDisplaced;
+            loss.displacedStreams.push_back(stream);
+        }
+    }
+    std::sort(loss.displacedStreams.begin(), loss.displacedStreams.end());
+    ++stats_.rankInvalidations;
+    return loss;
+}
+
+void
 ResidencyManager::releaseKv(std::uint64_t stream)
 {
     if (policy_ == ResidencyPolicy::Disabled) {
@@ -718,6 +836,12 @@ ResidencyManager::projectedBroadcastSeconds(const GemmPlan& plan,
                                        std::max(1u, plan.p));
     double seconds = profile_.interNodeLatencyUs * 1e-6 +
                      (raw / ratio) / (profile_.interNodeGBs * 1e9);
+    if (injector_ != nullptr) {
+        // A degraded fabric link stretches the hop; the scheduler sees
+        // the stretched projection and steers cold starts elsewhere.
+        seconds *=
+            injector_->linkFactor(topo_.nodeOf(homeRank % numRanks()));
+    }
     if (codec_) {
         seconds += raw / (profile_.codecGBs * 1e9);
     }

@@ -68,6 +68,8 @@
 
 namespace localut {
 
+class FaultInjector;
+
 /** How the manager behaves when a table set must be admitted. */
 enum class ResidencyPolicy {
     /** No tracking: nothing is charged and nothing is resident (the
@@ -245,6 +247,11 @@ struct ResidencyStats {
     std::uint64_t kvResidentBytes = 0; ///< raw KV bytes currently resident
     double kvMovedBytes = 0;         ///< host <-> PIM KV traffic (raw)
     double kvMovedSeconds = 0;       ///< modeled KV transfer seconds
+    std::uint64_t rankInvalidations = 0; ///< invalidateRank() calls
+    /** KV streams whose home rank died; their next acquireKv() may
+     * re-home them to a survivor at full-refill cost. */
+    std::uint64_t kvDisplaced = 0;
+    std::uint64_t broadcastResends = 0; ///< corruption-forced resends
 
     /** Fraction of acquires that found tables resident. */
     double
@@ -416,6 +423,36 @@ class ResidencyManager
      * sets still count as re-broadcasts. */
     void clear();
 
+    /** What invalidateRank() dropped or displaced. */
+    struct RankLoss {
+        std::uint64_t lutSetsDropped = 0;  ///< table sets losing residency
+        std::uint64_t lutBytesDropped = 0; ///< per-unit LUT bytes freed
+        /** KV streams homed on the lost rank, now displaced: their next
+         * acquireKv() may name a survivor rank and pays a full refill
+         * there (or sheds when no survivor has budget). */
+        std::vector<std::uint64_t> displacedStreams;
+    };
+
+    /**
+     * Invalidates everything resident on flat @p rank after it died:
+     * every table set with bytes there loses residency whole (its next
+     * acquire() re-broadcasts, charged as usual), and every KV stream
+     * homed there becomes non-resident and *displaced* — the one case
+     * acquireKv() accepts a changed rank, charging the survivor a full
+     * context refill.  Wired as a FaultInjector rank-loss listener by
+     * the session.  No-op under ResidencyPolicy::Disabled.
+     */
+    RankLoss invalidateRank(unsigned rank);
+
+    /**
+     * Attaches @p injector so broadcast charges model fabric faults:
+     * inter-node shares are scaled by the target nodes' link-degrade
+     * factor, and corrupted payloads (detected by the codec checksum)
+     * charge deterministic re-sends.  Pass nullptr to detach.  The
+     * injector must outlive the manager.
+     */
+    void setFaultInjector(FaultInjector* injector);
+
   private:
     struct TableSet {
         /** (rank, per-copy bytes x instances) this set occupies. */
@@ -430,6 +467,9 @@ class ResidencyManager
         std::uint64_t uses = 0;      ///< touches while resident (reuse)
         std::uint64_t lastUse = 0;   ///< logical clock (LRU)
         std::uint64_t admitOrder = 0;///< deterministic tie-break
+        /** Broadcast events for this set so far — the deterministic
+         * per-payload salt for the injector's corruption decisions. */
+        std::uint64_t sends = 0;
         bool resident = false;
         bool everResident = false;   ///< a later miss is a re-broadcast
     };
@@ -441,6 +481,9 @@ class ResidencyManager
         std::uint64_t bytesPerTokenPerLayer = 0; ///< raw bytes per token
         std::uint64_t tokens = 0;     ///< context tokens tracked
         bool resident = false;        ///< false = spilled to host
+        /** Home rank died: the next acquireKv() may re-home the stream
+         * to a different rank at full-refill cost. */
+        bool displaced = false;
         std::uint64_t lastUse = 0;    ///< logical clock (LRU)
         std::uint64_t admitOrder = 0; ///< deterministic tie-break
 
@@ -498,6 +541,7 @@ class ResidencyManager
     ResidencyPolicy policy_;
     Topology topo_{1, 1};      ///< the node x rank grid of the ledgers
     bool codec_ = false;       ///< compress inter-node broadcasts
+    FaultInjector* injector_ = nullptr; ///< optional fault source
 
     mutable std::mutex mutex_;
     std::unordered_map<TableSetKey, TableSet, TableSetKeyHash> sets_;

@@ -74,7 +74,8 @@ RequestScheduler::RequestScheduler(InferenceSession& session,
                                    const SchedulerOptions& options,
                                    Telemetry* telemetry)
     : session_(session), options_(options),
-      numRanks_(session.totalRanks())
+      numRanks_(session.totalRanks()),
+      injector_(session.options().faultInjector)
 {
     LOCALUT_REQUIRE(options_.maxQueuedPerRank >= 1,
                     "the admission bound must admit at least one request");
@@ -97,11 +98,40 @@ RequestScheduler::clockSeconds() const
 void
 RequestScheduler::advanceTo(double seconds)
 {
+    // Scheduled faults (rank death, link degradation) fire on the same
+    // virtual clock the arrivals drive, before any placement decision
+    // at the new time.
+    if (injector_ != nullptr) {
+        injector_->advanceTo(seconds);
+    }
     std::lock_guard<std::mutex> lock(mutex_);
     if (seconds > clock_) {
         clock_ = seconds;
     }
     sequenceLocked(clock_);
+}
+
+void
+RequestScheduler::publishFaults()
+{
+    if (injector_ == nullptr) {
+        return;
+    }
+    const FaultStats stats = injector_->stats();
+    FaultCounters counters;
+    counters.transientFaults = stats.transientFaults;
+    counters.retries = stats.retries;
+    counters.corruptedBroadcasts = stats.corruptedBroadcasts;
+    counters.resends = stats.resends;
+    counters.quarantines = stats.quarantines;
+    counters.failovers = stats.failovers;
+    counters.shedFault = stats.shedFault;
+    counters.linkDegrades = stats.linkDegrades;
+    counters.ranksDead = stats.ranksDead;
+    counters.ranksQuarantined = stats.ranksQuarantined;
+    counters.backoffSeconds = stats.backoffSeconds;
+    counters.capacityRatio = injector_->capacityRatio();
+    telemetry_->recordFaults(counters);
 }
 
 std::size_t
@@ -326,6 +356,11 @@ RequestScheduler::submit(ServingRequest request)
                                ? clock_
                                : std::max(clock_, request.arrivalSeconds);
     clock_ = std::max(clock_, arrival);
+    if (injector_ != nullptr) {
+        // Scheduled faults due at (or before) this arrival fire before
+        // the placement decision sees the health mask.
+        injector_->advanceTo(clock_);
+    }
     sequenceLocked(clock_);
 
     AdmissionDecision decision;
@@ -366,6 +401,19 @@ RequestScheduler::submit(ServingRequest request)
     if (options_.policy == SchedulerPolicy::Slo &&
         request.deadlineSeconds <= 0) {
         return reject(AdmissionOutcome::ShedDeadline);
+    }
+
+    // Fault gate: with no live rank at all nothing can serve, and a
+    // gang needs the session to re-shard around losses — impossible
+    // when its failover policy is off.
+    const bool faultAware = injector_ != nullptr && options_.faultAware;
+    if (faultAware &&
+        (injector_->aliveCount() == 0 ||
+         (gang && injector_->aliveCount() < numRanks_ &&
+          !session_.options().faultPolicy.failover))) {
+        injector_->noteShedFault();
+        publishFaults();
+        return reject(AdmissionOutcome::ShedFault);
     }
 
     // Saturation: admitted-but-unstarted depth per candidate rank.
@@ -410,9 +458,17 @@ RequestScheduler::submit(ServingRequest request)
         candidates.push_back(kAllRanks);
     } else {
         for (unsigned rank = 0; rank < numRanks_; ++rank) {
-            if (queued[rank] < options_.maxQueuedPerRank) {
+            if (queued[rank] < options_.maxQueuedPerRank &&
+                (!faultAware || injector_->schedulable(rank))) {
                 candidates.push_back(rank);
             }
+        }
+        if (candidates.empty()) {
+            // Unsaturated ranks exist (the check above passed) but the
+            // health mask excluded every one of them.
+            injector_->noteShedFault();
+            publishFaults();
+            return reject(AdmissionOutcome::ShedFault);
         }
     }
 
@@ -510,6 +566,7 @@ RequestScheduler::submit(ServingRequest request)
     tickets_.emplace(decision.id, std::move(ticket));
     pending_.push_back(best);
     sequenceLocked(clock_);
+    publishFaults();
     return decision;
 }
 
@@ -556,10 +613,19 @@ RequestScheduler::wait(std::uint64_t id)
             plannedSets_.erase(key);
         }
     }
-    if (isWorkload) {
-        result.report = session_.waitReport(sessionId);
-    } else {
-        result.gemm = session_.wait(sessionId);
+    try {
+        if (isWorkload) {
+            result.report = session_.waitReport(sessionId);
+        } else {
+            result.gemm = session_.wait(sessionId);
+        }
+    } catch (const FaultShedError&) {
+        // Admitted, then shed by faults during execution (dead home
+        // rank with failover off, retries exhausted, ...): the ticket
+        // resolves with a terminal ShedFault verdict instead of
+        // rethrowing, mirroring admission-time sheds.
+        result.decision.outcome = AdmissionOutcome::ShedFault;
+        telemetry_->recordPostAdmitFaultShed(result.sample);
     }
     // The execution just updated residency: refresh the node-labeled
     // gauges and per-tier broadcast counters the Prometheus dump
@@ -577,6 +643,7 @@ RequestScheduler::wait(std::uint64_t id)
         }
         telemetry_->recordNodeResidency(std::move(nodes));
     }
+    publishFaults();
     return result;
 }
 

@@ -92,6 +92,16 @@ struct SchedulerOptions {
      * policy is enabled.
      */
     bool coldStartAware = true;
+    /**
+     * Fold the fault injector's health mask into admission and
+     * placement: dead/quarantined ranks are never candidates, and a
+     * request no live rank can serve is shed with
+     * AdmissionOutcome::ShedFault.  False models a fault-oblivious
+     * frontend (the bench baseline): placement ignores health and the
+     * session sheds post-admission.  Only meaningful when the session
+     * has a SessionOptions::faultInjector.
+     */
+    bool faultAware = true;
 };
 
 /** One request-level unit of serving work. */
@@ -317,10 +327,14 @@ class RequestScheduler
                                 ServiceProjection& projection) const;
     void recordStartLocked(const Entry& entry, double start,
                            double completion);
+    /** Pushes the injector's counters + capacity gauge to telemetry. */
+    void publishFaults();
 
     InferenceSession& session_;
     SchedulerOptions options_;
     unsigned numRanks_;
+    /** The session's fault injector; nullptr serves fault-free. */
+    FaultInjector* injector_ = nullptr;
     std::unique_ptr<Telemetry> ownedTelemetry_;
     Telemetry* telemetry_;
 

@@ -2,13 +2,124 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 #include <utility>
 
 #include "common/logging.h"
+#include "dram/timing.h"
 
 namespace localut {
 
 namespace {
+
+/** What the deterministic fault-resolution pass decided for one unit of
+ * work: the rank it executes on, the failed attempts to re-pay, the
+ * virtual backoff accumulated between them, and any failover hops. */
+struct FaultOutcome {
+    unsigned rank = 0;
+    unsigned retries = 0;
+    unsigned failovers = 0;
+    double backoffSeconds = 0.0;
+};
+
+/**
+ * Runs the deterministic transient-failure loop for one unit of work on
+ * @p rank: each injected failure records a rank failure (feeding
+ * quarantine) and, when a retry follows, charges one capped-exponential
+ * backoff interval.  Returns the failed-attempt count —
+ * policy.maxAttempts means the rank exhausted its attempts without a
+ * success.
+ */
+unsigned
+transientFailures(FaultInjector& inj, const FaultPolicy& policy,
+                  std::uint64_t requestId, unsigned rank,
+                  std::uint64_t salt, double& backoffSeconds)
+{
+    unsigned failed = 0;
+    while (failed < policy.maxAttempts &&
+           inj.executeFails(requestId, failed, rank, salt)) {
+        inj.recordFailure(rank, policy.quarantineThreshold);
+        ++failed;
+        if (failed < policy.maxAttempts) {
+            backoffSeconds += retryBackoffSeconds(
+                policy.backoffBaseSeconds, policy.backoffCapSeconds,
+                failed - 1);
+        }
+    }
+    return failed;
+}
+
+/**
+ * Deterministic placement + retry resolution for a whole (unsharded)
+ * request starting on @p startRank: retry transients on the rank under
+ * the policy; on exhaustion — or a dead/quarantined rank — fail over to
+ * the next schedulable rank (wrapping, each visited at most once) when
+ * the policy allows, else shed.  Throws FaultShedError when no rank can
+ * serve the request.
+ */
+FaultOutcome
+resolveWholeFaults(FaultInjector& inj, const FaultPolicy& policy,
+                   std::uint64_t requestId, unsigned startRank)
+{
+    FaultOutcome out;
+    out.rank = startRank;
+    const unsigned total = inj.topology().totalRanks();
+    // The salt bumps per failover hop so every rank visit draws from its
+    // own deterministic attempt stream.
+    std::uint64_t salt = 0;
+    for (unsigned hops = 0; hops <= total; ++hops) {
+        if (inj.schedulable(out.rank)) {
+            const unsigned failed = transientFailures(
+                inj, policy, requestId, out.rank, salt,
+                out.backoffSeconds);
+            out.retries += failed;
+            if (failed < policy.maxAttempts) {
+                return out; // an attempt went through on this rank
+            }
+        }
+        if (!policy.failover) {
+            inj.noteShedFault();
+            throw FaultShedError(
+                out.rank, "fault shed: rank " + std::to_string(out.rank) +
+                              " cannot serve the request and failover "
+                              "is disabled");
+        }
+        const unsigned next = inj.firstSchedulable((out.rank + 1) % total);
+        if (next == FaultInjector::kNoRank || next == out.rank) {
+            break; // no other live rank to hop to
+        }
+        out.rank = next;
+        ++out.failovers;
+        ++salt;
+        inj.noteFailover();
+    }
+    inj.noteShedFault();
+    throw FaultShedError(out.rank,
+                         "fault shed: no schedulable rank could serve "
+                         "the request");
+}
+
+/** Folds a fault outcome into @p timing: each failed attempt re-pays the
+ * clean cost of the work, plus the accumulated virtual backoff. */
+void
+chargeFaultPenalty(TimingReport& timing, const FaultOutcome& fault,
+                   FaultInjector& inj)
+{
+    if (fault.retries == 0 && fault.backoffSeconds <= 0) {
+        return;
+    }
+    const double retrySeconds =
+        static_cast<double>(fault.retries) * timing.total;
+    timing.total += retrySeconds + fault.backoffSeconds;
+    if (retrySeconds > 0) {
+        timing.seconds.add("fault.retry", retrySeconds);
+    }
+    if (fault.backoffSeconds > 0) {
+        timing.seconds.add("fault.backoff", fault.backoffSeconds);
+    }
+    inj.noteRetries(fault.retries);
+    inj.noteBackoff(fault.backoffSeconds);
+}
 
 /**
  * The session whose tile batch this thread is currently draining (null
@@ -101,6 +212,26 @@ InferenceSession::InferenceSession(BackendPtr backend,
         residency_ = std::make_unique<ResidencyManager>(
             backend_, topology(), options_.mramBudgetBytes,
             options_.residencyPolicy, options_.interNodeCodec);
+    }
+    if (options_.faultInjector != nullptr) {
+        LOCALUT_REQUIRE(
+            options_.faultInjector->topology().totalRanks() == flatRanks,
+            "fault injector tracks ",
+            options_.faultInjector->topology().totalRanks(),
+            " ranks but the session models ", flatRanks);
+        LOCALUT_REQUIRE(options_.faultPolicy.maxAttempts >= 1,
+                        "FaultPolicy::maxAttempts must be at least 1");
+        if (residency_ != nullptr) {
+            residency_->setFaultInjector(options_.faultInjector);
+            // Rank death invalidates everything resident there: LUT
+            // sets rebroadcast on next touch, KV streams become
+            // displaced and re-home to a survivor at full-refill cost.
+            ResidencyManager* residency = residency_.get();
+            options_.faultInjector->onRankLoss(
+                [residency](unsigned rank) {
+                    residency->invalidateRank(rank);
+                });
+        }
     }
     rankQueues_.resize(flatRanks);
     unsigned workers = options_.workers;
@@ -491,8 +622,22 @@ InferenceSession::execOptions(bool computeValues) const
 void
 InferenceSession::runWhole(Request& request)
 {
+    FaultInjector* const inj = options_.faultInjector;
+    FaultOutcome fault;
+    fault.rank = request.homeRank;
+    if (inj != nullptr) {
+        // Resolve placement and injected transients deterministically up
+        // front: residency must home its tables on the rank that
+        // actually ends up serving the request.
+        fault = resolveWholeFaults(*inj, options_.faultPolicy, request.id,
+                                   request.homeRank);
+        request.homeRank = fault.rank;
+    }
     if (request.isWorkload) {
         request.report = runAt(request.workload, request.homeRank);
+        if (inj != nullptr) {
+            chargeFaultPenalty(request.report.timing, fault, *inj);
+        }
         return;
     }
     // Plans are memoized; identical shapes across requests hit the cache.
@@ -520,6 +665,9 @@ InferenceSession::runWhole(Request& request)
             .apply(request.result.timing, request.result.energy,
                    &request.result.cost);
     }
+    if (inj != nullptr) {
+        chargeFaultPenalty(request.result.timing, fault, *inj);
+    }
 }
 
 void
@@ -527,11 +675,53 @@ InferenceSession::runPlanStage(Request& request)
 {
     // Cut the GEMM (memoized) and fan one shard task onto each rank's
     // queue; the submitting thread never pays the planning cost.
-    const ShardSpec spec{options_.numRanks, options_.shardStrategy, 1,
-                         options_.numNodes};
+    FaultInjector* const inj = options_.faultInjector;
+    ShardSpec spec{options_.numRanks, options_.shardStrategy, 1,
+                   options_.numNodes};
+    std::vector<unsigned> survivors;
+    bool reshard = false;
+    if (inj != nullptr) {
+        survivors = inj->schedulableRanks();
+        reshard = survivors.size() < rankQueues_.size();
+        if (reshard) {
+            if (survivors.empty()) {
+                inj->noteShedFault();
+                throw FaultShedError(FaultInjector::kNoRank,
+                                     "fault shed: no schedulable rank "
+                                     "left to cut the GEMM across");
+            }
+            if (!options_.faultPolicy.failover) {
+                inj->noteShedFault();
+                throw FaultShedError(survivors.front(),
+                                     "fault shed: rank loss with "
+                                     "failover disabled");
+            }
+            inj->noteFailover();
+            if (survivors.size() == 1) {
+                // One survivor leaves nothing to cut: serve the request
+                // whole on it (bit-exact with the sharded reduction by
+                // the numRanks = 1 equivalence).
+                request.homeRank = survivors.front();
+                runWhole(request);
+                finishRequest(request);
+                return;
+            }
+            // Re-shard over the survivor set: the survivor-count cut is
+            // memoized like any other, the shards are remapped onto the
+            // live ranks below, and the column/row reductions are exact
+            // at any cut, so results stay bit-identical to healthy runs.
+            spec = ShardSpec{static_cast<unsigned>(survivors.size()),
+                             options_.shardStrategy, 1, 1};
+        }
+    }
     request.shardPlan = cache_.shardPlanFor(
         *backend_, request.problem, request.design, spec,
         request.overrides);
+    if (reshard) {
+        for (GemmShard& shard : request.shardPlan.shards) {
+            shard.rank = survivors[shard.rank % survivors.size()];
+        }
+    }
     request.shardResults.resize(request.shardPlan.shards.size());
     {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -551,6 +741,27 @@ InferenceSession::runPlanStage(Request& request)
 void
 InferenceSession::runShard(Request& request, unsigned shardIndex)
 {
+    FaultInjector* const inj = options_.faultInjector;
+    FaultOutcome fault;
+    if (inj != nullptr) {
+        // Shards never hop ranks mid-flight — the survivor re-shard at
+        // the plan stage is the failover — so exhausting the retry
+        // budget sheds the whole request.
+        fault.rank = request.shardPlan.shards[shardIndex].rank %
+                     static_cast<unsigned>(rankQueues_.size());
+        fault.retries = transientFailures(
+            *inj, options_.faultPolicy, request.id, fault.rank,
+            /*salt=*/static_cast<std::uint64_t>(shardIndex) + 1,
+            fault.backoffSeconds);
+        if (fault.retries >= options_.faultPolicy.maxAttempts) {
+            inj->noteShedFault();
+            throw FaultShedError(
+                fault.rank, "fault shed: shard " +
+                                std::to_string(shardIndex) +
+                                " exhausted its attempts on rank " +
+                                std::to_string(fault.rank));
+        }
+    }
     const GemmProblem slice =
         shardProblem(request.problem, request.shardPlan, shardIndex);
     const GemmPlan& plan = request.shardPlan.shards[shardIndex].plan;
@@ -567,6 +778,10 @@ InferenceSession::runShard(Request& request, unsigned shardIndex)
     }
     request.shardResults[shardIndex] =
         backend_->execute(slice, plan, options);
+    if (inj != nullptr) {
+        chargeFaultPenalty(request.shardResults[shardIndex].timing, fault,
+                           *inj);
+    }
 }
 
 void

@@ -46,6 +46,7 @@
 #include "common/parallel.h"
 #include "nn/inference.h"
 #include "nn/workload.h"
+#include "serving/fault.h"
 #include "serving/plan_cache.h"
 #include "serving/residency.h"
 #include "serving/sharding.h"
@@ -142,6 +143,25 @@ struct SessionOptions {
      * baseline).
      */
     bool simdKernels = true;
+    /**
+     * Deterministic fault injector (serving/fault.h) this session
+     * consults on every execute; shared with the scheduler and token
+     * engine so all layers see one health registry.  nullptr (the
+     * default) serves fault-free with zero overhead.  Not owned: the
+     * injector must outlive the session, its topology must match the
+     * session's, and its scheduled faults must not fire after the
+     * session is destroyed (the session registers a rank-loss listener
+     * that touches its residency manager).  With an injector set,
+     * transient execute failures retry under `faultPolicy` with capped
+     * exponential virtual-time backoff, dead/quarantined ranks re-home
+     * or re-shard work (failover) or shed it (FaultShedError surfaces
+     * at wait()), and all retry/backoff cost is charged as modeled
+     * seconds into the request's TimingReport — never a wall-clock
+     * sleep.
+     */
+    FaultInjector* faultInjector = nullptr;
+    /** Retry / quarantine / failover policy; used only with an injector. */
+    FaultPolicy faultPolicy;
 };
 
 /**

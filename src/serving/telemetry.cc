@@ -41,6 +41,7 @@ admissionOutcomeName(AdmissionOutcome outcome)
       case AdmissionOutcome::Admitted:          return "admitted";
       case AdmissionOutcome::ShedDeadline:      return "shed_deadline";
       case AdmissionOutcome::RejectedSaturated: return "rejected_saturated";
+      case AdmissionOutcome::ShedFault:         return "shed_fault";
     }
     LOCALUT_PANIC("invalid admission outcome");
 }
@@ -184,6 +185,9 @@ Telemetry::recordAdmission(DeadlineClass lane, AdmissionOutcome outcome)
       case AdmissionOutcome::RejectedSaturated:
         ++state_.rejectedSaturated[at];
         break;
+      case AdmissionOutcome::ShedFault:
+        ++state_.shedFault[at];
+        break;
     }
 }
 
@@ -261,6 +265,34 @@ Telemetry::recordBroadcastTiers(const BroadcastTierBytes& tiers)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     state_.broadcastTiers = tiers;
+}
+
+void
+Telemetry::recordFaults(const FaultCounters& faults)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_.faults = faults;
+}
+
+void
+Telemetry::recordPostAdmitFaultShed(const RequestSample& sample)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto at = static_cast<std::size_t>(sample.lane);
+    ++state_.shedFault[at];
+    // The sequencer optimistically recorded this request as completed
+    // (recordCompletion at virtual-time sequencing); the shed retracts
+    // those counters so goodput never credits a request that faulted
+    // out during execution.
+    LaneStats& lane = state_.lanes[at];
+    if (lane.completed > 0) {
+        --lane.completed;
+        if (std::isinf(sample.deadlineSeconds) || sample.deadlineMet()) {
+            --lane.deadlineMet;
+        } else {
+            --lane.deadlineMissed;
+        }
+    }
 }
 
 TelemetrySnapshot
@@ -347,6 +379,7 @@ Telemetry::prometheusText() const
             {"admitted", snap.admitted[lane]},
             {"shed_deadline", snap.shedDeadline[lane]},
             {"rejected_saturated", snap.rejectedSaturated[lane]},
+            {"shed_fault", snap.shedFault[lane]},
         };
         for (const auto& row : rows) {
             appendf(out,
@@ -514,6 +547,56 @@ Telemetry::prometheusText() const
             "localut_broadcast_bytes_total{tier=\"inter\","
             "kind=\"compressed\"} %.9e\n",
             snap.broadcastTiers.interBytes);
+
+    out += "# HELP localut_faults_total Injected faults by kind.\n"
+           "# TYPE localut_faults_total counter\n";
+    appendf(out, "localut_faults_total{kind=\"transient_execute\"} %llu\n",
+            static_cast<unsigned long long>(snap.faults.transientFaults));
+    appendf(out, "localut_faults_total{kind=\"broadcast_corrupt\"} %llu\n",
+            static_cast<unsigned long long>(snap.faults.corruptedBroadcasts));
+    appendf(out, "localut_faults_total{kind=\"link_degrade\"} %llu\n",
+            static_cast<unsigned long long>(snap.faults.linkDegrades));
+    const struct {
+        const char* name;
+        const char* help;
+        const char* type;
+        std::uint64_t value;
+    } faultRows[] = {
+        {"localut_fault_retries_total",
+         "Execute attempts retried after an injected transient fault.",
+         "counter", snap.faults.retries},
+        {"localut_broadcast_resends_total",
+         "LUT broadcasts re-sent after checksum-detected corruption.",
+         "counter", snap.faults.resends},
+        {"localut_quarantines_total",
+         "Ranks quarantined after crossing the failure threshold.",
+         "counter", snap.faults.quarantines},
+        {"localut_failovers_total",
+         "Requests re-homed or GEMMs re-sharded around lost ranks.",
+         "counter", snap.faults.failovers},
+        {"localut_fault_sheds_total",
+         "Requests shed because faults left no capacity for them.",
+         "counter", snap.faults.shedFault},
+        {"localut_ranks_dead", "Ranks currently dead.", "gauge",
+         snap.faults.ranksDead},
+        {"localut_ranks_quarantined", "Ranks currently quarantined.",
+         "gauge", snap.faults.ranksQuarantined},
+    };
+    for (const auto& row : faultRows) {
+        appendf(out, "# HELP %s %s\n# TYPE %s %s\n%s %llu\n", row.name,
+                row.help, row.name, row.type, row.name,
+                static_cast<unsigned long long>(row.value));
+    }
+    out += "# HELP localut_fault_backoff_seconds_total Virtual retry "
+           "backoff charged into request timing.\n"
+           "# TYPE localut_fault_backoff_seconds_total counter\n";
+    appendf(out, "localut_fault_backoff_seconds_total %.9e\n",
+            snap.faults.backoffSeconds);
+    out += "# HELP localut_capacity_ratio Schedulable ranks divided by "
+           "total ranks (degraded-capacity gauge).\n"
+           "# TYPE localut_capacity_ratio gauge\n";
+    appendf(out, "localut_capacity_ratio %.6f\n",
+            snap.faults.capacityRatio);
 
     out += "# HELP localut_collective_seconds_total Modeled collective "
            "transfer seconds across completions.\n"

@@ -65,6 +65,7 @@ enum class AdmissionOutcome {
     Admitted,         ///< placed on a rank; will execute
     ShedDeadline,     ///< shed: the deadline cannot be met (SLO policy)
     RejectedSaturated,///< rejected: every rank queue is at its bound
+    ShedFault,        ///< shed: rank faults left no live capacity for it
 };
 
 /** Outcome name for reports ("admitted" / "shed_deadline" / ...). */
@@ -237,6 +238,27 @@ struct BroadcastTierBytes {
     double interBytes = 0;    ///< bytes actually sent inter-node (coded)
 };
 
+/**
+ * Cumulative fault-injection and recovery counters plus health gauges,
+ * recorded from FaultInjector::stats() (serving/fault.h).  Mirrored as
+ * a plain struct so telemetry stays dependency-free.
+ */
+struct FaultCounters {
+    std::uint64_t transientFaults = 0;    ///< injected execute failures
+    std::uint64_t retries = 0;            ///< retried attempts (charged)
+    std::uint64_t corruptedBroadcasts = 0;///< checksum-detected payloads
+    std::uint64_t resends = 0;            ///< broadcast resends (charged)
+    std::uint64_t quarantines = 0;        ///< ranks ever quarantined
+    std::uint64_t failovers = 0;          ///< re-homes + re-shards
+    std::uint64_t shedFault = 0;          ///< requests shed by faults
+    std::uint64_t linkDegrades = 0;       ///< degradation events fired
+    std::uint64_t ranksDead = 0;          ///< gauge: currently dead
+    std::uint64_t ranksQuarantined = 0;   ///< gauge: quarantined now
+    double backoffSeconds = 0;            ///< virtual backoff charged
+    /** Gauge: schedulable ranks / total ranks, in [0, 1]. */
+    double capacityRatio = 1.0;
+};
+
 /** A consistent copy of all telemetry state (see Telemetry::snapshot). */
 struct TelemetrySnapshot {
     /** Per-lane (DeadlineClass-indexed) submitted-request counters. */
@@ -247,6 +269,8 @@ struct TelemetrySnapshot {
     std::array<std::uint64_t, kDeadlineClasses> shedDeadline{};
     /** Per-lane saturation-reject counters. */
     std::array<std::uint64_t, kDeadlineClasses> rejectedSaturated{};
+    /** Per-lane fault-shed counters (admit-time and post-admission). */
+    std::array<std::uint64_t, kDeadlineClasses> shedFault{};
     /** Per-lane completion aggregates. */
     std::array<LaneStats, kDeadlineClasses> lanes;
     /** Total collective seconds across completed requests. */
@@ -262,6 +286,8 @@ struct TelemetrySnapshot {
     std::vector<NodeResidencyGauge> nodeResidency;
     /** Latest per-tier LUT-broadcast byte counters. */
     BroadcastTierBytes broadcastTiers;
+    /** Latest fault/recovery counters and health gauges. */
+    FaultCounters faults;
 
     /** Submissions across all lanes. */
     std::uint64_t totalSubmitted() const;
@@ -313,6 +339,20 @@ class Telemetry
 
     /** Replaces the per-tier broadcast byte counters with @p tiers. */
     void recordBroadcastTiers(const BroadcastTierBytes& tiers);
+
+    /** Replaces the fault counters and health gauges with @p faults. */
+    void recordFaults(const FaultCounters& faults);
+
+    /**
+     * Counts one admitted request on @p sample's lane that was shed by
+     * faults after admission (the admit-time path goes through
+     * recordAdmission with AdmissionOutcome::ShedFault instead).  The
+     * virtual-time sequencer already recorded the request as a
+     * completion, so its completed / deadline counters are retracted
+     * here; the latency histograms keep the sequenced sample (bucket
+     * counts are not retractable).
+     */
+    void recordPostAdmitFaultShed(const RequestSample& sample);
 
     /** A consistent copy of every counter and histogram. */
     TelemetrySnapshot snapshot() const;

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "serving/fault.h"
 
 namespace localut {
 
@@ -43,6 +44,7 @@ streamStatusName(StreamStatus status)
       case StreamStatus::Completed:    return "completed";
       case StreamStatus::ShedDeadline: return "shed_deadline";
       case StreamStatus::ShedCapacity: return "shed_capacity";
+      case StreamStatus::ShedFault:    return "shed_fault";
     }
     LOCALUT_PANIC("invalid stream status");
 }
@@ -257,7 +259,19 @@ TokenEngine::admitPrefill(RankState& rank, std::vector<Stream>& streams)
         prefillGraph(stream.req.promptLen);
     const InferenceSession::RequestId id = session_.submit(
         graph, SubmitOptions{static_cast<int>(rank.rank)});
-    InferenceReport report = session_.waitReport(id);
+    InferenceReport report;
+    try {
+        report = session_.waitReport(id);
+    } catch (const FaultShedError&) {
+        // The prefill could not land on any live rank (the injector
+        // already counted the shed): fault-shed the stream.
+        if (telemetry_ != nullptr) {
+            telemetry_->recordAdmission(DeadlineClass::Prefill,
+                                        AdmissionOutcome::ShedFault);
+        }
+        finishStream(stream, StreamStatus::ShedFault, now);
+        return true;
+    }
     double serviceSeconds = report.timing.total;
 
     KvCharge kv;
@@ -329,7 +343,22 @@ TokenEngine::runDecodeStep(RankState& rank, std::vector<Stream>& streams)
     }
     const InferenceSession::RequestId id = session_.submit(
         std::move(step), SubmitOptions{static_cast<int>(rank.rank)});
-    InferenceReport report = session_.waitReport(id);
+    InferenceReport report;
+    try {
+        report = session_.waitReport(id);
+    } catch (const FaultShedError&) {
+        // The batched step could not land on any live rank: fault-shed
+        // every stream it was serving.
+        for (const std::size_t s : rank.active) {
+            if (telemetry_ != nullptr) {
+                telemetry_->recordAdmission(DeadlineClass::Decode,
+                                            AdmissionOutcome::ShedFault);
+            }
+            finishStream(streams[s], StreamStatus::ShedFault, now);
+        }
+        rank.active.clear();
+        return;
+    }
     double serviceSeconds = report.timing.total;
 
     double kvSeconds = 0;
@@ -422,11 +451,18 @@ TokenEngine::runDecodeStep(RankState& rank, std::vector<Stream>& streams)
 void
 TokenEngine::runLocked(std::vector<Stream>& streams)
 {
+    FaultInjector* injector = session_.options().faultInjector;
     std::vector<RankState> ranks(rankFreeAt_.size());
     for (std::size_t r = 0; r < ranks.size(); ++r) {
         ranks[r].rank = static_cast<unsigned>(r);
         ranks[r].freeAt = rankFreeAt_[r];
     }
+
+    // Quarantined and dead ranks take no *new* placements; streams
+    // already active on a quarantined rank keep being served there.
+    const auto placeable = [&](const RankState& rank) {
+        return injector == nullptr || injector->schedulable(rank.rank);
+    };
 
     std::size_t nextPlacement = 0; // streams are in arrival order
     const auto anyWork = [&] {
@@ -451,15 +487,35 @@ TokenEngine::runLocked(std::vector<Stream>& streams)
             // arriving exactly at a step boundary can join that batch):
             // fewest streams, then earliest-free, then lowest rank.
             Stream& stream = streams[nextPlacement];
-            RankState* best = &ranks.front();
+            if (injector != nullptr) {
+                injector->advanceTo(stream.req.arrivalSeconds);
+            }
+            RankState* best = nullptr;
             for (RankState& rank : ranks) {
+                if (!placeable(rank)) {
+                    continue;
+                }
                 const auto load = rank.pending.size() + rank.active.size();
-                const auto bestLoad =
-                    best->pending.size() + best->active.size();
-                if (std::make_tuple(load, rank.freeAt, rank.rank) <
-                    std::make_tuple(bestLoad, best->freeAt, best->rank)) {
+                if (best == nullptr ||
+                    std::make_tuple(load, rank.freeAt, rank.rank) <
+                        std::make_tuple(best->pending.size() +
+                                            best->active.size(),
+                                        best->freeAt, best->rank)) {
                     best = &rank;
                 }
+            }
+            if (best == nullptr) {
+                // Faults left no rank accepting placements: shed on
+                // arrival rather than queueing onto a dead replica.
+                injector->noteShedFault();
+                if (telemetry_ != nullptr) {
+                    telemetry_->recordAdmission(DeadlineClass::Prefill,
+                                                AdmissionOutcome::ShedFault);
+                }
+                finishStream(stream, StreamStatus::ShedFault,
+                             stream.req.arrivalSeconds);
+                ++nextPlacement;
+                continue;
             }
             stream.result.rank = best->rank;
             best->freeAt = std::max(best->freeAt,
@@ -471,6 +527,65 @@ TokenEngine::runLocked(std::vector<Stream>& streams)
 
         RankState& rank = *next;
         const double now = rank.freeAt;
+        if (injector != nullptr) {
+            injector->advanceTo(now);
+            if (injector->health(rank.rank) == RankHealth::Dead) {
+                // Evacuate a dead rank: re-home its streams onto the
+                // least-loaded surviving rank (their KV was displaced by
+                // the rank-loss listener and refills on next touch), or
+                // shed them when no survivor remains.
+                RankState* target = nullptr;
+                for (RankState& other : ranks) {
+                    if (&other == &rank || !placeable(other)) {
+                        continue;
+                    }
+                    if (target == nullptr ||
+                        std::make_tuple(other.pending.size() +
+                                            other.active.size(),
+                                        other.freeAt, other.rank) <
+                            std::make_tuple(target->pending.size() +
+                                                target->active.size(),
+                                            target->freeAt,
+                                            target->rank)) {
+                        target = &other;
+                    }
+                }
+                const auto evacuate = [&](std::vector<std::size_t>& from) {
+                    for (const std::size_t s : from) {
+                        Stream& stream = streams[s];
+                        if (target == nullptr) {
+                            injector->noteShedFault();
+                            if (telemetry_ != nullptr) {
+                                telemetry_->recordAdmission(
+                                    DeadlineClass::Decode,
+                                    AdmissionOutcome::ShedFault);
+                            }
+                            finishStream(stream, StreamStatus::ShedFault,
+                                         now);
+                        } else {
+                            injector->noteFailover();
+                            stream.result.rank = target->rank;
+                        }
+                    }
+                };
+                evacuate(rank.pending);
+                evacuate(rank.active);
+                if (target != nullptr) {
+                    target->pending.insert(target->pending.end(),
+                                           rank.pending.begin(),
+                                           rank.pending.end());
+                    target->active.insert(target->active.end(),
+                                          rank.active.begin(),
+                                          rank.active.end());
+                    // Migration cannot land before the death was
+                    // observed; the survivor inherits that lower bound.
+                    target->freeAt = std::max(target->freeAt, now);
+                }
+                rank.pending.clear();
+                rank.active.clear();
+                continue;
+            }
+        }
         if (options_.policy == SchedulerPolicy::Slo) {
             // Shed pass: anything already past its next bound cannot be
             // served in time no matter what this rank does now.

@@ -98,6 +98,7 @@ enum class StreamStatus {
     Completed,    ///< all decodeSteps tokens emitted
     ShedDeadline, ///< shed: a token deadline was already unmeetable
     ShedCapacity, ///< shed: the stream's KV can never fit its rank
+    ShedFault,    ///< shed: rank faults left no live rank to serve it
 };
 
 /** Status name for reports ("completed" / "shed_deadline" / ...). */

@@ -123,6 +123,94 @@ TEST(BroadcastCodec, FuzzPackedWeightBuffers)
     }
 }
 
+TEST(BroadcastCodec, TryDecodeRejectsTruncationAtEveryLength)
+{
+    // A valid stream cut at *any* prefix length must come back as a
+    // typed error with no partial bytes — never decode garbage, never
+    // abort.  Short prefixes lose the header; longer ones lose body
+    // bytes the checksum or block walker catches.
+    Rng rng(99);
+    std::vector<std::uint8_t> raw(777);
+    std::uint8_t symbol = 0;
+    for (auto& byte : raw) {
+        if (rng.nextBounded(6) == 0) {
+            symbol = static_cast<std::uint8_t>(rng.nextBounded(256));
+        }
+        byte = symbol;
+    }
+    const std::vector<std::uint8_t> encoded = lutBroadcastEncode(raw);
+    for (std::size_t cut = 0; cut < encoded.size(); ++cut) {
+        std::vector<std::uint8_t> out;
+        const LutCodecStatus status =
+            lutBroadcastTryDecode(encoded.data(), cut, out);
+        EXPECT_NE(status, LutCodecStatus::Ok) << "cut " << cut;
+        EXPECT_TRUE(out.empty()) << "cut " << cut;
+    }
+    // The intact stream still decodes exactly.
+    std::vector<std::uint8_t> out;
+    ASSERT_EQ(lutBroadcastTryDecode(encoded.data(), encoded.size(), out),
+              LutCodecStatus::Ok);
+    EXPECT_EQ(out, raw);
+}
+
+TEST(BroadcastCodec, TryDecodeDetectsEverySingleBitFlip)
+{
+    // CRC32 guarantees detection of any 1-bit corruption: flip each bit
+    // of the stream in turn and require a non-Ok status (or, for flips
+    // inside the CRC field itself, a checksum mismatch).
+    std::vector<std::uint8_t> raw(512);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+        raw[i] = static_cast<std::uint8_t>(i * 31 + 7);
+    }
+    const std::vector<std::uint8_t> encoded = lutBroadcastEncode(raw);
+    for (std::size_t byte = 0; byte < encoded.size(); ++byte) {
+        for (unsigned bit = 0; bit < 8; ++bit) {
+            std::vector<std::uint8_t> flipped = encoded;
+            flipped[byte] =
+                static_cast<std::uint8_t>(flipped[byte] ^ (1u << bit));
+            std::vector<std::uint8_t> out;
+            const LutCodecStatus status = lutBroadcastTryDecode(
+                flipped.data(), flipped.size(), out);
+            EXPECT_NE(status, LutCodecStatus::Ok)
+                << "byte " << byte << " bit " << bit;
+            EXPECT_TRUE(out.empty());
+        }
+    }
+}
+
+TEST(BroadcastCodec, TryDecodeSurvivesRandomGarbage)
+{
+    // Arbitrary byte soup (including soup wearing a valid magic) must
+    // produce a typed rejection, never a crash or over-allocation.
+    Rng rng(2718);
+    for (int iter = 0; iter < 500; ++iter) {
+        std::vector<std::uint8_t> junk(rng.nextBounded(4096));
+        for (auto& byte : junk) {
+            byte = static_cast<std::uint8_t>(rng.nextU64());
+        }
+        if (iter % 2 == 0 && junk.size() >= 4) {
+            junk[0] = 'L';
+            junk[1] = 'B';
+            junk[2] = 'C';
+            junk[3] = '1';
+        }
+        std::vector<std::uint8_t> out;
+        const LutCodecStatus status =
+            lutBroadcastTryDecode(junk.data(), junk.size(), out);
+        EXPECT_NE(status, LutCodecStatus::Ok) << "iter " << iter;
+        EXPECT_TRUE(out.empty());
+    }
+}
+
+TEST(BroadcastCodec, StatusNamesAreStable)
+{
+    EXPECT_STREQ(lutCodecStatusName(LutCodecStatus::Ok), "ok");
+    EXPECT_STREQ(lutCodecStatusName(LutCodecStatus::BadChecksum),
+                 "bad_checksum");
+    EXPECT_STREQ(lutCodecStatusName(LutCodecStatus::Truncated),
+                 "truncated");
+}
+
 TEST(BroadcastCodec, StructuredTablesCompressWell)
 {
     // A real materialized canonical LUT (the bytes a LoCaLut table-set

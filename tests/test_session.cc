@@ -208,6 +208,41 @@ TEST(InferenceSession, WorkerErrorsSurfaceAtWait)
     EXPECT_GT(session.wait(ok).timing.total, 0.0);
 }
 
+TEST(InferenceSession, FaultShedsSurfacePromptlyAtWait)
+{
+    // Regression for the shed-request promptness contract: a request
+    // fault-shed mid-execution must resolve its wait() immediately with
+    // the typed FaultShedError — never hang the ticket or poison the
+    // worker pool for subsequent requests.
+    FaultPlan plan;
+    plan.transientExecute(1.0); // every attempt on every rank fails
+    FaultInjector injector(plan, Topology{1, 2});
+    SessionOptions options;
+    options.numRanks = 2;
+    options.faultInjector = &injector;
+    options.faultPolicy.maxAttempts = 2;
+    InferenceSession session(makeBackend("upmem"), options);
+
+    const GemmProblem problem = makeShapeOnlyProblem(
+        64, 64, 8, QuantConfig::preset("W4A4"));
+    const auto id = session.submit(problem, DesignPoint::LoCaLut, false,
+                                   {}, SubmitOptions{0});
+    EXPECT_THROW(session.wait(id), FaultShedError);
+    EXPECT_GT(injector.stats().shedFault, 0u);
+
+    // A second wait-able request still completes once the injector goes
+    // quiet (rate is per-attempt; a fresh plan clears it).
+    FaultPlan quiet;
+    FaultInjector calm(quiet, Topology{1, 2});
+    SessionOptions healthy;
+    healthy.numRanks = 2;
+    healthy.faultInjector = &calm;
+    InferenceSession recovered(makeBackend("upmem"), healthy);
+    const auto ok = recovered.submit(problem, DesignPoint::LoCaLut, false,
+                                     {}, SubmitOptions{0});
+    EXPECT_GT(recovered.wait(ok).timing.total, 0.0);
+}
+
 TEST(InferenceSession, DrainCompletesOutstandingWork)
 {
     InferenceSession session(makeBackend("host-cpu"));
