@@ -10,6 +10,7 @@
 #include "backend/upmem_backend.h"
 #include "common/logging.h"
 #include "kernels/exec_engine.h"
+#include "upmemsim/sim_backend.h"
 
 namespace localut {
 
@@ -139,6 +140,9 @@ registry()
                                   [] { return HostBackend::cpu(); });
         reg->entries.emplace_back("host-gpu",
                                   [] { return HostBackend::gpu(); });
+        reg->entries.emplace_back("upmem-sim", [] {
+            return std::make_shared<const UpmemSimBackend>();
+        });
         return reg;
     }();
     return *r;

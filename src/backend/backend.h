@@ -5,14 +5,18 @@
  * @file
  * The backend abstraction: every PIM (or comparison) device model the
  * library can dispatch a quantized GEMM to implements this interface.
- * Three implementations ship with the library and register themselves in
+ * Five implementations ship with the library and register themselves in
  * the factory (see makeBackend()):
  *
  *  - "upmem"     UPMEM-class server model (src/kernels + src/upmem), the
  *                paper's main evaluation platform;
  *  - "bankpim"   bank-level PIM command model (src/banklevel, Fig. 20/21);
  *  - "host-cpu"  Xeon roofline (src/hostsim) + the reference kernels;
- *  - "host-gpu"  RTX 2080 Ti roofline + the reference kernels.
+ *  - "host-gpu"  RTX 2080 Ti roofline + the reference kernels;
+ *  - "upmem-sim" "upmem" with DPU-phase timing from the trace-driven
+ *                cycle-level micro-simulator (src/upmemsim) instead of
+ *                the analytical closed form; numerics are bit-exact with
+ *                "upmem".
  *
  * Backends are stateless after construction: plan() and execute() are
  * const and safe to call from several threads at once, which is what lets
@@ -265,8 +269,8 @@ using BackendPtr = std::shared_ptr<const Backend>;
 
 /**
  * Creates a backend by registry name ("upmem", "bankpim", "host-cpu",
- * "host-gpu") with its default device configuration.  Fatals on unknown
- * names (listing the registered ones).
+ * "host-gpu", "upmem-sim") with its default device configuration.
+ * Fatals on unknown names (listing the registered ones).
  */
 BackendPtr makeBackend(const std::string& name);
 

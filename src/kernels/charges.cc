@@ -16,50 +16,36 @@
 
 namespace localut {
 
-namespace {
-
-/** Index payload bytes per activation group sent to the PIM, per design. */
-struct IndexBytes {
-    double perGroup = 0; ///< bytes per (group, column) sent host -> PIM
-};
-
-IndexBytes
-indexBytesFor(const GemmPlan& plan)
+double
+activationIndexBytesPerGroup(const GemmPlan& plan)
 {
     const LutShape shape(plan.config, plan.p);
-    IndexBytes ib;
     switch (plan.design) {
       case DesignPoint::NaivePim:
       case DesignPoint::Ltc:
         // Raw packed activation codes.
-        ib.perGroup = static_cast<double>(plan.p) * plan.config.ba() / 8.0;
-        break;
+        return static_cast<double>(plan.p) * plan.config.ba() / 8.0;
       case DesignPoint::OpLut:
       case DesignPoint::OpLutDram:
         // Packed activation vector index.
-        ib.perGroup = static_cast<double>(
+        return static_cast<double>(
             bytesForBits(static_cast<std::uint64_t>(plan.config.ba()) *
                          plan.p));
-        break;
       case DesignPoint::OpLc:
         // Multiset rank + the raw sorted permutation vector.
-        ib.perGroup = static_cast<double>(
+        return static_cast<double>(
             bytesForBits(ceilLog2(shape.canonicalColumns())) +
             bytesForBits(static_cast<std::uint64_t>(plan.p) *
                          ceilLog2(plan.p)));
-        break;
       case DesignPoint::OpLcRc:
       case DesignPoint::LoCaLut:
         // Multiset rank + Lehmer permutation rank.
-        ib.perGroup = static_cast<double>(
+        return static_cast<double>(
             bytesForBits(ceilLog2(shape.canonicalColumns())) +
             bytesForBits(ceilLog2(shape.reorderColumns())));
-        break;
     }
-    return ib;
+    LOCALUT_PANIC("invalid design point");
 }
-
-} // namespace
 
 KernelCost
 GemmEngine::chargeCosts(const GemmPlan& plan) const
@@ -99,7 +85,7 @@ GemmEngine::chargeCosts(const GemmPlan& plan) const
     }
 
     // ---- Link: activation payload in (replicated across gM), output ----
-    const IndexBytes ib = indexBytesFor(plan);
+    const double ibPerGroup = activationIndexBytesPerGroup(plan);
     double actBytesPerDpu;
     if (plan.design == DesignPoint::NaivePim ||
         plan.design == DesignPoint::Ltc) {
@@ -107,7 +93,7 @@ GemmEngine::chargeCosts(const GemmPlan& plan) const
             static_cast<double>(bytesForBits(static_cast<std::uint64_t>(
                 plan.k) * ba)) * tileN;
     } else {
-        actBytesPerDpu = ib.perGroup * groups * tileN;
+        actBytesPerDpu = ibPerGroup * groups * tileN;
     }
     cost.addLinkBytes(Phase::LinkActIn, actBytesPerDpu * dpus);
     cost.addLinkBytes(Phase::LinkOut, m * n * 4.0);

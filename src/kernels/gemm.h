@@ -143,6 +143,15 @@ class GemmEngine
     PimSystemConfig config_;
 };
 
+/**
+ * Index payload bytes per (group, column) sent host -> PIM for @p plan
+ * (raw packed codes, packed vector index, or multiset + Lehmer ranks
+ * depending on the design point).  Shared by chargeCosts() and the DPU
+ * micro-simulator's trace generator (src/upmemsim/trace.cc) so the two
+ * can never disagree on operand-DMA byte totals.
+ */
+double activationIndexBytesPerGroup(const GemmPlan& plan);
+
 /** Builds a random quantized GEMM problem (deterministic per seed). */
 GemmProblem makeRandomProblem(std::size_t m, std::size_t k, std::size_t n,
                               const QuantConfig& config,

@@ -1,0 +1,279 @@
+#include "upmemsim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/logging.h"
+#include "kernels/cost_tables.h"
+#include "lut/capacity.h"
+#include "lut/lut_shape.h"
+
+namespace localut {
+namespace upmemsim {
+
+namespace {
+
+/**
+ * Largest compute block emitted as one TraceOp.  Work is chopped into
+ * sub-blocks of at most this many instructions and dealt round-robin
+ * across tasklets, so the per-tasklet load imbalance (and with it the
+ * makespan tail where fewer than fullIssueTasklets tasklets remain
+ * runnable) is bounded by one block per tasklet.
+ */
+constexpr double kMaxBlockInstr = 512.0;
+
+/**
+ * Emits integer compute blocks and DMA transfers into per-tasklet
+ * streams.  Fractional per-lookup instruction costs (e.g. the
+ * slice-streaming 3 + 3/kSlices index calculation) carry their
+ * rounding error forward per phase, so the emitted integer totals
+ * match the analytical totals within one instruction per phase.
+ */
+class TraceBuilder
+{
+  public:
+    explicit TraceBuilder(unsigned tasklets) { trace_.tasklets.resize(tasklets); }
+
+    /** Round-robin owner for the next work block. */
+    unsigned
+    next()
+    {
+        const unsigned t = rr_ % static_cast<unsigned>(trace_.tasklets.size());
+        ++rr_;
+        return t;
+    }
+
+    /** Appends a compute block of @p exact instructions to tasklet @p t. */
+    void
+    compute(unsigned t, Phase phase, double exact)
+    {
+        LOCALUT_ASSERT(exact >= 0, "negative compute block");
+        double& carry = carry_[static_cast<unsigned>(phase)];
+        carry += exact;
+        const double whole = std::floor(carry);
+        carry -= whole;
+        if (whole <= 0) {
+            return;
+        }
+        auto& ops = trace_.tasklets[t];
+        if (!ops.empty() && !ops.back().isDma && ops.back().phase == phase) {
+            ops.back().instructions += static_cast<std::uint32_t>(whole);
+            return;
+        }
+        TraceOp op;
+        op.phase = phase;
+        op.instructions = static_cast<std::uint32_t>(whole);
+        ops.push_back(op);
+    }
+
+    /** Appends one DMA transfer of @p bytes to tasklet @p t. */
+    void
+    dma(unsigned t, Phase phase, double bytes)
+    {
+        LOCALUT_ASSERT(bytes >= 0, "negative DMA block");
+        TraceOp op;
+        op.phase = phase;
+        op.isDma = true;
+        op.bytes = bytes;
+        trace_.tasklets[t].push_back(op);
+    }
+
+    /**
+     * Splits @p rows rows of @p instrPerRow work into capped sub-blocks,
+     * each dealt to the next round-robin tasklet, calling
+     * @p emitChunk(tasklet, chunkRows) per sub-block.
+     */
+    template <typename Fn>
+    void
+    rowChunks(double rows, double instrPerRow, Fn&& emitChunk)
+    {
+        const double chunk = std::max(
+            1.0, std::floor(kMaxBlockInstr / std::max(1.0, instrPerRow)));
+        double left = rows;
+        while (left > 0) {
+            const double take = std::min(chunk, left);
+            emitChunk(next(), take);
+            left -= take;
+        }
+    }
+
+    KernelTrace take() { return std::move(trace_); }
+
+  private:
+    KernelTrace trace_;
+    unsigned rr_ = 0;
+    double carry_[static_cast<unsigned>(Phase::kNumPhases)] = {};
+};
+
+} // namespace
+
+KernelCost
+KernelTrace::totals() const
+{
+    KernelCost cost;
+    for (const auto& stream : tasklets) {
+        for (const TraceOp& op : stream) {
+            if (op.isDma) {
+                cost.addDma(op.phase, op.bytes, 1.0);
+            } else {
+                cost.addInstr(op.phase, op.instructions);
+            }
+        }
+    }
+    return cost;
+}
+
+KernelTrace
+buildTrace(const GemmPlan& plan, const DpuParams& dpu)
+{
+    LOCALUT_REQUIRE(dpu.tasklets >= 1, "trace needs at least one tasklet");
+    TraceBuilder b(dpu.tasklets);
+
+    const double tileM = plan.tileM;
+    const double tileN = plan.tileN;
+    const double groups = plan.groups;
+    const unsigned bw = plan.config.bw();
+    const unsigned ba = plan.config.ba();
+    const LutShape shape(plan.config, plan.p);
+
+    // Operand bytes: identical arithmetic to GemmEngine::chargeCosts().
+    const double wVecBytes = static_cast<double>(
+        bytesForBits(static_cast<std::uint64_t>(bw) * plan.p));
+    const bool rawCodes = plan.design == DesignPoint::NaivePim ||
+                          plan.design == DesignPoint::Ltc;
+    const double wRowBytes =
+        rawCodes ? static_cast<double>(bytesForBits(
+                       static_cast<std::uint64_t>(plan.k) * bw))
+                 : groups * wVecBytes;
+    const double actColBytes =
+        rawCodes ? static_cast<double>(bytesForBits(
+                       static_cast<std::uint64_t>(plan.k) * ba))
+                 : activationIndexBytesPerGroup(plan) * groups;
+
+    // ---- Prologue: operand tiles MRAM -> WRAM ----
+    for (double r = 0; r < tileM; ++r) {
+        b.dma(b.next(), Phase::OperandDma, wRowBytes);
+    }
+    for (double c = 0; c < tileN; ++c) {
+        b.dma(b.next(), Phase::OperandDma, actColBytes);
+    }
+
+    // ---- Body: the per-design inner loops ----
+    switch (plan.design) {
+      case DesignPoint::NaivePim: {
+        const double perRow = plan.k * cost::naiveInstrPerMac(bw, ba);
+        for (double c = 0; c < tileN; ++c) {
+            b.rowChunks(tileM, perRow, [&](unsigned t, double rows) {
+                b.compute(t, Phase::MacCompute, rows * perRow);
+            });
+        }
+        break;
+      }
+      case DesignPoint::Ltc: {
+        const double groups4 =
+            std::ceil(static_cast<double>(plan.k) / cost::kLtcGroupSize);
+        const double buildInstr =
+            cost::kLtcTableEntries * cost::kLtcTableBuildPerEntry;
+        const double perRow = bw * cost::kLtcInstrPerLookup;
+        for (double c = 0; c < tileN; ++c) {
+            for (double g = 0; g < groups4; ++g) {
+                b.compute(b.next(), Phase::TableBuild, buildInstr);
+                b.rowChunks(tileM, perRow, [&](unsigned t, double rows) {
+                    b.compute(t, Phase::CanonicalAccess, rows * perRow);
+                });
+            }
+        }
+        break;
+      }
+      case DesignPoint::OpLutDram: {
+        // Fig. 3(a): every lookup is a minimum-granule MRAM access.
+        const double perRow = cost::kOpInstrPerLookup;
+        for (double c = 0; c < tileN; ++c) {
+            for (double g = 0; g < groups; ++g) {
+                b.rowChunks(tileM, perRow, [&](unsigned t, double rows) {
+                    b.compute(t, Phase::IndexCalc,
+                              rows * cost::kOpIndexCalcInstr);
+                    for (double r = 0; r < rows; ++r) {
+                        b.dma(t, Phase::CanonicalAccess, 8.0);
+                    }
+                    b.compute(t, Phase::Accumulate,
+                              rows * cost::kOpAccumulateInstr);
+                });
+            }
+        }
+        break;
+      }
+      case DesignPoint::OpLut:
+      case DesignPoint::OpLc:
+      case DesignPoint::OpLcRc:
+      case DesignPoint::LoCaLut: {
+        // The fused lookup datapath: per (column, group) the owning
+        // tasklets sweep their output rows through the WRAM-resident
+        // LUT access stream, identical to the canonical fused kernel.
+        double idxInstr, reorderInstr, canonInstr, accInstr;
+        const bool opPath = plan.design == DesignPoint::OpLut ||
+                            ((plan.design == DesignPoint::OpLcRc ||
+                              plan.design == DesignPoint::LoCaLut) &&
+                             plan.p == 1);
+        if (opPath) {
+            idxInstr = cost::kOpIndexCalcInstr;
+            reorderInstr = 0.0;
+            canonInstr = cost::kOpLutLoadInstr;
+            accInstr = cost::kOpAccumulateInstr;
+        } else if (plan.design == DesignPoint::OpLc) {
+            idxInstr = cost::lcReorderInstr(plan.p) + cost::kLcIndexCalcInstr;
+            reorderInstr = 0.0;
+            canonInstr = cost::kLcLutLoadInstr;
+            accInstr = cost::kLcAccumulateInstr;
+        } else {
+            idxInstr = cost::kRcIndexCalcInstr;
+            if (plan.design == DesignPoint::LoCaLut && plan.streaming) {
+                idxInstr = cost::kRcIndexCalcInstr -
+                           cost::kSsAmortizableInstr +
+                           cost::kSsAmortizableInstr / plan.kSlices;
+            }
+            reorderInstr = cost::kRcReorderLoadInstr;
+            canonInstr = cost::kRcCanonicalLoadInstr;
+            accInstr = cost::kRcAccumulateInstr;
+        }
+        const bool streamSlices = plan.design == DesignPoint::LoCaLut &&
+                                  plan.streaming;
+        const double canonSliceBytes = static_cast<double>(
+            shape.weightRows() * shape.outBytes);
+        const double reorderSliceBytes = static_cast<double>(
+            shape.weightRows() * reorderEntryBytes(shape));
+        const double perRow = idxInstr + reorderInstr + canonInstr + accInstr;
+        for (double c = 0; c < tileN; ++c) {
+            for (double g = 0; g < groups; ++g) {
+                if (streamSlices) {
+                    // One (canonical, reordering) slice-column pair per
+                    // distinct activation group instance.
+                    const unsigned t = b.next();
+                    b.dma(t, Phase::LutLoadDma, canonSliceBytes);
+                    b.dma(t, Phase::LutLoadDma, reorderSliceBytes);
+                }
+                b.rowChunks(tileM, perRow, [&](unsigned t, double rows) {
+                    b.compute(t, Phase::IndexCalc, rows * idxInstr);
+                    if (reorderInstr > 0) {
+                        b.compute(t, Phase::ReorderAccess,
+                                  rows * reorderInstr);
+                    }
+                    b.compute(t, Phase::CanonicalAccess, rows * canonInstr);
+                    b.compute(t, Phase::Accumulate, rows * accInstr);
+                });
+            }
+        }
+        break;
+      }
+    }
+
+    // ---- Epilogue: result writeback WRAM -> MRAM ----
+    for (double r = 0; r < tileM; ++r) {
+        b.dma(b.next(), Phase::OutputDma, tileN * 4.0);
+    }
+    return b.take();
+}
+
+} // namespace upmemsim
+} // namespace localut

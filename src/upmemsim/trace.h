@@ -1,0 +1,56 @@
+#ifndef LOCALUT_UPMEMSIM_TRACE_H_
+#define LOCALUT_UPMEMSIM_TRACE_H_
+
+/**
+ * @file
+ * Kernel traces for the cycle-level DPU micro-simulator: per-tasklet
+ * streams of compute blocks and MRAM<->WRAM DMA transfers generated from
+ * a resolved GemmPlan.  The generator mirrors the prepared-execution
+ * engine's tile loop (kernels/exec_engine.cc) — per activation column,
+ * per packed group, per output-row chunk — and reproduces the event
+ * totals of GemmEngine::chargeCosts() per DPU phase exactly (fractional
+ * per-lookup instruction costs are emitted as integers under an
+ * error-carry accumulator), so the simulator and the analytical cost
+ * model price the *same* event stream and any per-phase delta is pure
+ * pipeline/DMA-engine behavior, not bookkeeping drift.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/gemm.h"
+#include "upmem/cost_model.h"
+
+namespace localut {
+namespace upmemsim {
+
+/** One step of a tasklet's kernel trace. */
+struct TraceOp {
+    Phase phase = Phase::Other;
+    bool isDma = false;              ///< DMA transfer vs compute block
+    std::uint32_t instructions = 0;  ///< compute: instructions to issue
+    double bytes = 0.0;              ///< DMA: logical transfer bytes
+};
+
+/** Per-tasklet op streams for one representative (critical-path) DPU. */
+struct KernelTrace {
+    std::vector<std::vector<TraceOp>> tasklets;
+
+    /**
+     * Event totals of the trace (DPU phases only: instructions, DMA
+     * bytes, DMA transfers).  Matches GemmEngine::chargeCosts() within
+     * one instruction per phase (the error-carry residue).
+     */
+    KernelCost totals() const;
+};
+
+/**
+ * Builds the representative-DPU trace for @p plan under @p dpu.
+ * Supports every design point the UPMEM backend plans.
+ */
+KernelTrace buildTrace(const GemmPlan& plan, const DpuParams& dpu);
+
+} // namespace upmemsim
+} // namespace localut
+
+#endif // LOCALUT_UPMEMSIM_TRACE_H_

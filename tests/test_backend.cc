@@ -24,7 +24,8 @@ namespace {
 TEST(BackendRegistry, ListsBuiltinBackends)
 {
     const auto names = backendNames();
-    for (const char* expected : {"upmem", "bankpim", "host-cpu", "host-gpu"}) {
+    for (const char* expected :
+         {"upmem", "bankpim", "host-cpu", "host-gpu", "upmem-sim"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << "missing built-in backend " << expected;

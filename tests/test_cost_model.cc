@@ -75,6 +75,25 @@ TEST(CostEvaluator, InstructionTimeScalesWithIssueRate)
     EXPECT_NEAR(tFew / tFull, 11.0 / 4.0, 1e-9);
 }
 
+// Pins the doc-vs-code derivation of DpuParams::dmaBytesPerCycle: the
+// paper profiles L_D = 1.36 ns per streamed (canonical + reordering)
+// entry pair of ~3 bytes ("0.5 B/cycle ... considering a three-stage
+// pipelined access", Section VI-I), which at 350 MHz (2.857 ns/cycle)
+// is an effective aggregate rate of 3 / 1.36 * 2.857 = 6.30 B/cycle.
+// The adopted constant of 6.0 rounds that profiled figure; if either
+// the constant or the clock drifts away from the derivation, this
+// fails and params.h's comment must be reconciled with the code.
+TEST(DpuParams, DmaRateMatchesPaperEntryPairDerivation)
+{
+    const DpuParams dpu;
+    const double nsPerCycle = 1e3 / dpu.clockMhz;       // 2.857 at 350 MHz
+    const double entryPairBytes = 3.0;                  // canonical+reorder
+    const double nsPerEntryPair = 1.36;                 // paper's L_D
+    const double derived = entryPairBytes / nsPerEntryPair * nsPerCycle;
+    EXPECT_NEAR(derived, 6.30, 0.01);
+    EXPECT_NEAR(dpu.dmaBytesPerCycle / derived, 1.0, 0.05);
+}
+
 TEST(CostEvaluator, DmaSetupChargedPerTransfer)
 {
     const PimSystemConfig sys = PimSystemConfig::upmemServer();

@@ -2,7 +2,8 @@
  * @file
  * Differential fuzzing of the cross-backend / sharded-vs-unsharded
  * parity invariant: ~200 randomized GemmProblem shapes x quantization
- * configs execute on the upmem, bankpim, and host-cpu backends, sharded
+ * configs execute on the upmem, bankpim, host-cpu, and upmem-sim
+ * backends (upmem-sim changes DPU timing only, never numerics), sharded
  * (nodes in {1, 2} x num_ranks in {2, 4, 8}, both strategies) and
  * unsharded, asserting
  *
@@ -59,7 +60,7 @@ drawCases(std::size_t count)
 {
     Rng rng(0xf022);
     const std::vector<QuantConfig> configs = QuantConfig::paperConfigs();
-    const char* backends[] = {"upmem", "bankpim", "host-cpu"};
+    const char* backends[] = {"upmem", "bankpim", "host-cpu", "upmem-sim"};
     const unsigned rankChoices[] = {2, 4, 8};
     std::vector<FuzzCase> cases;
     cases.reserve(count);
@@ -69,7 +70,7 @@ drawCases(std::size_t count)
         c.k = 2 + rng.nextBounded(96);
         c.n = 1 + rng.nextBounded(32);
         c.config = configs[rng.nextBounded(configs.size())];
-        c.backend = backends[rng.nextBounded(3)];
+        c.backend = backends[rng.nextBounded(4)];
         c.ranks = rankChoices[rng.nextBounded(3)];
         // Topology dimension: half the cases scale the same cut out
         // across two CXL-attached nodes (ranks stay per-node).
@@ -152,7 +153,7 @@ TEST(ParityFuzz, PreparedMatchesUnpreparedAcrossBackendsRanksThreads)
 {
     Rng rng(0x9e37);
     const std::vector<QuantConfig> configs = QuantConfig::paperConfigs();
-    const char* backends[] = {"upmem", "bankpim", "host-cpu"};
+    const char* backends[] = {"upmem", "bankpim", "host-cpu", "upmem-sim"};
     PlanCache cache;
     TilePool pool(4);
     for (unsigned i = 0; i < 48; ++i) {
@@ -160,7 +161,7 @@ TEST(ParityFuzz, PreparedMatchesUnpreparedAcrossBackendsRanksThreads)
         const std::size_t k = 2 + rng.nextBounded(80);
         const std::size_t n = 1 + rng.nextBounded(24);
         const QuantConfig cfg = configs[rng.nextBounded(configs.size())];
-        const BackendPtr backend = makeBackend(backends[rng.nextBounded(3)]);
+        const BackendPtr backend = makeBackend(backends[rng.nextBounded(4)]);
         const GemmProblem problem =
             makeRandomProblem(m, k, n, cfg, 0xabc0 + i);
         SCOPED_TRACE("case " + std::to_string(i) + ": m=" +
@@ -225,7 +226,8 @@ TEST(ParityFuzz, SimdMatchesScalarAcrossAllBackends)
 {
     Rng rng(0x51d0);
     const std::vector<QuantConfig> configs = QuantConfig::paperConfigs();
-    const char* backends[] = {"upmem", "bankpim", "host-cpu", "host-gpu"};
+    const char* backends[] = {"upmem", "bankpim", "host-cpu", "host-gpu",
+                              "upmem-sim"};
     PlanCache cache;
     TilePool pool(4);
     for (const char* name : backends) {

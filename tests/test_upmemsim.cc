@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Cycle-level DPU micro-simulator tests (src/upmemsim): pipeline-model
+ * unit tests against closed forms, trace-vs-chargeCosts event parity,
+ * cross-thread determinism, the differential simulated-vs-analytical
+ * grid with frozen per-phase tolerance bands, and the "upmem-sim"
+ * backend contract (bit-exact numerics with "upmem", simulated DPU
+ * timing, analytical host/link timing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "backend/backend.h"
+#include "lut/capacity.h"
+#include "nn/inference.h"
+#include "quant/quantizer.h"
+#include "upmem/cost_model.h"
+#include "upmemsim/dpu_sim.h"
+#include "upmemsim/sim_backend.h"
+#include "upmemsim/trace.h"
+
+namespace localut {
+namespace {
+
+using upmemsim::KernelTrace;
+using upmemsim::SimParams;
+using upmemsim::SimResult;
+using upmemsim::TraceOp;
+
+SimParams
+defaultSim()
+{
+    SimParams p;
+    p.dpu = PimSystemConfig::upmemServer().dpu;
+    return p;
+}
+
+/** Uniform compute-only trace: @p tasklets streams of @p instr each. */
+KernelTrace
+computeTrace(unsigned tasklets, std::uint32_t instr)
+{
+    KernelTrace trace;
+    trace.tasklets.resize(tasklets);
+    for (unsigned t = 0; t < tasklets; ++t) {
+        TraceOp op;
+        op.phase = Phase::Accumulate;
+        op.instructions = instr;
+        trace.tasklets[t].push_back(op);
+    }
+    return trace;
+}
+
+/** Single-tasklet trace with one DMA transfer of @p bytes. */
+KernelTrace
+dmaTrace(double bytes)
+{
+    KernelTrace trace;
+    trace.tasklets.resize(1);
+    TraceOp op;
+    op.phase = Phase::OperandDma;
+    op.isDma = true;
+    op.bytes = bytes;
+    trace.tasklets[0].push_back(op);
+    return trace;
+}
+
+// The issue pipeline must PRODUCE DpuParams::issueRate() rather than
+// assume it: at T resident tasklets the round-robin over an 11-deep
+// pipeline sustains min(1, T/11) instructions per cycle, and per-phase
+// attribution (1/issueRate per instruction) reproduces the analytical
+// instruction charge exactly.
+TEST(DpuSim, IssueCurveMatchesAnalyticalRate)
+{
+    SimParams params = defaultSim();
+    for (unsigned T = 1; T <= 16; ++T) {
+        params.dpu.tasklets = T;
+        const std::uint32_t instr = 2000;
+        const SimResult r = upmemsim::simulate(computeTrace(T, instr),
+                                               params);
+        ASSERT_GT(r.makespanCycles, 0) << "T=" << T;
+        const double rate =
+            static_cast<double>(r.issuedInstructions) / r.makespanCycles;
+        const double want = params.dpu.issueRate();
+        EXPECT_NEAR(rate / want, 1.0, 0.02) << "T=" << T;
+        // Attribution: total issued work priced at 1/issueRate each.
+        EXPECT_NEAR(r.attributedCycles(),
+                    static_cast<double>(T) * instr / want, 1e-6)
+            << "T=" << T;
+        EXPECT_EQ(r.issuedInstructions,
+                  static_cast<std::uint64_t>(T) * instr);
+    }
+}
+
+TEST(DpuSim, SingleDmaOccupancyMatchesClosedForm)
+{
+    const SimParams params = defaultSim();
+    const double setup = params.dpu.dmaSetupCycles;
+    const double rate = params.dpu.dmaBytesPerCycle;
+    for (const double bytes : {7.0, 64.0, 520.0, 2048.0}) {
+        const SimResult r = upmemsim::simulate(dmaTrace(bytes), params);
+        const double aligned =
+            std::ceil(bytes / params.dmaAlignBytes) * params.dmaAlignBytes;
+        // One sub-cap transfer: occupancy is exactly setup + bytes/rate,
+        // the analytical CostEvaluator::dmaSeconds() form (in cycles),
+        // up to the 8-byte MRAM alignment the closed form ignores.
+        EXPECT_NEAR(r.attributedCycles(), setup + aligned / rate, 1e-9)
+            << "bytes=" << bytes;
+        EXPECT_EQ(r.dmaTransfers, 1u) << "bytes=" << bytes;
+        EXPECT_DOUBLE_EQ(r.dmaBytes, aligned) << "bytes=" << bytes;
+        // Wall clock: the serial engine adds at most a couple of
+        // completion/unblock cycles on top of the occupancy.
+        EXPECT_GE(r.makespanCycles, r.attributedCycles());
+        EXPECT_LE(r.makespanCycles, r.attributedCycles() + 3.0);
+    }
+}
+
+TEST(DpuSim, OversizeDmaSplitsAndEachChunkPaysSetup)
+{
+    const SimParams params = defaultSim();
+    const double setup = params.dpu.dmaSetupCycles;
+    const double rate = params.dpu.dmaBytesPerCycle;
+
+    const SimResult two = upmemsim::simulate(dmaTrace(4096), params);
+    EXPECT_EQ(two.dmaTransfers, 2u);
+    EXPECT_NEAR(two.attributedCycles(), 2 * setup + 4096 / rate, 1e-9);
+
+    const SimResult three = upmemsim::simulate(dmaTrace(4104), params);
+    EXPECT_EQ(three.dmaTransfers, 3u);
+    EXPECT_NEAR(three.attributedCycles(), 3 * setup + 4104 / rate, 1e-9);
+
+    // The 3-stage engine overlaps chunk N+1's setup with chunk N's
+    // streaming, so the wall clock beats the serial occupancy sum.
+    EXPECT_LT(two.makespanCycles, two.attributedCycles());
+    EXPECT_LT(three.makespanCycles, three.attributedCycles());
+}
+
+TEST(DpuSim, ZeroByteTransferStillTouchesMram)
+{
+    const SimParams params = defaultSim();
+    const SimResult r = upmemsim::simulate(dmaTrace(0), params);
+    EXPECT_EQ(r.dmaTransfers, 1u);
+    EXPECT_DOUBLE_EQ(r.dmaBytes, params.dmaAlignBytes);
+}
+
+// The trace generator must reproduce GemmEngine::chargeCosts() event
+// totals per DPU phase (instructions within the one-op error-carry
+// residue; DMA bytes and transfer counts exactly) for every design
+// point the UPMEM backend plans.
+TEST(KernelTraces, TotalsMatchChargeCostsForEveryDesign)
+{
+    const UpmemSimBackend backend;
+    const QuantConfig cfg = QuantConfig::preset("W2A2");
+    const GemmProblem problem = makeShapeOnlyProblem(768, 768, 128, cfg);
+    for (const DesignPoint d :
+         {DesignPoint::NaivePim, DesignPoint::Ltc, DesignPoint::OpLutDram,
+          DesignPoint::OpLut, DesignPoint::OpLc, DesignPoint::OpLcRc,
+          DesignPoint::LoCaLut}) {
+        const GemmPlan plan = backend.plan(problem, d);
+        const KernelCost charged = backend.chargeCosts(plan);
+        const KernelCost traced =
+            upmemsim::buildTrace(plan, backend.system().dpu).totals();
+        for (unsigned i = 0; i < static_cast<unsigned>(Phase::kNumPhases);
+             ++i) {
+            const Phase p = static_cast<Phase>(i);
+            if (isHostPhase(p) || isLinkPhase(p)) {
+                continue;
+            }
+            const PhaseCost& a = charged.phase(p);
+            const PhaseCost& b = traced.phase(p);
+            EXPECT_NEAR(a.instructions, b.instructions, 1.0)
+                << phaseName(p) << " design=" << static_cast<int>(d);
+            EXPECT_NEAR(a.dmaBytes, b.dmaBytes, 1e-6)
+                << phaseName(p) << " design=" << static_cast<int>(d);
+            EXPECT_NEAR(a.dmaTransfers, b.dmaTransfers, 1e-6)
+                << phaseName(p) << " design=" << static_cast<int>(d);
+        }
+    }
+}
+
+// simulate() is a pure function: concurrent replays of the same trace
+// from many threads produce bit-identical SimResults (run under TSan
+// in the sanitizer CI job).
+TEST(DpuSim, TraceReplayDeterministicAcrossThreads)
+{
+    const UpmemSimBackend backend;
+    const GemmProblem problem = makeShapeOnlyProblem(
+        256, 768, 64, QuantConfig::preset("W1A4"));
+    const GemmPlan plan = backend.plan(problem, DesignPoint::LoCaLut);
+    const KernelTrace trace =
+        upmemsim::buildTrace(plan, backend.system().dpu);
+    const SimParams params = defaultSim();
+    const SimResult serial = upmemsim::simulate(trace, params);
+
+    constexpr unsigned kThreads = 8;
+    std::vector<SimResult> results(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&, i] {
+            results[i] = upmemsim::simulate(trace, params);
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    for (const SimResult& r : results) {
+        EXPECT_TRUE(r == serial);
+    }
+
+    // The memoized backend path is equally safe to hit concurrently.
+    std::vector<SimResult> cached(kThreads);
+    threads.clear();
+    for (unsigned i = 0; i < kThreads; ++i) {
+        threads.emplace_back(
+            [&, i] { cached[i] = backend.simulated(plan); });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    for (const SimResult& r : cached) {
+        EXPECT_TRUE(r == serial);
+    }
+}
+
+// ------------------------------------------------------------------
+// Differential grid: simulated vs analytical per-phase seconds.
+//
+// Frozen tolerance bands (this file is their single source of truth;
+// bench_sim_calibrate gates CI on the same values).  The trace
+// reproduces the analytical event totals exactly, so the only honest
+// divergence sources are the 8-byte MRAM transfer alignment and the
+// 2048-byte mram_read() split — both DMA-side.  The calibration run
+// of 2026-08 over the fig09/fig18 grid measured a worst tile-DMA
+// delta of 2.04% (OutputDma: 196-byte result rows aligning to 200),
+// a worst LutLoadDma delta of 6.87% (streamed slice pairs splitting
+// at the 2048-byte cap, each chunk paying its own 32-cycle setup:
+// W4A4 p=3 and W2A2 p=6), and compute-phase deltas at the
+// error-carry floor (< 0.1%); the bands freeze ~1.5-2x headroom over
+// those maxima and stay far inside the <= 15% acceptance target.
+// ------------------------------------------------------------------
+constexpr double kComputeBand = 0.005;   ///< instruction-only phases
+constexpr double kDmaBand = 0.05;        ///< tile-DMA phases
+constexpr double kLutStreamBand = 0.10;  ///< streamed LUT slice pairs
+
+double
+frozenBand(Phase p)
+{
+    switch (p) {
+      case Phase::LutLoadDma:
+        return kLutStreamBand;
+      case Phase::OperandDma:
+      case Phase::OutputDma:
+      case Phase::CanonicalAccess: // per-lookup MRAM access in OpLutDram
+        return kDmaBand;
+      default:
+        return kComputeBand;
+    }
+}
+
+void
+expectWithinBands(const UpmemSimBackend& backend, const GemmPlan& plan,
+                  const std::string& label)
+{
+    const KernelCost cost = backend.chargeCosts(plan);
+    const CostEvaluator eval(backend.system());
+    const TimingReport analytical = eval.timing(cost, plan.dpusUsed());
+    const SimResult sim = backend.simulated(plan);
+    for (unsigned i = 0; i < static_cast<unsigned>(Phase::kNumPhases);
+         ++i) {
+        const Phase p = static_cast<Phase>(i);
+        if (isHostPhase(p) || isLinkPhase(p)) {
+            continue;
+        }
+        const double a = analytical.seconds.get(phaseName(p));
+        const double s =
+            backend.system().dpu.cyclesToSeconds(sim.cycles(p));
+        if (a < 1e-12 && s < 1e-12) {
+            continue; // phase not exercised by this design point
+        }
+        ASSERT_GT(a, 0.0) << label << " " << phaseName(p)
+                          << ": simulated a phase the model never charged";
+        const double delta = std::abs(s - a) / a;
+        EXPECT_LE(delta, frozenBand(p))
+            << label << " " << phaseName(p) << " analytical=" << a
+            << " simulated=" << s;
+    }
+}
+
+TEST(SimCalibration, Fig09GridWithinFrozenBands)
+{
+    const UpmemSimBackend backend;
+    const std::size_t shapes[][3] = {{768, 768, 128}, {3072, 768, 128}};
+    for (const auto& s : shapes) {
+        for (const QuantConfig& cfg : QuantConfig::paperConfigs()) {
+            const GemmProblem problem =
+                makeShapeOnlyProblem(s[0], s[1], s[2], cfg);
+            for (const DesignPoint d :
+                 {DesignPoint::NaivePim, DesignPoint::Ltc,
+                  DesignPoint::OpLut, DesignPoint::OpLc,
+                  DesignPoint::OpLcRc, DesignPoint::LoCaLut}) {
+                const std::string label =
+                    cfg.name() + "/m" + std::to_string(s[0]) + "/d" +
+                    std::to_string(static_cast<int>(d));
+                expectWithinBands(backend, backend.plan(problem, d),
+                                  label);
+            }
+        }
+    }
+}
+
+// Fig. 18's packing-degree sweep, the regime where slice streaming
+// turns LutLoadDma into the dominant phase: force p = 1..8 (skipping
+// degrees whose canonical+reordering pair cannot fit the MRAM LUT
+// budget) and hold every phase inside its frozen band.
+TEST(SimCalibration, ForcedPackingSweepWithinFrozenBands)
+{
+    const UpmemSimBackend backend;
+    const std::size_t budget = backend.system().dpu.mramLutBudget();
+    for (const char* preset : {"W1A4", "W2A2", "W4A4"}) {
+        const QuantConfig cfg = QuantConfig::preset(preset);
+        const unsigned pMax =
+            maxPackingDegree(budget, cfg, true, true, 2, 8);
+        ASSERT_GE(pMax, 1u) << preset;
+        const GemmProblem problem =
+            makeShapeOnlyProblem(768, 768, 768, cfg);
+        for (unsigned p = 1; p <= pMax; ++p) {
+            PlanOverrides overrides;
+            overrides.p = p;
+            const GemmPlan plan =
+                backend.plan(problem, DesignPoint::LoCaLut, overrides);
+            ASSERT_EQ(plan.p, p);
+            expectWithinBands(backend, plan,
+                              std::string(preset) + "/p" +
+                                  std::to_string(p));
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// The "upmem-sim" backend contract.
+// ------------------------------------------------------------------
+
+TEST(UpmemSimBackend, RegisteredWithDistinctFingerprint)
+{
+    const auto names = backendNames();
+    EXPECT_NE(std::find(names.begin(), names.end(), "upmem-sim"),
+              names.end());
+    const BackendPtr sim = makeBackend("upmem-sim");
+    const BackendPtr upmem = makeBackend("upmem");
+    EXPECT_EQ(sim->name(), "upmem-sim");
+    // Same device config, different timing semantics: plan-cache
+    // entries must never alias across the two backends.
+    EXPECT_NE(sim->configFingerprint(), upmem->configFingerprint());
+}
+
+TEST(UpmemSimBackend, NumericsBitExactWithUpmem)
+{
+    const BackendPtr sim = makeBackend("upmem-sim");
+    const BackendPtr upmem = makeBackend("upmem");
+    const GemmProblem problem =
+        makeRandomProblem(24, 96, 16, QuantConfig::preset("W2A2"), 7);
+    for (const DesignPoint d :
+         {DesignPoint::LoCaLut, DesignPoint::OpLut, DesignPoint::Ltc}) {
+        const GemmResult a = sim->execute(problem, d, true);
+        const GemmResult b = upmem->execute(problem, d, true);
+        ASSERT_FALSE(a.outInt.empty());
+        EXPECT_EQ(a.outInt, b.outInt)
+            << "design=" << static_cast<int>(d);
+    }
+}
+
+TEST(UpmemSimBackend, TimingUsesSimulatedDpuAndAnalyticalHostLink)
+{
+    const UpmemSimBackend backend;
+    const UpmemBackend upmem;
+    const GemmProblem problem = makeShapeOnlyProblem(
+        768, 768, 128, QuantConfig::preset("W1A4"));
+    const GemmPlan plan = backend.plan(problem, DesignPoint::LoCaLut);
+    const GemmResult simRes = backend.execute(problem, plan, false);
+    const GemmResult anaRes = upmem.execute(problem, plan, false);
+
+    const SimResult sim = backend.simulated(plan);
+    double dpuSum = 0;
+    for (unsigned i = 0; i < static_cast<unsigned>(Phase::kNumPhases);
+         ++i) {
+        const Phase p = static_cast<Phase>(i);
+        const double simSec = simRes.timing.seconds.get(phaseName(p));
+        if (isHostPhase(p) || isLinkPhase(p)) {
+            // Host/link phases run off-DPU: priced analytically.
+            EXPECT_NEAR(simSec, anaRes.timing.seconds.get(phaseName(p)),
+                        1e-15)
+                << phaseName(p);
+        } else {
+            EXPECT_NEAR(simSec,
+                        backend.system().dpu.cyclesToSeconds(
+                            sim.cycles(p)),
+                        1e-15)
+                << phaseName(p);
+            dpuSum += simSec;
+        }
+    }
+    EXPECT_NEAR(simRes.timing.dpuSeconds, dpuSum, 1e-12);
+    EXPECT_NEAR(simRes.timing.total,
+                simRes.timing.hostSeconds + simRes.timing.linkSeconds +
+                    simRes.timing.dpuSeconds,
+                1e-12);
+    EXPECT_NEAR(simRes.timing.hostSeconds, anaRes.timing.hostSeconds,
+                1e-15);
+    EXPECT_NEAR(simRes.timing.linkSeconds, anaRes.timing.linkSeconds,
+                1e-15);
+}
+
+} // namespace
+} // namespace localut
